@@ -1,0 +1,47 @@
+"""Shared settings for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper figure (at reduced but
+shape-preserving scale), asserts the paper's qualitative claims on
+the data, and reports the generation time through pytest-benchmark.
+Simulation benchmarks run a single round — the workload is seconds to
+minutes, and the measurement of interest is the figure data itself.
+
+Set ``REPRO_BENCH_SCALE`` (default 0.25) to trade fidelity for time;
+1.0 reproduces the full-length runs used in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import SimulationSettings
+from repro.noc.config import NocConfig
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> SimulationSettings:
+    return SimulationSettings(
+        cycles=20_000,
+        warmup=4_000,
+        config=NocConfig(source_queue_packets=64),
+        seed=1,
+    ).scaled(SCALE)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run *fn* exactly once under pytest-benchmark and print the
+    resulting figure table."""
+
+    def runner(fn, *args, **kwargs):
+        figure = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(format_table(figure))
+        return figure
+
+    return runner

@@ -1,0 +1,26 @@
+"""Ablation: output-buffer depth (paper: "small buffer tuning ha[s]
+some marginal impact on the peak performances")."""
+
+import pytest
+
+from repro.experiments.ablations import ablation_output_buffer_depth
+
+DEPTHS = (1, 2, 3, 4, 6, 8)
+
+
+def test_ablation_output_buffer_depth(run_once, bench_settings):
+    figure = run_once(
+        ablation_output_buffer_depth,
+        settings=bench_settings,
+        depths=DEPTHS,
+        num_nodes=16,
+        injection_rate=0.45,
+    )
+    for label, values in figure.series.items():
+        # Deeper buffers never hurt...
+        assert values[DEPTHS.index(8)] >= values[DEPTHS.index(1)] * 0.95
+        # ...but beyond the paper's 3 flits the gain is marginal
+        # (<25% from 3 to 8).
+        at3 = values[DEPTHS.index(3)]
+        at8 = values[DEPTHS.index(8)]
+        assert at8 <= at3 * 1.25, label

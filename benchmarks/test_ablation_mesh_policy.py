@@ -1,0 +1,16 @@
+"""Ablation: real-mesh construction policy (factorized vs irregular)."""
+
+from repro.experiments.ablations import ablation_mesh_policy
+
+
+def test_ablation_mesh_policy(run_once):
+    figure = run_once(ablation_mesh_policy, 4, 64)
+    ns = figure.x_values
+    fact_nd = dict(zip(ns, figure.column("factorized-ND")))
+    irr_nd = dict(zip(ns, figure.column("irregular-ND")))
+    # The irregular near-square grid never degenerates: its diameter
+    # is bounded by ~2*sqrt(N) while factorization can hit N/2.
+    for n in ns:
+        assert irr_nd[n] <= fact_nd[n]
+    assert fact_nd[22] == 11  # 2 x 11 strip
+    assert irr_nd[22] == 8  # 5 x 5 grid missing 3 cells

@@ -1,0 +1,24 @@
+"""Ablation: packet length (paper fixes 6 flits)."""
+
+from repro.experiments.ablations import ablation_packet_size
+
+SIZES = (2, 4, 6, 10, 16)
+
+
+def test_ablation_packet_size(run_once, bench_settings):
+    figure = run_once(
+        ablation_packet_size,
+        settings=bench_settings,
+        sizes=SIZES,
+        num_nodes=16,
+        injection_rate=0.3,
+    )
+    latency = figure.column("latency")
+    throughput = figure.column("throughput")
+    # At fixed flit rate, longer packets mean longer serialisation
+    # and longer wormhole path holding: latency grows monotonically
+    # (within noise)...
+    assert latency[SIZES.index(16)] > latency[SIZES.index(2)]
+    # ...while accepted throughput stays within 30% across sizes
+    # (the offered flit load is constant).
+    assert max(throughput) < 1.3 * min(throughput)

@@ -1,0 +1,110 @@
+"""Capacity-bound validation: analytical predictions vs simulation.
+
+The channel-load model (`repro.analysis.capacity`) predicts where
+each topology saturates before running any simulation.  This
+benchmark checks the predictions against measured saturation for the
+paper's two scenario families:
+
+* hot-spot: predicted knee ``1/num_sources`` matches the measured
+  throughput clip (figure 6);
+* uniform: the analytical ordering ring << {spidergon, mesh} matches
+  figure 10, and every measured throughput stays below its bound.
+"""
+
+import pytest
+
+from repro.analysis.capacity import (
+    hotspot_saturation_rate,
+    uniform_capacity,
+)
+from repro.experiments.runner import run_simulation
+from repro.routing import routing_for
+from repro.topology import MeshTopology, RingTopology, SpidergonTopology
+from repro.traffic import HotspotTraffic, UniformTraffic
+
+
+def topologies(n):
+    return (
+        RingTopology(n),
+        SpidergonTopology(n),
+        MeshTopology.factorized(n),
+    )
+
+
+def test_capacity_bounds(run_once, bench_settings, benchmark=None):
+    del benchmark  # run_once wraps the benchmark fixture already
+
+    def compute():
+        from repro.experiments.report import FigureData
+
+        figure = FigureData(
+            "capacity",
+            "Analytical capacity bound vs measured saturated "
+            "throughput (uniform traffic)",
+            "row",
+            [0, 1, 2],
+        )
+        bounds, measured = [], []
+        for topology in topologies(16):
+            routing = routing_for(topology)
+            bounds.append(uniform_capacity(routing))
+            result = run_simulation(
+                topology,
+                UniformTraffic(topology),
+                0.9,
+                bench_settings,
+            )
+            measured.append(result.throughput)
+        figure.add_series("bound", bounds)
+        figure.add_series("measured", measured)
+        figure.notes.append("rows: ring16, spidergon16, mesh4x4")
+        return figure
+
+    figure = run_once(compute)
+    bounds = figure.column("bound")
+    measured = figure.column("measured")
+    # Measured throughput never exceeds its bound, and achieves a
+    # reasonable fraction of it (wormhole inefficiency is bounded).
+    for bound, value in zip(bounds, measured):
+        assert value <= bound
+        assert value > 0.3 * bound
+    # The analytical ordering predicts figure 10's ranking.
+    assert bounds[0] < bounds[1]
+    assert measured[0] < measured[1]
+    assert measured[0] < measured[2]
+
+
+def test_hotspot_knee_prediction(run_once, bench_settings):
+    # The predicted knee 1/num_sources: below it throughput tracks
+    # offered load; above it throughput clips at the sink rate.
+    topology = SpidergonTopology(16)
+    routing = routing_for(topology)
+    knee = hotspot_saturation_rate(routing, [0])
+    assert knee == pytest.approx(1 / 15)
+
+    def compute():
+        from repro.experiments.report import FigureData
+
+        figure = FigureData(
+            "capacity-hotspot",
+            "Hot-spot throughput around the predicted knee "
+            "(spidergon16, target 0)",
+            "lambda",
+            [knee * 0.6, knee * 2.5],
+        )
+        values = [
+            run_simulation(
+                topology,
+                HotspotTraffic(topology, [0]),
+                rate,
+                bench_settings,
+            ).throughput
+            for rate in figure.x_values
+        ]
+        figure.add_series("throughput", values)
+        return figure
+
+    figure = run_once(compute)
+    below, above = figure.column("throughput")
+    assert below == pytest.approx(knee * 0.6 * 15, rel=0.15)
+    assert above == pytest.approx(1.0, abs=0.08)

@@ -1,0 +1,58 @@
+"""Extension studies: torus comparison and traffic-pattern sweep."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    extension_torus_comparison,
+    extension_traffic_patterns,
+)
+
+RATES = (0.1, 0.3, 0.6)
+
+
+def test_extension_torus_comparison(run_once, bench_settings):
+    figure = run_once(
+        extension_torus_comparison,
+        settings=bench_settings,
+        rows=4,
+        cols=4,
+        rates=RATES,
+    )
+    high = len(RATES) - 1
+    # Uniform traffic: torus >= mesh (wrap links only help) and both
+    # far above the ring.
+    assert (
+        figure.column("torus4x4")[high]
+        >= 0.95 * figure.column("mesh4x4")[high]
+    )
+    assert (
+        figure.column("ring16")[high]
+        < figure.column("torus4x4")[high]
+    )
+    # Low load: everything accepts the offered traffic.
+    offered = RATES[0] * 16
+    for label in figure.series:
+        assert figure.column(label)[0] == pytest.approx(
+            offered, rel=0.15
+        ), label
+
+
+def test_extension_traffic_patterns(run_once, bench_settings):
+    figure = run_once(
+        extension_traffic_patterns,
+        settings=bench_settings,
+        num_nodes=16,
+        injection_rate=0.3,
+    )
+    ring = figure.column("ring16")
+    spider = figure.column("spidergon16")
+    mesh = figure.column("mesh4x4")
+    # Pattern order: uniform, tornado, bit-complement, neighbor.
+    # Nearest-neighbor is nearly free for every topology: all accept
+    # the full offered load (~4.8 flits/cycle).
+    for series in (ring, spider, mesh):
+        assert series[3] == pytest.approx(0.3 * 16, rel=0.15)
+    # Tornado punishes the ring far more than the others.
+    assert ring[1] < 0.7 * spider[1]
+    # Bit-complement (mirror traffic) still ranks ring worst.
+    assert ring[2] <= spider[2] + 0.2

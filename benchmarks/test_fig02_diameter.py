@@ -1,0 +1,30 @@
+"""Figure 2: network diameter vs N for all topology families."""
+
+from repro.experiments.figures import figure2
+
+
+def series(figure):
+    return {label: dict(zip(figure.x_values, values))
+            for label, values in figure.series.items()}
+
+
+def test_fig2_network_diameter(run_once):
+    figure = run_once(figure2, 4, 64)
+    data = series(figure)
+
+    # Paper: Spidergon has lower ND than real 2D meshes at least up
+    # to 40-45 nodes.
+    for n in range(6, 41, 2):
+        assert data["spidergon"][n] <= data["real-mesh"][n]
+
+    # Paper: real meshes fluctuate between the ideal-mesh and Ring
+    # diameter values (N = 2 * prime hits the Ring's value).
+    for n in (22, 26, 34, 46, 58, 62):
+        assert data["real-mesh"][n] == data["ring"][n]
+    for n in (16, 36, 64):
+        assert data["real-mesh"][n] == 2 * (n ** 0.5 - 1)
+
+    # Ring diameter is floor(N/2); Spidergon is ceil(N/4).
+    for n in range(4, 65, 2):
+        assert data["ring"][n] == n // 2
+        assert data["spidergon"][n] == -(-n // 4)

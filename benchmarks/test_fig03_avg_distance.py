@@ -1,0 +1,35 @@
+"""Figure 3: average network distance vs N for all topology families."""
+
+import pytest
+
+from repro.experiments.figures import figure3
+
+
+def series(figure):
+    return {label: dict(zip(figure.x_values, values))
+            for label, values in figure.series.items()}
+
+
+def test_fig3_average_distance(run_once):
+    figure = run_once(figure3, 4, 64)
+    data = series(figure)
+
+    # Paper: "Spidergon outperforms Ring".
+    for n in range(6, 65, 2):
+        assert data["spidergon"][n] < data["ring"][n]
+
+    # Paper: Ring E[D] = N/4; ideal mesh E[D] ~ 2*sqrt(N)/3.
+    for n in range(4, 65, 2):
+        assert data["ring"][n] == pytest.approx(n / 4)
+
+    # Paper: ideal mesh behaviour is obtained by real meshes only for
+    # specific N (perfect squares / near-square factorizations).
+    assert data["real-mesh"][36] == pytest.approx(
+        data["ideal-mesh"][36], rel=0.05
+    )
+    assert data["real-mesh"][22] > 1.25 * data["ideal-mesh"][22]
+
+    # Spidergon sits between ideal mesh and ring for moderate N.
+    for n in range(16, 65, 2):
+        assert data["spidergon"][n] <= data["ring"][n]
+        assert data["spidergon"][n] >= 0.5 * data["ideal-mesh"][n]

@@ -1,0 +1,45 @@
+"""Figure 6: throughput under a single hot-spot destination."""
+
+import pytest
+
+from repro.experiments.figures import figure6
+
+RATES = [0.02, 0.05, 0.1, 0.25, 0.4]
+
+
+def test_fig6_single_hotspot_throughput(run_once, bench_settings):
+    figure = run_once(
+        figure6,
+        settings=bench_settings,
+        node_counts=(8, 24),
+        rates=RATES,
+    )
+    by_n = {
+        8: ["ring8", "spidergon8", "mesh2x4"],
+        24: ["ring24", "spidergon24", "mesh4x6"],
+    }
+    for n, labels in by_n.items():
+        columns = [figure.column(l) for l in labels]
+        # Paper: "the throughput index presents no differences with
+        # respect to the implemented topology".
+        for i in range(len(RATES)):
+            values = [c[i] for c in columns]
+            assert max(values) - min(values) < 0.12
+        # Saturation at the destination's ~1 flit/cycle absorption.
+        for column in columns:
+            assert column[-1] == pytest.approx(1.0, abs=0.1)
+        # Linear absorption before saturation: throughput tracks the
+        # aggregate offered load.
+        sources = n - 1
+        for i, rate in enumerate(RATES):
+            offered = rate * sources
+            if offered < 0.7:
+                for column in columns:
+                    assert column[i] == pytest.approx(offered, rel=0.2)
+
+    # More sources -> saturation reached at lower per-source rates:
+    # at rate 0.05, 23 sources already exceed the sink (thr ~ 1)
+    # while 7 sources do not.
+    assert figure.column("spidergon24")[1] > figure.column(
+        "spidergon8"
+    )[1]

@@ -1,0 +1,38 @@
+"""Figure 7: latency under a single hot-spot destination."""
+
+from repro.experiments.figures import figure7
+from repro.stats import detect_saturation_point
+
+RATES = [0.02, 0.05, 0.1, 0.25, 0.4]
+
+
+def test_fig7_single_hotspot_latency(run_once, bench_settings):
+    figure = run_once(
+        figure7,
+        settings=bench_settings,
+        node_counts=(8, 24),
+        rates=RATES,
+    )
+    knees = {
+        label: detect_saturation_point(RATES, values)
+        for label, values in figure.series.items()
+    }
+    # Paper: latency sharply increases at target-node saturation,
+    # "with little differences due to the NoC topology adopted".
+    for n, labels in (
+        (8, ("ring8", "spidergon8", "mesh2x4")),
+        (24, ("ring24", "spidergon24", "mesh4x6")),
+    ):
+        topology_knees = {knees[l] for l in labels}
+        assert len(topology_knees) == 1
+
+    # Paper: "the latency increases early when the number of source
+    # nodes increases".
+    knee8 = knees["spidergon8"]
+    knee24 = knees["spidergon24"]
+    assert knee24 is not None
+    assert knee8 is None or knee24 <= knee8
+
+    # Latency blows up well past the knee.
+    for label, values in figure.series.items():
+        assert values[-1] > 3 * values[0]

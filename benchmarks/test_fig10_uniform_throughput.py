@@ -1,0 +1,43 @@
+"""Figure 10: throughput under homogeneous uniform traffic."""
+
+import pytest
+
+from repro.experiments.figures import figure10
+
+RATES = [0.05, 0.1, 0.2, 0.3, 0.45, 0.7]
+
+
+def test_fig10_uniform_throughput(run_once, bench_settings):
+    figure = run_once(
+        figure10,
+        settings=bench_settings,
+        node_counts=(16, 24),
+        rates=RATES,
+    )
+
+    def at(label, rate):
+        return figure.column(label)[RATES.index(rate)]
+
+    # Paper: "Spidergon and 2D Mesh topologies outperform Ring".
+    for n, ring, spider, mesh in (
+        (16, "ring16", "spidergon16", "mesh4x4"),
+        (24, "ring24", "spidergon24", "mesh4x6"),
+    ):
+        assert at(ring, 0.7) < at(spider, 0.7)
+        assert at(ring, 0.7) < at(mesh, 0.7)
+
+    # Paper: "2D Mesh shows a better throughput than Spidergon only
+    # with many nodes and when the local injection rate ... is
+    # greater than 0.3 flits/cycle".
+    assert at("mesh4x6", 0.05) == pytest.approx(
+        at("spidergon24", 0.05), rel=0.1
+    )
+    assert at("mesh4x6", 0.7) > at("spidergon24", 0.7)
+
+    # At low load every topology accepts the offered traffic.
+    for label in figure.series:
+        n = 16 if "16" in label or label == "mesh4x4" else 24
+        offered = 0.05 * n
+        assert figure.column(label)[0] == pytest.approx(
+            offered, rel=0.2
+        ), label

@@ -1,0 +1,38 @@
+"""Figure 11: latency under homogeneous uniform traffic."""
+
+from repro.experiments.figures import figure11
+from repro.stats import detect_saturation_point
+
+RATES = [0.05, 0.1, 0.2, 0.3, 0.45, 0.7]
+
+
+def test_fig11_uniform_latency(run_once, bench_settings):
+    figure = run_once(
+        figure11,
+        settings=bench_settings,
+        node_counts=(16, 24),
+        rates=RATES,
+    )
+    knees = {
+        label: detect_saturation_point(RATES, values)
+        for label, values in figure.series.items()
+    }
+
+    # Paper: "Ring topology saturates first".
+    for ring, spider, mesh in (
+        ("ring16", "spidergon16", "mesh4x4"),
+        ("ring24", "spidergon24", "mesh4x6"),
+    ):
+        assert knees[ring] is not None
+        for other in (spider, mesh):
+            assert knees[other] is None or knees[other] >= knees[ring]
+
+    # Paper: "the latency generally increases early when the number
+    # of system nodes increases".
+    if knees["ring24"] is not None and knees["ring16"] is not None:
+        assert knees["ring24"] <= knees["ring16"]
+
+    # Latency rises sharply past saturation for the ring.
+    for ring in ("ring16", "ring24"):
+        values = figure.column(ring)
+        assert values[-1] > 5 * values[0]

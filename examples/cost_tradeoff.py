@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Quantifying the paper's headline trade-off.
+
+"Results show that the Spidergon topology is a good trade-off between
+performance, scalability of the most efficient architectures ...,
+constraints about simple management, small energy and area
+requirements for SoCs."
+
+For each topology at N = 16 this example reports:
+
+* router area (normalised gate-count proxy) and total wire length,
+* analytical uniform-traffic capacity bound,
+* measured saturated throughput under uniform traffic,
+* dynamic energy per delivered flit for the same run,
+* two figures of merit: throughput per unit router area, and
+  delivered flits per unit energy.
+
+Run::
+
+    python examples/cost_tradeoff.py [num_nodes]
+"""
+
+import sys
+
+from repro import (
+    MeshTopology,
+    Network,
+    NocConfig,
+    RingTopology,
+    SpidergonTopology,
+    TrafficSpec,
+    UniformTraffic,
+)
+from repro.analysis.capacity import uniform_capacity
+from repro.cost import EnergyReport, network_area, total_wire_length
+from repro.routing import routing_for
+from repro.topology import TorusTopology
+from repro.traffic import HotspotTraffic
+
+
+def evaluate(topology, rate=0.8, cycles=10_000, warmup=2_500,
+             hotspot=False):
+    routing = routing_for(topology)
+    if hotspot:
+        pattern = HotspotTraffic(topology, [0])
+    else:
+        pattern = UniformTraffic(topology)
+    network = Network(
+        topology,
+        config=NocConfig(source_queue_packets=48),
+        traffic=TrafficSpec(pattern, rate),
+        seed=17,
+    )
+    result = network.run(cycles=cycles, warmup=warmup)
+    energy = EnergyReport.from_network(network)
+    area = network_area(
+        topology, network.config, num_vcs=network.num_vcs
+    )
+    return {
+        "area": area,
+        "wire": total_wire_length(topology),
+        "capacity": uniform_capacity(routing),
+        "throughput": result.throughput,
+        "energy_per_flit": energy.energy_per_flit,
+    }
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    candidates = [RingTopology(n), SpidergonTopology(n)]
+    mesh = MeshTopology.factorized(n)
+    candidates.append(mesh)
+    if mesh.rows >= 3 and mesh.cols >= 3:
+        candidates.append(TorusTopology(mesh.rows, mesh.cols))
+
+    header = (
+        f"{'topology':<14} {'area':>7} {'wire':>7} {'cap':>6} "
+        f"{'thr':>6} {'E/flit':>7} {'thr/area':>9} {'flits/E':>8}"
+    )
+
+    def print_table(title, hotspot, rate):
+        print(title)
+        print(header)
+        print("-" * len(header))
+        for topology in candidates:
+            row = evaluate(topology, rate=rate, hotspot=hotspot)
+            thr_per_area = row["throughput"] / row["area"] * 1000
+            flits_per_energy = (
+                1 / row["energy_per_flit"]
+                if row["energy_per_flit"]
+                else 0
+            )
+            print(
+                f"{topology.name:<14} {row['area']:>7.0f} "
+                f"{row['wire']:>7.1f} {row['capacity']:>6.1f} "
+                f"{row['throughput']:>6.2f} "
+                f"{row['energy_per_flit']:>7.2f} "
+                f"{thr_per_area:>9.2f} {flits_per_energy:>8.3f}"
+            )
+        print()
+
+    print(f"N={n}, normalised cost units; thr/area is x1000\n")
+    print_table(
+        "Homogeneous uniform traffic at saturating load "
+        "(paper fig. 10 regime):",
+        hotspot=False,
+        rate=0.8,
+    )
+    print_table(
+        "Single hot-spot (external-memory) traffic at saturating "
+        "load (fig. 6 regime):",
+        hotspot=True,
+        rate=0.25,
+    )
+    print(
+        "Under uniform load the Mesh's extra area and wire buy real "
+        "throughput.\nUnder the hot-spot regime the paper calls "
+        "typical of current SoCs, every\ntopology delivers the same "
+        "1 flit/cycle — so the cheap, symmetric,\nconstant-degree "
+        "design wins: exactly the paper's argument for Spidergon."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Irregular meshes from realistic floorplans.
+
+The paper motivates its analysis with the observation that "regular
+meshes cannot be always assumed as realistic topologies" — a die
+floorplan with a large hard macro (an accelerator, an SRAM block)
+leaves a mesh with missing cells.
+
+This example carves an L-shaped floorplan out of a 5x5 grid (a 2x2
+macro occupies one corner), builds the irregular mesh, routes it with
+table-driven shortest paths (XY would dead-end at the hole), and
+compares static metrics and simulated uniform-traffic performance
+against the regular alternatives with the same node budget.
+
+Run::
+
+    python examples/irregular_floorplan.py
+"""
+
+from repro import (
+    MeshTopology,
+    Network,
+    NocConfig,
+    RingTopology,
+    SpidergonTopology,
+    TrafficSpec,
+    UniformTraffic,
+)
+from repro.routing import TableRouting, routing_for
+from repro.topology import average_distance, diameter
+
+
+def carved_floorplan():
+    """A 5x5 grid whose top-right 2x2 corner is a hard macro."""
+    hole = {(0, 3), (0, 4), (1, 3), (1, 4)}
+    cells = [
+        (r, c)
+        for r in range(5)
+        for c in range(5)
+        if (r, c) not in hole
+    ]
+    return MeshTopology(5, 5, cells=cells)
+
+
+def ascii_floorplan(mesh):
+    lines = []
+    for r in range(mesh.rows):
+        row = "".join(
+            " ##" if not mesh.has_cell(r, c) else f"{mesh.node_at(r, c):>3}"
+            for c in range(mesh.cols)
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def simulate(topology, routing=None):
+    network = Network(
+        topology,
+        routing=routing,
+        config=NocConfig(source_queue_packets=48),
+        traffic=TrafficSpec(UniformTraffic(topology), 0.25),
+        seed=31,
+    )
+    return network.run(cycles=10_000, warmup=2_500)
+
+
+def main() -> None:
+    irregular = carved_floorplan()
+    n = irregular.num_nodes
+    print("Floorplan (## = hard macro, numbers = NoC nodes):\n")
+    print(ascii_floorplan(irregular))
+    print(f"\n{n} usable tiles.\n")
+
+    candidates = [
+        (irregular, TableRouting(irregular)),
+        (RingTopology(n), None),
+        (MeshTopology.factorized(n), None),
+    ]
+    if n % 2 == 0:
+        candidates.append((SpidergonTopology(n), None))
+
+    print(
+        f"{'topology':<24} {'links':>5} {'ND':>3} {'E[D]':>6} "
+        f"{'thr':>7} {'latency':>8}"
+    )
+    print("-" * 58)
+    for topology, routing in candidates:
+        result = simulate(topology, routing)
+        print(
+            f"{topology.name:<24} {topology.num_links:>5} "
+            f"{diameter(topology):>3} {average_distance(topology):>6.2f} "
+            f"{result.throughput:>7.3f} {result.avg_latency:>8.1f}"
+        )
+    print(
+        "\nThe carved mesh keeps most of the regular mesh's "
+        "performance; the paper's\npoint is that such realistic "
+        "shapes must be analysed directly rather than\nassumed "
+        "ideal (Section 1, contribution i)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one NoC configuration and print its metrics.
+
+Builds a 16-node Spidergon with the paper's default parameters
+(6-flit packets, wormhole switching, across-first routing, two
+virtual channels with a dateline discipline), offers uniform traffic
+at 0.2 flits/cycle per node, and reports throughput, latency and hop
+statistics.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Network,
+    NocConfig,
+    SpidergonTopology,
+    TrafficSpec,
+    UniformTraffic,
+)
+from repro.topology import average_distance, diameter
+
+
+def main() -> None:
+    topology = SpidergonTopology(16)
+    print(f"Topology:          {topology.name}")
+    print(f"  nodes            {topology.num_nodes}")
+    print(f"  links            {topology.num_links} (paper: 3N)")
+    print(f"  diameter         {diameter(topology)} (paper: ceil(N/4))")
+    print(f"  avg distance     {average_distance(topology):.3f}")
+    print()
+
+    traffic = TrafficSpec(UniformTraffic(topology), injection_rate=0.2)
+    config = NocConfig()  # paper defaults: 6-flit packets, 1/3-flit buffers
+    network = Network(topology, config=config, traffic=traffic, seed=7)
+
+    print("Simulating 20,000 cycles (4,000 warmup)...")
+    result = network.run(cycles=20_000, warmup=4_000)
+
+    print()
+    print(f"Routing:           {result.routing_name}")
+    print(f"Offered load:      {result.offered_load:.2f} flits/cycle")
+    print(f"Throughput:        {result.throughput:.3f} flits/cycle")
+    print(f"Avg latency:       {result.avg_latency:.1f} cycles")
+    print(f"P95 latency:       {result.p95_latency:.1f} cycles")
+    print(f"Avg hops:          {result.avg_hops:.2f}")
+    print(f"Packets delivered: {result.packets_delivered}")
+
+
+if __name__ == "__main__":
+    main()

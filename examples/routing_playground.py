@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Routing-scheme playground: the paper's "analysis of routing
+protocols" future work, made concrete.
+
+Compares four routing organisations on the same 4x4 mesh, replaying
+the *identical* recorded traffic trace through each (so differences
+come from routing alone, not stochastic variation):
+
+* XY dimension-order (the paper's mesh scheme),
+* YX via the table-driven shortest-path fallback,
+* O1TURN (per-packet randomised XY/YX on separate VCs),
+* source-routed XY (same paths, decision moved to the NI).
+
+The workload is transpose traffic — adversarial for any single
+dimension order, and exactly the case where O1TURN's route diversity
+pays off.
+
+Run::
+
+    python examples/routing_playground.py
+"""
+
+from repro import MeshTopology, Network, NocConfig
+from repro.routing import (
+    MeshO1TurnRouting,
+    MeshXYRouting,
+    SourceRouting,
+    TableRouting,
+)
+from repro.traffic import TransposeTraffic, record_trace
+
+MESH_DIMS = (4, 4)
+RATE = 0.6  # flits/cycle/source: past XY's transpose saturation
+CYCLES = 12_000
+WARMUP = 3_000
+
+
+def replayed_run(routing_factory):
+    topology = MeshTopology(*MESH_DIMS)
+    trace = record_trace(
+        TransposeTraffic(topology), RATE, 6, cycles=CYCLES, seed=13
+    )
+    network = Network(
+        topology,
+        routing=routing_factory(topology),
+        config=NocConfig(source_queue_packets=64),
+        seed=13,
+    )
+    network.install_trace(trace)
+    return network.run(cycles=CYCLES, warmup=WARMUP)
+
+
+def main() -> None:
+    schemes = [
+        ("XY (paper)", MeshXYRouting),
+        ("table shortest-path", TableRouting),
+        ("O1TURN (XY|YX)", MeshO1TurnRouting),
+        ("source-routed XY", lambda t: SourceRouting(MeshXYRouting(t))),
+    ]
+    print(
+        f"{MESH_DIMS[0]}x{MESH_DIMS[1]} mesh, transpose traffic at "
+        f"{RATE} flits/cycle/source, identical replayed trace\n"
+    )
+    print(
+        f"{'scheme':<22} {'thr':>7} {'latency':>9} {'p95':>8} "
+        f"{'queueing':>9}"
+    )
+    print("-" * 60)
+    for label, factory in schemes:
+        result = replayed_run(factory)
+        print(
+            f"{label:<22} {result.throughput:>7.3f} "
+            f"{result.avg_latency:>9.1f} {result.p95_latency:>8.1f} "
+            f"{result.avg_queueing_delay:>9.1f}"
+        )
+    print(
+        "\nSource-routed XY matches per-hop XY exactly (same paths, "
+        "same VCs).\nO1TURN spreads transpose pairs over both "
+        "dimension orders and sustains\nhigher load — route "
+        "diversity, not shorter paths."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Find each topology's saturation point under uniform traffic.
+
+Sweeps the per-node injection rate, watches the mean packet latency,
+and reports the knee — the first rate where latency exceeds three
+times its zero-load value.  This condenses the paper's figures 10/11
+into a single designer-facing number per topology: how much uniform
+load can this NoC take before queueing explodes?
+
+Also demonstrates the extension traffic patterns (tornado,
+bit-complement, nearest-neighbor) the paper lists as future work.
+
+Run::
+
+    python examples/saturation_study.py
+"""
+
+from repro import (
+    MeshTopology,
+    Network,
+    NocConfig,
+    RingTopology,
+    SpidergonTopology,
+    TrafficSpec,
+    UniformTraffic,
+)
+from repro.stats import detect_saturation_point
+from repro.traffic import (
+    BitComplementTraffic,
+    NearestNeighborTraffic,
+    TornadoTraffic,
+)
+
+NUM_NODES = 16
+RATES = [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.55, 0.7]
+
+
+def latency_curve(topology, pattern):
+    latencies = []
+    for rate in RATES:
+        network = Network(
+            topology,
+            config=NocConfig(source_queue_packets=48),
+            traffic=TrafficSpec(pattern, rate),
+            seed=11,
+        )
+        result = network.run(cycles=8_000, warmup=2_000)
+        latencies.append(
+            result.avg_latency if result.avg_latency else float("inf")
+        )
+    return latencies
+
+
+def report(topology, pattern):
+    latencies = latency_curve(topology, pattern)
+    knee = detect_saturation_point(RATES, latencies)
+    knee_text = f"{knee:.2f}" if knee is not None else f">{RATES[-1]}"
+    curve = "  ".join(f"{l:7.1f}" for l in latencies)
+    print(
+        f"{topology.name:<12} {pattern.name:<17} knee at lambda "
+        f"~{knee_text:<6} [{curve}]"
+    )
+
+
+def main() -> None:
+    print(f"Saturation study, N={NUM_NODES}, rates={RATES}\n")
+    print("Uniform traffic (paper figures 10/11):")
+    for topology in (
+        RingTopology(NUM_NODES),
+        SpidergonTopology(NUM_NODES),
+        MeshTopology.factorized(NUM_NODES),
+    ):
+        report(topology, UniformTraffic(topology))
+    print(
+        "\nExtension patterns on the Spidergon (paper future work):"
+    )
+    spidergon = SpidergonTopology(NUM_NODES)
+    for pattern in (
+        TornadoTraffic(spidergon),
+        BitComplementTraffic(spidergon),
+        NearestNeighborTraffic(spidergon),
+    ):
+        report(spidergon, pattern)
+    print(
+        "\nThe Ring's knee comes first (it saturates earliest), "
+        "matching figure 11;\nlocal (nearest-neighbor) traffic "
+        "barely loads the network — the regime\nwhere 'the NoC "
+        "architecture behaves better' (paper, Section 3.1.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Hot-spot study: a SoC whose processors all talk to one memory port.
+
+The paper's motivating scenario: "in today's common SoCs ..., when the
+system memory is external, the behavior obtained with different NoC
+topologies would converge" — because the memory controller (a single
+hot-spot destination) is the bottleneck, not the interconnect.
+
+This example sweeps the per-core injection rate on Ring, Spidergon and
+2D Mesh with one hot-spot target (the memory controller at node 0) and
+shows that all three topologies deliver the same throughput curve,
+saturating at the controller's 1 flit/cycle absorption — the
+conclusion behind the paper's figures 6 and 7.
+
+Run::
+
+    python examples/shared_memory_soc.py
+"""
+
+from repro import (
+    HotspotTraffic,
+    MeshTopology,
+    Network,
+    NocConfig,
+    RingTopology,
+    SpidergonTopology,
+    TrafficSpec,
+)
+
+NUM_NODES = 16
+RATES = [0.02, 0.05, 0.08, 0.12, 0.2, 0.35]
+MEMORY_CONTROLLER = 0
+
+
+def simulate(topology, rate):
+    traffic = TrafficSpec(
+        HotspotTraffic(topology, [MEMORY_CONTROLLER]), rate
+    )
+    network = Network(
+        topology,
+        config=NocConfig(source_queue_packets=64),
+        traffic=traffic,
+        seed=21,
+    )
+    return network.run(cycles=12_000, warmup=3_000)
+
+
+def main() -> None:
+    topologies = [
+        RingTopology(NUM_NODES),
+        SpidergonTopology(NUM_NODES),
+        MeshTopology.factorized(NUM_NODES),
+    ]
+    print(
+        f"{NUM_NODES}-node SoC, all cores -> memory controller at "
+        f"node {MEMORY_CONTROLLER}\n"
+    )
+    header = "lambda  " + "".join(
+        f"{t.name:>22}" for t in topologies
+    )
+    print(header)
+    print("        " + "   thr    latency" * 0 + "")
+    for rate in RATES:
+        cells = []
+        for topology in topologies:
+            result = simulate(topology, rate)
+            cells.append(
+                f"{result.throughput:>8.3f} / {result.avg_latency:>8.1f}"
+            )
+        print(f"{rate:>6.2f}  " + "".join(f"{c:>22}" for c in cells))
+    print(
+        "\nColumns are throughput (flits/cycle) / mean latency "
+        "(cycles)."
+    )
+    print(
+        "Note how the three topologies coincide and saturate at "
+        "~1 flit/cycle:\nthe memory port, not the NoC, is the "
+        "bottleneck (paper, Section 3.1.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

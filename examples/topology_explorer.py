@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Topology design-space exploration for a given node budget.
+
+For a range of node counts, compare Ring, Spidergon and the *real*
+mesh choices a designer actually has (best factorization, or a
+partially filled irregular grid), on the paper's static metrics:
+links (silicon cost proxy), network diameter (worst-case latency
+proxy) and average distance (expected latency proxy).
+
+This reproduces the reasoning behind the paper's figures 2 and 3:
+Spidergon's constant degree-3 router and predictable ceil(N/4)
+diameter sit between the Ring and the mesh family, while the mesh's
+quality fluctuates wildly with how well N factorises.
+
+Run::
+
+    python examples/topology_explorer.py [max_nodes]
+"""
+
+import sys
+
+from repro import MeshTopology, RingTopology, SpidergonTopology
+from repro.topology import (
+    HypercubeTopology,
+    average_distance,
+    diameter,
+)
+
+
+def describe(topology):
+    return (
+        topology.num_links,
+        diameter(topology),
+        average_distance(topology),
+    )
+
+
+def main() -> None:
+    max_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    print(
+        f"{'N':>3}  {'topology':<22} {'links':>5}  {'ND':>3}  "
+        f"{'E[D]':>6}"
+    )
+    print("-" * 48)
+    for n in range(6, max_nodes + 1, 2):
+        candidates = [
+            RingTopology(n),
+            SpidergonTopology(n),
+            MeshTopology.factorized(n),
+            MeshTopology.irregular(n),
+        ]
+        if n & (n - 1) == 0:  # power of two: the parallel-computing
+            candidates.append(HypercubeTopology.with_nodes(n))
+        for topology in candidates:
+            links, nd, ed = describe(topology)
+            print(
+                f"{n:>3}  {topology.name:<22} {links:>5}  {nd:>3}  "
+                f"{ed:>6.2f}"
+            )
+        best = min(candidates, key=lambda t: average_distance(t))
+        print(f"     -> lowest E[D]: {best.name}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

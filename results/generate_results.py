@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and ablation for EXPERIMENTS.md.
+
+Runs the simulation figures at half the default horizon (10k cycles,
+2k warmup) — enough for stable shapes on a single-core box — and the
+analytical figures at full range.  Writes tables to stdout and CSVs
+next to this script.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.experiments import ablations, figures
+from repro.experiments.report import format_table, to_csv
+from repro.experiments.runner import SimulationSettings
+from repro.noc.config import NocConfig
+
+OUT = pathlib.Path(__file__).parent
+SETTINGS = SimulationSettings(
+    cycles=10_000,
+    warmup=2_000,
+    config=NocConfig(source_queue_packets=64),
+    seed=1,
+)
+
+
+def emit(name, figure):
+    sys.stdout.write(format_table(figure))
+    sys.stdout.write("\n")
+    sys.stdout.flush()
+    (OUT / f"{name}.csv").write_text(to_csv(figure))
+
+
+def main():
+    jobs = [
+        ("fig2", lambda: figures.figure2()),
+        ("fig3", lambda: figures.figure3()),
+        ("fig5", lambda: figures.figure5(settings=SETTINGS)),
+        ("fig6", lambda: figures.figure6(settings=SETTINGS)),
+        ("fig7", lambda: figures.figure7(settings=SETTINGS)),
+        ("fig8", lambda: figures.figure8(settings=SETTINGS)),
+        ("fig9", lambda: figures.figure9(settings=SETTINGS)),
+        ("fig10", lambda: figures.figure10(settings=SETTINGS)),
+        ("fig11", lambda: figures.figure11(settings=SETTINGS)),
+        (
+            "ablation_buffers",
+            lambda: ablations.ablation_output_buffer_depth(
+                settings=SETTINGS
+            ),
+        ),
+        (
+            "ablation_vcs",
+            lambda: ablations.ablation_virtual_channels(
+                settings=SETTINGS
+            ),
+        ),
+        (
+            "ablation_routing",
+            lambda: ablations.ablation_spidergon_routing(
+                settings=SETTINGS, rates=(0.02, 0.05, 0.1, 0.25)
+            ),
+        ),
+        (
+            "ablation_packet_size",
+            lambda: ablations.ablation_packet_size(settings=SETTINGS),
+        ),
+        (
+            "ablation_mesh_policy",
+            lambda: ablations.ablation_mesh_policy(),
+        ),
+    ]
+    for name, job in jobs:
+        start = time.time()
+        emit(name, job())
+        sys.stdout.write(
+            f"[{name} done in {time.time() - start:.0f}s]\n\n"
+        )
+        sys.stdout.flush()
+
+
+if __name__ == "__main__":
+    main()

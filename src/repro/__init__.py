@@ -1,0 +1,73 @@
+"""repro — reproduction of "Simulation and Analysis of Network on Chip
+Architectures: Ring, Spidergon and 2D Mesh" (Bononi & Concer, DATE 2006).
+
+The package compares the Ring, Spidergon and 2D Mesh NoC topologies
+both analytically (network diameter and average distance closed forms,
+:mod:`repro.analysis`) and by flit-level wormhole simulation
+(:mod:`repro.noc` on top of the discrete-event kernel in
+:mod:`repro.sim`), under the paper's hot-spot and homogeneous traffic
+scenarios (:mod:`repro.traffic`).
+
+Quickstart::
+
+    from repro import (
+        Network, NocConfig, SpidergonTopology, TrafficSpec,
+        UniformTraffic,
+    )
+
+    topology = SpidergonTopology(16)
+    traffic = TrafficSpec(UniformTraffic(topology), injection_rate=0.2)
+    result = Network(topology, traffic=traffic, seed=1).run(
+        cycles=20_000, warmup=5_000
+    )
+    print(result.throughput, result.avg_latency)
+"""
+
+from repro.noc import Network, NocConfig, Packet
+from repro.routing import (
+    MeshXYRouting,
+    RingShortestRouting,
+    SpidergonAcrossFirstRouting,
+    TableRouting,
+    routing_for,
+)
+from repro.stats import RunResult
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    Topology,
+    average_distance,
+    diameter,
+)
+from repro.traffic import (
+    HotspotTraffic,
+    TrafficSpec,
+    UniformTraffic,
+    double_hotspot_targets,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HotspotTraffic",
+    "MeshTopology",
+    "MeshXYRouting",
+    "Network",
+    "NocConfig",
+    "Packet",
+    "RingShortestRouting",
+    "RingTopology",
+    "RunResult",
+    "SpidergonAcrossFirstRouting",
+    "SpidergonTopology",
+    "TableRouting",
+    "Topology",
+    "TrafficSpec",
+    "UniformTraffic",
+    "average_distance",
+    "diameter",
+    "double_hotspot_targets",
+    "routing_for",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Top-level command-line interface.
+
+::
+
+    python -m repro info                 # library and paper summary
+    python -m repro figures fig10 ...    # == repro.experiments.figures
+    python -m repro ablations vcs ...    # == repro.experiments.ablations
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _info() -> int:
+    from repro import __version__
+    from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.ablations import ALL_ABLATIONS
+
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of Bononi & Concer, 'Simulation and Analysis "
+        "of Network on Chip\nArchitectures: Ring, Spidergon and 2D "
+        "Mesh', DATE 2006."
+    )
+    print()
+    print("figures:  ", " ".join(sorted(ALL_FIGURES)))
+    print("ablations:", " ".join(sorted(ALL_ABLATIONS)))
+    print()
+    print(
+        "usage: python -m repro "
+        "{info|figures|ablations|campaign SPEC.json OUT.csv} [args...]"
+    )
+    return 0
+
+
+def _campaign(rest: list[str]) -> int:
+    import pathlib
+
+    from repro.experiments.campaign import Campaign
+
+    if len(rest) != 2:
+        print("usage: python -m repro campaign SPEC.json OUT.csv")
+        return 2
+    spec_path, csv_path = rest
+    campaign = Campaign.from_json(pathlib.Path(spec_path).read_text())
+    results = campaign.execute(
+        csv_path,
+        progress=lambda done, total, key: print(
+            f"[{done}/{total}] {key}"
+        ),
+    )
+    print(f"{len(results)} runs executed; results in {csv_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("info", "-h", "--help"):
+        return _info()
+    command, rest = argv[0], argv[1:]
+    if command == "figures":
+        from repro.experiments.figures import main as figures_main
+
+        return figures_main(rest)
+    if command == "ablations":
+        from repro.experiments.ablations import main as ablations_main
+
+        return ablations_main(rest)
+    if command == "campaign":
+        return _campaign(rest)
+    print(f"unknown command {command!r}; try: python -m repro info")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

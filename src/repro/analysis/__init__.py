@@ -1,0 +1,61 @@
+"""Analytical model of the paper's Section 2.
+
+Closed-form network diameter and average-distance expressions for
+Ring, 2D Mesh and Spidergon, plus the series behind figures 2 and 3.
+"""
+
+from repro.analysis.formulas import (
+    mesh_average_distance,
+    mesh_average_distance_paper,
+    mesh_diameter,
+    mesh_num_links,
+    ring_average_distance,
+    ring_diameter,
+    ring_num_links,
+    spidergon_average_distance,
+    spidergon_average_distance_paper,
+    spidergon_diameter,
+    spidergon_distance_sum,
+    spidergon_num_links,
+)
+from repro.analysis.capacity import (
+    channel_loads,
+    hotspot_saturation_rate,
+    uniform_capacity,
+    uniform_saturation_rate,
+)
+from repro.analysis.figures import (
+    FigureSeries,
+    figure2_diameter_series,
+    figure3_average_distance_series,
+)
+from repro.analysis.queueing import (
+    md1_waiting_time,
+    mm1_waiting_time,
+    predicted_hotspot_latency,
+)
+
+__all__ = [
+    "FigureSeries",
+    "channel_loads",
+    "figure2_diameter_series",
+    "figure3_average_distance_series",
+    "hotspot_saturation_rate",
+    "md1_waiting_time",
+    "mm1_waiting_time",
+    "predicted_hotspot_latency",
+    "uniform_capacity",
+    "uniform_saturation_rate",
+    "mesh_average_distance",
+    "mesh_average_distance_paper",
+    "mesh_diameter",
+    "mesh_num_links",
+    "ring_average_distance",
+    "ring_diameter",
+    "ring_num_links",
+    "spidergon_average_distance",
+    "spidergon_average_distance_paper",
+    "spidergon_diameter",
+    "spidergon_distance_sum",
+    "spidergon_num_links",
+]

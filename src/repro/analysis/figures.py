@@ -1,0 +1,103 @@
+"""Series generators for the paper's analytical figures 2 and 3.
+
+Each figure is a set of named (N, value) series:
+
+* ``ring`` — closed form, every even N in range,
+* ``ideal-mesh`` — the continuous ``sqrt(N) x sqrt(N)`` idealisation
+  (evaluated at every N, as the paper's smooth reference curve),
+* ``real-mesh`` — exact BFS metrics of the best-factorization mesh,
+  whose fluctuation between the ideal-mesh and ring curves is the
+  point of the figures,
+* ``irregular-mesh`` — exact BFS metrics of the partially filled
+  near-square grid (the paper's "irregular mesh" motivation),
+* ``spidergon`` — closed form (diameter) / exact corrected closed form
+  (average distance), even N only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis import formulas
+from repro.topology import MeshTopology, average_distance, diameter
+
+
+@dataclass(slots=True)
+class FigureSeries:
+    """One labelled curve of a figure: points are (N, value) pairs."""
+
+    label: str
+    points: list[tuple[int, float]] = field(default_factory=list)
+
+    def add(self, n: int, value: float) -> None:
+        self.points.append((n, value))
+
+    def value_at(self, n: int) -> float:
+        """Value of the series at node count *n*.
+
+        Raises:
+            KeyError: if the series has no point at *n*.
+        """
+        for point_n, value in self.points:
+            if point_n == n:
+                return value
+        raise KeyError(f"series {self.label!r} has no point at N={n}")
+
+
+def _node_counts(min_nodes: int, max_nodes: int) -> list[int]:
+    if min_nodes < 4 or max_nodes < min_nodes:
+        raise ValueError(
+            f"invalid node range [{min_nodes}, {max_nodes}]"
+        )
+    return [n for n in range(min_nodes, max_nodes + 1) if n % 2 == 0]
+
+
+def ideal_mesh_diameter(num_nodes: int) -> float:
+    """Continuous ideal-mesh diameter ``2(sqrt(N) - 1)``."""
+    return 2 * (math.sqrt(num_nodes) - 1)
+
+
+def ideal_mesh_average_distance(num_nodes: int) -> float:
+    """Continuous ideal-mesh average distance ``2 sqrt(N) / 3``."""
+    return 2 * math.sqrt(num_nodes) / 3
+
+
+def figure2_diameter_series(
+    min_nodes: int = 4, max_nodes: int = 64
+) -> list[FigureSeries]:
+    """Figure 2: network diameter ND vs node count N.
+
+    Even N only (Spidergon requires it, and the paper's SoC node
+    counts are even).
+    """
+    ring = FigureSeries("ring")
+    ideal = FigureSeries("ideal-mesh")
+    real = FigureSeries("real-mesh")
+    irregular = FigureSeries("irregular-mesh")
+    spidergon = FigureSeries("spidergon")
+    for n in _node_counts(min_nodes, max_nodes):
+        ring.add(n, formulas.ring_diameter(n))
+        ideal.add(n, ideal_mesh_diameter(n))
+        real.add(n, diameter(MeshTopology.factorized(n)))
+        irregular.add(n, diameter(MeshTopology.irregular(n)))
+        spidergon.add(n, formulas.spidergon_diameter(n))
+    return [ring, ideal, real, irregular, spidergon]
+
+
+def figure3_average_distance_series(
+    min_nodes: int = 4, max_nodes: int = 64
+) -> list[FigureSeries]:
+    """Figure 3: average network distance E[D] vs node count N."""
+    ring = FigureSeries("ring")
+    ideal = FigureSeries("ideal-mesh")
+    real = FigureSeries("real-mesh")
+    irregular = FigureSeries("irregular-mesh")
+    spidergon = FigureSeries("spidergon")
+    for n in _node_counts(min_nodes, max_nodes):
+        ring.add(n, formulas.ring_average_distance(n))
+        ideal.add(n, ideal_mesh_average_distance(n))
+        real.add(n, average_distance(MeshTopology.factorized(n)))
+        irregular.add(n, average_distance(MeshTopology.irregular(n)))
+        spidergon.add(n, formulas.spidergon_average_distance(n))
+    return [ring, ideal, real, irregular, spidergon]

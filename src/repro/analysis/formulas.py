@@ -1,0 +1,150 @@
+"""Closed-form topology characteristics (paper Section 2).
+
+The paper states, for N nodes:
+
+* Ring: ``ND = floor(N/2)``, ``E[D] = N/4``, links ``2N``.
+* ``m x n`` Mesh: ``ND = m + n - 2``, ``E[D] = (m+n)/3`` (approximate),
+  links ``2(m-1)n + 2(n-1)m``.
+* Spidergon: ``ND = ceil(N/4)``, links ``3N``, and
+  ``E[D] = (2x^2+4x+1)/N`` "if N=4x", ``E[D] = (2x^2+2x-1)/N``
+  "if N=4x+2".
+
+**Known typo in the paper:** the two Spidergon E[D] cases are swapped.
+Exhaustive BFS over Spidergon graphs (see
+``tests/analysis/test_formulas.py``) shows the exact per-node distance
+sum is ``2x^2 + 2x - 1`` when ``N = 4x`` and ``2x^2 + 4x + 1`` when
+``N = 4x + 2``.  :func:`spidergon_average_distance` implements the
+corrected assignment (which is exact); the verbatim paper version is
+kept as :func:`spidergon_average_distance_paper` for reference.
+
+All E[D] values follow the paper's convention of dividing the distance
+sum from a tagged node by N (self-distance included in the
+denominator).
+"""
+
+from __future__ import annotations
+
+
+def _require_positive(num_nodes: int) -> None:
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+
+
+# -- Ring ---------------------------------------------------------------
+
+
+def ring_diameter(num_nodes: int) -> int:
+    """Network diameter of an N-node ring: ``floor(N/2)``."""
+    _require_positive(num_nodes)
+    return num_nodes // 2
+
+
+def ring_average_distance(num_nodes: int) -> float:
+    """Average distance of an N-node ring.
+
+    The paper quotes ``N/4``, exact for even N under the
+    sum-divided-by-N convention; for odd N the exact value is
+    ``(N^2 - 1) / (4N)``.
+    """
+    _require_positive(num_nodes)
+    if num_nodes % 2 == 0:
+        return num_nodes / 4
+    return (num_nodes * num_nodes - 1) / (4 * num_nodes)
+
+
+def ring_num_links(num_nodes: int) -> int:
+    """Unidirectional link count of an N-node ring: ``2N``."""
+    _require_positive(num_nodes)
+    return 2 * num_nodes
+
+
+# -- Mesh ---------------------------------------------------------------
+
+
+def _require_mesh_dims(rows: int, cols: int) -> None:
+    if rows < 1 or cols < 1:
+        raise ValueError(
+            f"mesh dimensions must be >= 1, got {rows}x{cols}"
+        )
+
+
+def mesh_diameter(rows: int, cols: int) -> int:
+    """Diameter of an ``m x n`` mesh: ``m + n - 2`` (exact)."""
+    _require_mesh_dims(rows, cols)
+    return rows + cols - 2
+
+
+def mesh_average_distance_paper(rows: int, cols: int) -> float:
+    """The paper's approximate mesh E[D]: ``(m + n) / 3``."""
+    _require_mesh_dims(rows, cols)
+    return (rows + cols) / 3
+
+
+def mesh_average_distance(rows: int, cols: int) -> float:
+    """Exact all-pairs mean distance of an ``m x n`` mesh.
+
+    Per dimension of size k the mean ordered-pair offset (self pairs
+    included) is ``(k^2 - 1) / (3k)``; Manhattan distance adds the two
+    dimensions.  Converges to the paper's ``(m+n)/3`` for large
+    meshes.
+    """
+    _require_mesh_dims(rows, cols)
+    return (rows * rows - 1) / (3 * rows) + (cols * cols - 1) / (3 * cols)
+
+
+def mesh_num_links(rows: int, cols: int) -> int:
+    """Unidirectional links of an ``m x n`` mesh: ``2(m-1)n + 2(n-1)m``."""
+    _require_mesh_dims(rows, cols)
+    return 2 * (rows - 1) * cols + 2 * (cols - 1) * rows
+
+
+# -- Spidergon ------------------------------------------------------------
+
+
+def _require_spidergon(num_nodes: int) -> None:
+    if num_nodes < 4 or num_nodes % 2 != 0:
+        raise ValueError(
+            f"Spidergon needs an even N >= 4, got {num_nodes}"
+        )
+
+
+def spidergon_diameter(num_nodes: int) -> int:
+    """Diameter of an N-node Spidergon: ``ceil(N/4)`` (exact)."""
+    _require_spidergon(num_nodes)
+    return -(-num_nodes // 4)
+
+
+def spidergon_distance_sum(num_nodes: int) -> int:
+    """Exact sum of distances from a tagged Spidergon node.
+
+    ``2x^2 + 2x - 1`` for ``N = 4x`` and ``2x^2 + 4x + 1`` for
+    ``N = 4x + 2`` (the corrected assignment; see module docstring).
+    """
+    _require_spidergon(num_nodes)
+    if num_nodes % 4 == 0:
+        x = num_nodes // 4
+        return 2 * x * x + 2 * x - 1
+    x = (num_nodes - 2) // 4
+    return 2 * x * x + 4 * x + 1
+
+
+def spidergon_average_distance(num_nodes: int) -> float:
+    """Exact Spidergon E[D] under the paper's divide-by-N convention."""
+    return spidergon_distance_sum(num_nodes) / num_nodes
+
+
+def spidergon_average_distance_paper(num_nodes: int) -> float:
+    """The paper's E[D] expression, verbatim (cases swapped; kept for
+    documentation of the discrepancy)."""
+    _require_spidergon(num_nodes)
+    if num_nodes % 4 == 0:
+        x = num_nodes // 4
+        return (2 * x * x + 4 * x + 1) / num_nodes
+    x = (num_nodes - 2) // 4
+    return (2 * x * x + 2 * x - 1) / num_nodes
+
+
+def spidergon_num_links(num_nodes: int) -> int:
+    """Unidirectional link count of an N-node Spidergon: ``3N``."""
+    _require_spidergon(num_nodes)
+    return 3 * num_nodes

@@ -1,0 +1,88 @@
+"""Queueing-theoretic latency prediction for the hot-spot scenario.
+
+Below saturation, the single hot-spot destination behaves like one
+server fed by the superposition of the sources' Poisson processes:
+
+* arrivals: aggregate rate ``lambda_agg = num_sources * rate /
+  packet_size`` packets/cycle (each source generates packets, not
+  flits, as a Poisson process);
+* service: the ejection link drains exactly one flit per cycle, so a
+  packet occupies the server for ``packet_size`` cycles —
+  deterministic service, i.e. an **M/D/1** queue.
+
+Pollaczek–Khinchine then gives the mean waiting time, and the
+predicted packet latency is the zero-load network latency plus the
+M/D/1 wait.  Wormhole backpressure spreads the physical queue across
+upstream buffers and IP memories, but the total delay a packet
+accumulates approximates the single-queue value until the knee —
+validated against simulation in
+``tests/analysis/test_queueing.py``.
+"""
+
+from __future__ import annotations
+
+
+def utilization(
+    num_sources: int, rate_flits: float, num_targets: int = 1
+) -> float:
+    """Server utilization rho of the hot-spot ejection link(s)."""
+    if num_sources < 1:
+        raise ValueError(f"need >= 1 source, got {num_sources}")
+    if rate_flits < 0:
+        raise ValueError(f"negative rate {rate_flits}")
+    if num_targets < 1:
+        raise ValueError(f"need >= 1 target, got {num_targets}")
+    return num_sources * rate_flits / num_targets
+
+
+def md1_waiting_time(service_cycles: float, rho: float) -> float:
+    """Mean M/D/1 queueing delay (cycles) by Pollaczek–Khinchine.
+
+    ``W = rho * S / (2 (1 - rho))`` for deterministic service S.
+
+    Raises:
+        ValueError: at or beyond saturation (rho >= 1), where the
+            mean wait is unbounded.
+    """
+    if service_cycles <= 0:
+        raise ValueError(f"service time must be > 0, got {service_cycles}")
+    if not 0 <= rho < 1:
+        raise ValueError(f"rho must be in [0, 1), got {rho}")
+    return rho * service_cycles / (2 * (1 - rho))
+
+
+def mm1_waiting_time(service_cycles: float, rho: float) -> float:
+    """Mean M/M/1 queueing delay, for sensitivity comparison.
+
+    ``W = rho * S / (1 - rho)`` — exactly twice the M/D/1 value;
+    bracketing simulated latency between the two checks the
+    deterministic-service assumption.
+    """
+    if service_cycles <= 0:
+        raise ValueError(f"service time must be > 0, got {service_cycles}")
+    if not 0 <= rho < 1:
+        raise ValueError(f"rho must be in [0, 1), got {rho}")
+    return rho * service_cycles / (1 - rho)
+
+
+def predicted_hotspot_latency(
+    mean_hops: float,
+    packet_size: int,
+    num_sources: int,
+    rate_flits: float,
+    num_targets: int = 1,
+) -> float:
+    """Mean packet latency under single/multi hot-spot traffic.
+
+    Zero-load latency (``2 h + S + 2``, docs/timing_model.md) plus
+    the M/D/1 wait at the destination ejection link.
+
+    Raises:
+        ValueError: at or beyond the saturation rate
+            ``num_targets / num_sources``.
+    """
+    if packet_size < 1:
+        raise ValueError(f"packet_size must be >= 1, got {packet_size}")
+    rho = utilization(num_sources, rate_flits, num_targets)
+    zero_load = 2 * mean_hops + packet_size + 2
+    return zero_load + md1_waiting_time(packet_size, rho)

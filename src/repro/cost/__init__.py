@@ -1,0 +1,36 @@
+"""First-order silicon cost models: area, wire length, energy.
+
+The paper's conclusion rests on a trade-off — the Spidergon matches
+more complex topologies "under most common assumptions" while keeping
+"simple management, small energy and area requirements".  This
+package quantifies the cost side of that trade-off with standard
+first-order models:
+
+* **router area** from buffering, crossbar and control complexity
+  (:mod:`repro.cost.area`),
+* **wire length** from an idealised floorplan per topology — mesh
+  links are unit-length grid hops, ring links unit perimeter hops,
+  Spidergon across links cross the die (:mod:`repro.cost.wires`),
+* **dynamic energy** from per-link flit traversals weighted by wire
+  length plus per-hop buffer/crossbar activity
+  (:mod:`repro.cost.energy`).
+
+Constants are expressed in normalised units (1.0 = cost of one
+flit-width unit-length wire traversal / one flit-buffer / one
+crossbar port); absolute calibration is process-dependent, relative
+comparisons across topologies are the point.
+"""
+
+from repro.cost.area import RouterArea, network_area, router_area
+from repro.cost.energy import EnergyModel, EnergyReport
+from repro.cost.wires import link_length, total_wire_length
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "RouterArea",
+    "link_length",
+    "network_area",
+    "router_area",
+    "total_wire_length",
+]

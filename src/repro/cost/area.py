@@ -1,0 +1,89 @@
+"""Router and network area estimation.
+
+A first-order gate-count proxy in normalised units, following the
+usual decomposition of an input-buffered wormhole router:
+
+* **buffers** — dominant: one unit per flit of storage (input lanes
+  plus output queues),
+* **crossbar** — quadratic in port count: ``in_ports * out_ports``
+  times a width factor,
+* **control** — routing + VC allocation + arbitration: linear in
+  ports and VCs.
+
+The paper's qualitative points fall out directly: constant degree 3
+makes every Spidergon router identical and cheap ("translating in
+simple router HW and efficiency"), mesh routers vary between degree 2
+and 4, and high-degree routers pay quadratically in the crossbar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.config import NocConfig
+from repro.topology.base import Topology
+
+#: Area of one flit of buffer storage (normalisation unit).
+BUFFER_UNIT = 1.0
+#: Area per crossbar crosspoint (in_port x out_port pair).
+CROSSBAR_UNIT = 0.5
+#: Control logic per port (routing, arbitration).
+CONTROL_PORT_UNIT = 0.25
+#: Control logic per virtual channel per port (VC state, allocation).
+CONTROL_VC_UNIT = 0.15
+
+
+@dataclass(frozen=True, slots=True)
+class RouterArea:
+    """Area breakdown of one router, in normalised units."""
+
+    node: int
+    buffers: float
+    crossbar: float
+    control: float
+
+    @property
+    def total(self) -> float:
+        return self.buffers + self.crossbar + self.control
+
+
+def router_area(
+    topology: Topology,
+    node: int,
+    config: NocConfig | None = None,
+    num_vcs: int = 1,
+) -> RouterArea:
+    """Estimate the area of the router at *node*.
+
+    Port counts include the local (NI) port, matching the built
+    router: a degree-d node has d+1 input and d+1 output ports.
+    """
+    if num_vcs < 1:
+        raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
+    config = config if config is not None else NocConfig()
+    ports = topology.degree(node) + 1  # + local port
+    input_flits = ports * num_vcs * config.input_buffer_flits
+    output_flits = ports * num_vcs * config.output_buffer_flits
+    buffers = BUFFER_UNIT * (input_flits + output_flits)
+    crossbar = CROSSBAR_UNIT * ports * ports
+    control = (
+        CONTROL_PORT_UNIT * 2 * ports
+        + CONTROL_VC_UNIT * 2 * ports * num_vcs
+    )
+    return RouterArea(node, buffers, crossbar, control)
+
+
+def network_area(
+    topology: Topology,
+    config: NocConfig | None = None,
+    num_vcs: int = 1,
+) -> float:
+    """Total router area of the NoC (normalised units).
+
+    Wire area is reported separately by
+    :func:`repro.cost.wires.total_wire_length`.
+    """
+    return sum(
+        router_area(topology, node, config, num_vcs).total
+        for node in range(topology.num_nodes)
+    )

@@ -1,0 +1,59 @@
+"""Wire-length model under idealised floorplans.
+
+Lengths are in units of one grid/perimeter hop.  Assumptions, per
+topology family:
+
+* **Mesh / irregular mesh / torus** — nodes on a unit grid at their
+  ``(row, col)`` cells; a link's length is the Manhattan distance
+  between its endpoints.  Torus wrap links are folded: with the
+  standard interleaved (folded-torus) layout every link, including
+  wraps, spans two grid units.
+* **Ring** — nodes on a ring laid out as a rectangle's perimeter;
+  adjacent links have unit length.
+* **Spidergon** — same perimeter layout for the external ring links;
+  an **across** link crosses the die.  On a circle of circumference N
+  the diameter is ``N / pi``; we use that as the across length, which
+  is the standard first-order penalty for the Spidergon's long
+  chords (real layouts fold the ring to shorten them; the relative
+  conclusion — across links cost several unit hops — is robust).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topology.base import Link, Topology
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring import RingTopology
+from repro.topology.spidergon import ACROSS, SpidergonTopology
+from repro.topology.torus import TorusTopology
+
+#: Length of every link in a folded-torus layout.
+FOLDED_TORUS_LINK_LENGTH = 2.0
+
+
+def link_length(topology: Topology, link: Link) -> float:
+    """Physical length of *link* under the topology's floorplan."""
+    if isinstance(topology, SpidergonTopology):
+        if link.port == ACROSS:
+            return topology.num_nodes / math.pi
+        return 1.0
+    if isinstance(topology, RingTopology):
+        return 1.0
+    if isinstance(topology, TorusTopology):
+        return FOLDED_TORUS_LINK_LENGTH
+    if isinstance(topology, MeshTopology):
+        src_row, src_col = topology.coordinates(link.src)
+        dst_row, dst_col = topology.coordinates(link.dst)
+        return float(
+            abs(src_row - dst_row) + abs(src_col - dst_col)
+        )
+    # Unknown topology: fall back to unit links.
+    return 1.0
+
+
+def total_wire_length(topology: Topology) -> float:
+    """Sum of all unidirectional link lengths (wire-area proxy)."""
+    return sum(
+        link_length(topology, link) for link in topology.links()
+    )

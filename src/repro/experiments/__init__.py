@@ -1,0 +1,24 @@
+"""Experiment harness: sweeps, per-figure definitions, reporting.
+
+Each paper figure has a generator function in
+:mod:`repro.experiments.figures` that returns a
+:class:`~repro.experiments.report.FigureData`; the ``main`` entry
+point (``python -m repro.experiments.figures <fig>``) prints it as an
+aligned table and optionally writes CSV.
+"""
+
+from repro.experiments.runner import (
+    SimulationSettings,
+    run_simulation,
+    sweep_injection_rates,
+)
+from repro.experiments.report import FigureData, format_table, to_csv
+
+__all__ = [
+    "FigureData",
+    "SimulationSettings",
+    "format_table",
+    "run_simulation",
+    "sweep_injection_rates",
+    "to_csv",
+]

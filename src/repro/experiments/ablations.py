@@ -1,0 +1,276 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each function returns a :class:`~repro.experiments.report.FigureData`
+like the paper-figure generators, and has a matching benchmark in
+``benchmarks/``.
+
+* :func:`ablation_output_buffer_depth` — the paper reports that
+  "small buffer tuning ha[s] some marginal impact on the peak
+  performances"; this sweep quantifies it.
+* :func:`ablation_virtual_channels` — removing the second output
+  queue from the ring-based topologies removes the dateline escape
+  class; under uniform load the ring then deadlocks (throughput
+  collapse), demonstrating why the paper provisions a pair.
+* :func:`ablation_spidergon_routing` — across-first vs table-driven
+  shortest-path routing on the Spidergon (across-first is itself
+  minimal, so the delta isolates the VC discipline and tie-breaking).
+* :func:`ablation_packet_size` — sensitivity to the 6-flit packet
+  assumption.
+* :func:`ablation_mesh_policy` — factorized vs irregular "real mesh"
+  construction, analytically.
+
+Run from the command line::
+
+    python -m repro.experiments.ablations buffers --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.experiments.report import FigureData, format_table
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.noc.config import NocConfig
+from repro.routing import TableRouting
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    average_distance,
+    diameter,
+)
+from repro.traffic import UniformTraffic
+
+
+def _with_config(
+    settings: SimulationSettings, **overrides
+) -> SimulationSettings:
+    config = dataclasses.replace(settings.config, **overrides)
+    return dataclasses.replace(settings, config=config)
+
+
+def ablation_output_buffer_depth(
+    settings: SimulationSettings | None = None,
+    depths=(1, 2, 3, 4, 6, 8),
+    num_nodes: int = 16,
+    injection_rate: float = 0.45,
+) -> FigureData:
+    """Saturation throughput vs output-queue depth (paper: 3 flits)."""
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "ablation-buffers",
+        f"Uniform-traffic throughput vs output buffer depth "
+        f"(N={num_nodes}, lambda={injection_rate})",
+        "depth",
+        list(depths),
+    )
+    topologies = [
+        RingTopology(num_nodes),
+        SpidergonTopology(num_nodes),
+        MeshTopology.factorized(num_nodes),
+    ]
+    for topology in topologies:
+        values = []
+        for depth in depths:
+            run_settings = _with_config(
+                settings, output_buffer_flits=depth
+            )
+            result = run_simulation(
+                topology,
+                UniformTraffic(topology),
+                injection_rate,
+                run_settings,
+            )
+            values.append(result.throughput)
+        figure.add_series(topology.name, values)
+    figure.notes.append("paper default depth is 3 flits")
+    return figure
+
+
+def ablation_virtual_channels(
+    settings: SimulationSettings | None = None,
+    num_nodes: int = 16,
+    rates=(0.1, 0.2, 0.4),
+) -> FigureData:
+    """One vs two output queues on Ring and Spidergon.
+
+    With a single VC the dateline discipline cannot operate (every
+    packet is forced onto queue 0) and the ring's channel dependency
+    cycle is complete: sustained uniform load deadlocks, visible as a
+    throughput collapse relative to the 2-VC configuration.
+    """
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "ablation-vcs",
+        f"Throughput with 1 vs 2 virtual channels (N={num_nodes}, "
+        "uniform traffic)",
+        "lambda",
+        list(rates),
+    )
+    for topology_cls in (RingTopology, SpidergonTopology):
+        for num_vcs in (2, 1):
+            topology = topology_cls(num_nodes)
+            values = []
+            for rate in rates:
+                run_settings = _with_config(settings, num_vcs=num_vcs)
+                result = run_simulation(
+                    topology,
+                    UniformTraffic(topology),
+                    rate,
+                    run_settings,
+                )
+                values.append(result.throughput)
+            figure.add_series(f"{topology.name}-{num_vcs}vc", values)
+    figure.notes.append(
+        "1-VC rings can deadlock under wormhole: collapsed throughput "
+        "is the expected signature, not a bug"
+    )
+    return figure
+
+
+def ablation_spidergon_routing(
+    settings: SimulationSettings | None = None,
+    num_nodes: int = 16,
+    rates=(0.1, 0.25, 0.4, 0.6),
+) -> FigureData:
+    """Across-first vs table-driven shortest paths on the Spidergon."""
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "ablation-spidergon-routing",
+        f"Spidergon{num_nodes} throughput: across-first vs "
+        "table-driven shortest path (uniform traffic)",
+        "lambda",
+        list(rates),
+    )
+    topology = SpidergonTopology(num_nodes)
+    for label, routing_factory in (
+        ("across-first", lambda: None),
+        ("table", lambda: TableRouting(topology)),
+    ):
+        values = []
+        for rate in rates:
+            result = run_simulation(
+                topology,
+                UniformTraffic(topology),
+                rate,
+                settings,
+                routing=routing_factory(),
+            )
+            values.append(result.throughput)
+        figure.add_series(label, values)
+    figure.notes.append(
+        "table routing runs with a single VC and no dateline: "
+        "high-load collapse reflects lost deadlock protection"
+    )
+    return figure
+
+
+def ablation_packet_size(
+    settings: SimulationSettings | None = None,
+    sizes=(2, 4, 6, 10, 16),
+    num_nodes: int = 16,
+    injection_rate: float = 0.3,
+) -> FigureData:
+    """Throughput and latency vs packet length (paper: 6 flits).
+
+    The injection rate is held in flits/cycle, so offered load is
+    constant across sizes; longer packets stress wormhole path
+    holding.
+    """
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "ablation-packet-size",
+        f"Spidergon{num_nodes} uniform traffic vs packet size "
+        f"(lambda={injection_rate} flits/cycle)",
+        "flits/packet",
+        list(sizes),
+    )
+    topology = SpidergonTopology(num_nodes)
+    throughputs: list[float | None] = []
+    latencies: list[float | None] = []
+    for size in sizes:
+        run_settings = _with_config(settings, packet_size_flits=size)
+        result = run_simulation(
+            topology,
+            UniformTraffic(topology),
+            injection_rate,
+            run_settings,
+        )
+        throughputs.append(result.throughput)
+        latencies.append(result.avg_latency)
+    figure.add_series("throughput", throughputs)
+    figure.add_series("latency", latencies)
+    return figure
+
+
+def ablation_mesh_policy(
+    min_nodes: int = 4, max_nodes: int = 64
+) -> FigureData:
+    """Factorized vs irregular real-mesh construction, analytically."""
+    node_counts = [
+        n for n in range(min_nodes, max_nodes + 1) if n % 2 == 0
+    ]
+    figure = FigureData(
+        "ablation-mesh-policy",
+        "Real-mesh construction policies: diameter and E[D]",
+        "N",
+        list(node_counts),
+    )
+    fact_nd: list[float | None] = []
+    irr_nd: list[float | None] = []
+    fact_ed: list[float | None] = []
+    irr_ed: list[float | None] = []
+    for n in node_counts:
+        factorized = MeshTopology.factorized(n)
+        irregular = MeshTopology.irregular(n)
+        fact_nd.append(diameter(factorized))
+        irr_nd.append(diameter(irregular))
+        fact_ed.append(average_distance(factorized))
+        irr_ed.append(average_distance(irregular))
+    figure.add_series("factorized-ND", fact_nd)
+    figure.add_series("irregular-ND", irr_nd)
+    figure.add_series("factorized-E[D]", fact_ed)
+    figure.add_series("irregular-E[D]", irr_ed)
+    return figure
+
+
+ALL_ABLATIONS = {
+    "buffers": ablation_output_buffer_depth,
+    "vcs": ablation_virtual_channels,
+    "spidergon-routing": ablation_spidergon_routing,
+    "packet-size": ablation_packet_size,
+    "mesh-policy": ablation_mesh_policy,
+}
+
+_ANALYTICAL = {"mesh-policy"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point mirroring ``repro.experiments.figures``."""
+    parser = argparse.ArgumentParser(description="Run ablation studies.")
+    parser.add_argument(
+        "ablation", choices=sorted(ALL_ABLATIONS) + ["all"]
+    )
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    names = (
+        sorted(ALL_ABLATIONS) if args.ablation == "all" else [args.ablation]
+    )
+    settings = SimulationSettings()
+    if args.quick:
+        settings = settings.scaled(0.1)
+    for name in names:
+        generator = ALL_ABLATIONS[name]
+        if name in _ANALYTICAL:
+            figure = generator()
+        else:
+            figure = generator(settings=settings)
+        sys.stdout.write(format_table(figure))
+        sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""ASCII line charts for figure data.
+
+matplotlib is not available in the offline environment, so the
+harness renders each figure's series as a monospace scatter/line
+chart — enough to eyeball the crossovers and saturation knees the
+paper's conclusions rest on.  Each series gets a marker character;
+colliding points show the marker of the later series.
+
+Example output (figure 10, throughput vs lambda)::
+
+    8.06 |                                                      m
+         |                                         m
+         |
+    4.03 |                           s  m  s       s            s
+         |              m  s
+    0.00 | r  ...
+         +---------------------------------------------------------
+           0.05        0.1         0.2         0.3   ...
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.report import FigureData
+
+#: Marker characters assigned to series in declaration order.
+MARKERS = "oxs*+#@%&123456789"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def render_chart(
+    figure: FigureData, width: int = 68, height: int = 18
+) -> str:
+    """Render *figure* as an ASCII chart with a legend.
+
+    Args:
+        figure: The data to draw.
+        width: Plot-area columns (>= 16).
+        height: Plot-area rows (>= 6).
+
+    Raises:
+        ValueError: if the figure has no series or no finite points,
+            or the geometry is too small to draw.
+    """
+    if width < 16 or height < 6:
+        raise ValueError(
+            f"chart needs width >= 16 and height >= 6, got "
+            f"{width}x{height}"
+        )
+    if not figure.series:
+        raise ValueError(f"figure {figure.figure_id} has no series")
+    xs = [float(x) for x in figure.x_values]
+    ys = [
+        float(v)
+        for values in figure.series.values()
+        for v in values
+        if v is not None
+    ]
+    if not xs or not ys:
+        raise ValueError(
+            f"figure {figure.figure_id} has no drawable points"
+        )
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(figure.series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, value in zip(xs, values):
+            if value is None:
+                continue
+            col = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(
+                float(value), y_low, y_high, height
+            )
+            grid[row][col] = marker
+    out = io.StringIO()
+    out.write(f"{figure.figure_id}: {figure.title}\n")
+    label_width = 10
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            axis_label = f"{y_high:.3g}"
+        elif row_index == height - 1:
+            axis_label = f"{y_low:.3g}"
+        elif row_index == (height - 1) // 2:
+            axis_label = f"{(y_low + y_high) / 2:.3g}"
+        else:
+            axis_label = ""
+        out.write(
+            f"{axis_label:>{label_width}} |" + "".join(row) + "\n"
+        )
+    out.write(" " * label_width + " +" + "-" * width + "\n")
+    x_axis = (
+        f"{x_low:.3g}".ljust(width - 8) + f"{x_high:.3g}".rjust(8)
+    )
+    out.write(" " * (label_width + 2) + x_axis + "\n")
+    out.write(" " * (label_width + 2) + f"{figure.x_label}\n")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} = {label}"
+        for i, label in enumerate(figure.series)
+    )
+    out.write(f"legend: {legend}\n")
+    return out.getvalue()

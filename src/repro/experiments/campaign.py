@@ -1,0 +1,213 @@
+"""Campaign runner: declarative sweeps with incremental persistence.
+
+A *campaign* is the cross product of topologies, traffic patterns and
+injection rates, described as plain data (JSON-compatible dict), run
+one simulation at a time with results appended to a CSV file as they
+complete.  Re-running a partially finished campaign skips every run
+already present in the CSV — long sweeps survive interruption.
+
+Spec format::
+
+    {
+      "name": "my-sweep",
+      "cycles": 20000,
+      "warmup": 4000,
+      "seed": 1,
+      "source_queue_packets": 64,
+      "topologies": ["ring16", "spidergon16", "mesh4x4",
+                     "mesh-irregular13", "torus4x4"],
+      "patterns": ["uniform", "hotspot:0", "hotspot:0,8",
+                   "tornado", "bit-complement", "nearest-neighbor"],
+      "rates": [0.05, 0.1, 0.2, 0.4]
+    }
+
+Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
+``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.noc.config import NocConfig
+from repro.stats.summary import RunResult
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    Topology,
+    TorusTopology,
+)
+from repro.traffic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    TornadoTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+CSV_COLUMNS = [
+    "topology",
+    "pattern",
+    "rate",
+    "seed",
+    "throughput",
+    "avg_latency",
+    "p95_latency",
+    "avg_hops",
+    "packets_delivered",
+    "packets_generated",
+    "packets_rejected",
+]
+
+
+def parse_topology(spec: str) -> Topology:
+    """Build a topology from its campaign string."""
+    if match := re.fullmatch(r"ring(\d+)", spec):
+        return RingTopology(int(match.group(1)))
+    if match := re.fullmatch(r"spidergon(\d+)", spec):
+        return SpidergonTopology(int(match.group(1)))
+    if match := re.fullmatch(r"mesh(\d+)x(\d+)", spec):
+        return MeshTopology(int(match.group(1)), int(match.group(2)))
+    if match := re.fullmatch(r"mesh-irregular(\d+)", spec):
+        return MeshTopology.irregular(int(match.group(1)))
+    if match := re.fullmatch(r"mesh(\d+)", spec):
+        return MeshTopology.factorized(int(match.group(1)))
+    if match := re.fullmatch(r"torus(\d+)x(\d+)", spec):
+        return TorusTopology(int(match.group(1)), int(match.group(2)))
+    if match := re.fullmatch(r"hypercube(\d+)", spec):
+        from repro.topology import HypercubeTopology
+
+        return HypercubeTopology.with_nodes(int(match.group(1)))
+    raise ValueError(f"unknown topology spec {spec!r}")
+
+
+def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:
+    """Build a traffic pattern from its campaign string."""
+    if spec == "uniform":
+        return UniformTraffic(topology)
+    if spec.startswith("hotspot:"):
+        targets = [int(t) for t in spec.split(":", 1)[1].split(",")]
+        return HotspotTraffic(topology, targets)
+    if spec == "tornado":
+        return TornadoTraffic(topology)
+    if spec == "bit-complement":
+        return BitComplementTraffic(topology)
+    if spec == "nearest-neighbor":
+        return NearestNeighborTraffic(topology)
+    if spec == "transpose":
+        if not isinstance(topology, MeshTopology):
+            raise ValueError("transpose needs a mesh topology")
+        return TransposeTraffic(topology)
+    raise ValueError(f"unknown pattern spec {spec!r}")
+
+
+class Campaign:
+    """A declarative sweep with resumable CSV persistence."""
+
+    def __init__(self, spec: dict) -> None:
+        for key in ("name", "topologies", "patterns", "rates"):
+            if key not in spec:
+                raise ValueError(f"campaign spec missing {key!r}")
+        self.spec = spec
+        self.name = spec["name"]
+        self.settings = SimulationSettings(
+            cycles=int(spec.get("cycles", 20_000)),
+            warmup=int(spec.get("warmup", 4_000)),
+            config=NocConfig(
+                source_queue_packets=spec.get(
+                    "source_queue_packets", 64
+                )
+            ),
+            seed=int(spec.get("seed", 1)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        return cls(json.loads(text))
+
+    def runs(self) -> list[tuple[str, str, float]]:
+        """Every (topology, pattern, rate) cell of the sweep."""
+        return [
+            (topo, pattern, float(rate))
+            for topo in self.spec["topologies"]
+            for pattern in self.spec["patterns"]
+            for rate in self.spec["rates"]
+        ]
+
+    @staticmethod
+    def _key(topology: str, pattern: str, rate: float) -> str:
+        return f"{topology}|{pattern}|{rate:.6g}"
+
+    def completed_keys(self, csv_path: pathlib.Path) -> set[str]:
+        """Keys already present in *csv_path* (resume support)."""
+        if not csv_path.exists():
+            return set()
+        done = set()
+        for line in csv_path.read_text().splitlines()[1:]:
+            cells = line.split(",")
+            if len(cells) >= 3:
+                done.add(
+                    self._key(cells[0], cells[1], float(cells[2]))
+                )
+        return done
+
+    def execute(
+        self,
+        csv_path: str | pathlib.Path,
+        progress=None,
+    ) -> list[RunResult]:
+        """Run every outstanding cell, appending rows to *csv_path*.
+
+        Args:
+            csv_path: Output CSV (created with a header if absent).
+            progress: Optional callable invoked as
+                ``progress(done, total, key)`` after each run.
+
+        Returns:
+            The :class:`RunResult` objects produced by *this* call
+            (resumed cells are not re-run and not returned).
+        """
+        path = pathlib.Path(csv_path)
+        if not path.exists():
+            path.write_text(",".join(CSV_COLUMNS) + "\n")
+        done = self.completed_keys(path)
+        cells = self.runs()
+        results = []
+        for index, (topo_spec, pattern_spec, rate) in enumerate(cells):
+            key = self._key(topo_spec, pattern_spec, rate)
+            if key in done:
+                continue
+            topology = parse_topology(topo_spec)
+            pattern = parse_pattern(pattern_spec, topology)
+            result = run_simulation(
+                topology, pattern, rate, self.settings
+            )
+            results.append(result)
+            row = [
+                topo_spec,
+                pattern_spec,
+                f"{rate:.6g}",
+                str(self.settings.seed),
+                f"{result.throughput:.6g}",
+                _cell(result.avg_latency),
+                _cell(result.p95_latency),
+                _cell(result.avg_hops),
+                str(result.packets_delivered),
+                str(result.packets_generated),
+                str(result.packets_rejected),
+            ]
+            with path.open("a") as handle:
+                handle.write(",".join(row) + "\n")
+            if progress is not None:
+                progress(index + 1, len(cells), key)
+        return results
+
+
+def _cell(value: float | None) -> str:
+    return "" if value is None else f"{value:.6g}"

@@ -1,0 +1,278 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper's future work lists "more NoC nodes, specific traffic
+patterns originated by common applications, and analysis of routing
+protocols and additional NoC topologies".  This module covers:
+
+* :func:`extension_torus_comparison` — the 2D torus joining the
+  Ring/Spidergon/Mesh comparison under uniform and bit-complement
+  traffic;
+* :func:`extension_traffic_patterns` — all implemented synthetic
+  patterns on the three paper topologies;
+* :func:`extension_large_networks` — the figure 10 comparison pushed
+  to larger node counts than the paper simulates;
+* :func:`replicate` — multi-seed replication with confidence
+  intervals, quantifying the stochastic variability the paper
+  mentions when validating figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import FigureData
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.stats import RunResult, confidence_interval
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    TorusTopology,
+)
+from repro.traffic import (
+    BitComplementTraffic,
+    NearestNeighborTraffic,
+    TornadoTraffic,
+    UniformTraffic,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Replication:
+    """Mean and 95% CI of a metric across independent seeds."""
+
+    metric: str
+    mean: float
+    half_width: float
+    samples: tuple[float, ...]
+
+    @property
+    def relative_error(self) -> float:
+        """CI half-width as a fraction of the mean (0 when mean=0)."""
+        if self.mean == 0:
+            return 0.0
+        return self.half_width / abs(self.mean)
+
+
+def replicate(
+    topology_factory,
+    pattern_factory,
+    injection_rate: float,
+    settings: SimulationSettings,
+    seeds=(1, 2, 3, 4, 5),
+    metric: str = "throughput",
+) -> Replication:
+    """Run one configuration under several seeds and summarise.
+
+    Args:
+        topology_factory: Zero-argument callable building a fresh
+            topology per run (topologies are cheap; networks are
+            single-use).
+        pattern_factory: Callable mapping a topology to its pattern.
+        injection_rate: Offered load per source, flits/cycle.
+        settings: Run-length parameters (the seed field is ignored).
+        seeds: Independent root seeds.
+        metric: RunResult attribute to aggregate.
+
+    Raises:
+        ValueError: with fewer than two seeds (no CI), or if the
+            metric is missing/None in any run.
+    """
+    if len(seeds) < 2:
+        raise ValueError("replication needs at least 2 seeds")
+    samples = []
+    for seed in seeds:
+        topology = topology_factory()
+        run_settings = SimulationSettings(
+            cycles=settings.cycles,
+            warmup=settings.warmup,
+            config=settings.config,
+            seed=seed,
+        )
+        result = run_simulation(
+            topology,
+            pattern_factory(topology),
+            injection_rate,
+            run_settings,
+        )
+        value = getattr(result, metric)
+        if value is None:
+            raise ValueError(
+                f"metric {metric!r} is None for seed {seed}"
+            )
+        samples.append(float(value))
+    center, half_width = confidence_interval(samples)
+    return Replication(metric, center, half_width, tuple(samples))
+
+
+def extension_torus_comparison(
+    settings: SimulationSettings | None = None,
+    rows: int = 4,
+    cols: int = 4,
+    rates=(0.1, 0.3, 0.5, 0.7),
+) -> FigureData:
+    """Torus vs Mesh vs Spidergon vs Ring, uniform traffic."""
+    settings = settings or SimulationSettings()
+    n = rows * cols
+    figure = FigureData(
+        "ext-torus",
+        f"Uniform-traffic throughput with the torus extension "
+        f"(N={n})",
+        "lambda",
+        list(rates),
+    )
+    candidates = [RingTopology(n)]
+    if n % 2 == 0:
+        candidates.append(SpidergonTopology(n))
+    candidates.append(MeshTopology(rows, cols))
+    candidates.append(TorusTopology(rows, cols))
+    for topology in candidates:
+        values = []
+        for rate in rates:
+            result = run_simulation(
+                topology, UniformTraffic(topology), rate, settings
+            )
+            values.append(result.throughput)
+        figure.add_series(topology.name, values)
+    figure.notes.append(
+        "torus = mesh + wraparound; constant degree 4, vertex "
+        "symmetric like the Spidergon"
+    )
+    return figure
+
+
+def extension_traffic_patterns(
+    settings: SimulationSettings | None = None,
+    num_nodes: int = 16,
+    injection_rate: float = 0.25,
+) -> FigureData:
+    """Throughput of each synthetic pattern on the paper topologies.
+
+    The x-axis indexes the pattern list; see the notes for labels.
+    """
+    settings = settings or SimulationSettings()
+    pattern_factories = [
+        ("uniform", UniformTraffic),
+        ("tornado", TornadoTraffic),
+        ("bit-complement", BitComplementTraffic),
+        ("nearest-neighbor", NearestNeighborTraffic),
+    ]
+    figure = FigureData(
+        "ext-patterns",
+        f"Throughput by traffic pattern (N={num_nodes}, lambda="
+        f"{injection_rate})",
+        "pattern#",
+        list(range(len(pattern_factories))),
+    )
+    for topology in (
+        RingTopology(num_nodes),
+        SpidergonTopology(num_nodes),
+        MeshTopology.factorized(num_nodes),
+    ):
+        values = []
+        for _, factory in pattern_factories:
+            result = run_simulation(
+                topology, factory(topology), injection_rate, settings
+            )
+            values.append(result.throughput)
+        figure.add_series(topology.name, values)
+    figure.notes.append(
+        "patterns: "
+        + ", ".join(
+            f"{i}={name}" for i, (name, _) in enumerate(pattern_factories)
+        )
+    )
+    return figure
+
+
+def extension_fault_tolerance(
+    settings: SimulationSettings | None = None,
+    rows: int = 4,
+    cols: int = 4,
+    fault_counts=(0, 2, 4, 8),
+    injection_rate: float = 0.1,
+    seed: int = 5,
+) -> FigureData:
+    """Graceful degradation of a torus under random link faults.
+
+    Table routing detours around dead links; below saturation the
+    network keeps delivering while mean hop count and latency grow
+    with damage — the irregular-topology robustness story extended
+    to in-field faults.
+    """
+    from repro.routing import TableRouting
+    from repro.topology import TorusTopology
+    from repro.topology.faults import FaultyTopology
+
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "ext-faults",
+        f"Torus{rows}x{cols} under random link faults "
+        f"(uniform traffic, lambda={injection_rate})",
+        "failed links",
+        list(fault_counts),
+    )
+    throughputs: list[float | None] = []
+    latencies: list[float | None] = []
+    hops: list[float | None] = []
+    for count in fault_counts:
+        base = TorusTopology(rows, cols)
+        topology = (
+            base
+            if count == 0
+            else FaultyTopology.with_random_faults(base, count, seed)
+        )
+        result = run_simulation(
+            topology,
+            UniformTraffic(topology),
+            injection_rate,
+            settings,
+            routing=TableRouting(topology),
+        )
+        throughputs.append(result.throughput)
+        latencies.append(result.avg_latency)
+        hops.append(result.avg_hops)
+    figure.add_series("throughput", throughputs)
+    figure.add_series("latency", latencies)
+    figure.add_series("hops", hops)
+    figure.notes.append(
+        "faults picked at random, retried to keep the network "
+        "connected; table routing detours around them"
+    )
+    return figure
+
+
+def extension_large_networks(
+    settings: SimulationSettings | None = None,
+    node_counts=(32, 48, 64),
+    injection_rate: float = 0.3,
+) -> FigureData:
+    """Figure 10's comparison at node counts beyond the paper's 32."""
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "ext-large",
+        f"Uniform-traffic throughput at larger N (lambda="
+        f"{injection_rate})",
+        "N",
+        list(node_counts),
+    )
+    ring_values, spider_values, mesh_values = [], [], []
+    for n in node_counts:
+        for topology, values in (
+            (RingTopology(n), ring_values),
+            (SpidergonTopology(n), spider_values),
+            (MeshTopology.factorized(n), mesh_values),
+        ):
+            result = run_simulation(
+                topology, UniformTraffic(topology), injection_rate,
+                settings,
+            )
+            values.append(result.throughput)
+    figure.add_series("ring", ring_values)
+    figure.add_series("spidergon", spider_values)
+    figure.add_series("real-mesh", mesh_values)
+    figure.notes.append(
+        "paper future work: 'extension of the analysis and "
+        "simulation with more NoC nodes'"
+    )
+    return figure

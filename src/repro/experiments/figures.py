@@ -1,0 +1,434 @@
+"""One generator per paper figure.
+
+Every public ``figure*`` function regenerates the data behind the
+corresponding figure of the paper and returns a
+:class:`~repro.experiments.report.FigureData`.  Absolute values depend
+on the simulator's timing details; the *shapes* (rankings, crossovers,
+saturation knees) are the reproduction targets — see EXPERIMENTS.md
+for the paper-vs-measured comparison.
+
+Run from the command line::
+
+    python -m repro.experiments.figures fig10           # full size
+    python -m repro.experiments.figures fig10 --quick   # ~10x faster
+    python -m repro.experiments.figures all --csv out/  # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis import figures as analytical
+from repro.experiments.report import FigureData, format_table, to_csv
+from repro.experiments.runner import (
+    SimulationSettings,
+    run_simulation,
+    sweep_injection_rates,
+)
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    Topology,
+    average_distance,
+)
+from repro.traffic import (
+    HotspotTraffic,
+    UniformTraffic,
+    double_hotspot_targets,
+)
+
+#: Injection-rate grid (flits/cycle/source) for hot-spot scenarios —
+#: with a single consuming destination the interesting range ends
+#: early (N sources saturate one 1-flit/cycle sink at rate ~1/N).
+HOTSPOT_RATES = [0.01, 0.02, 0.04, 0.06, 0.1, 0.15, 0.25, 0.4]
+
+#: Injection-rate grid for the homogeneous scenario, bracketing the
+#: paper's lambda = 0.3 flits/cycle crossover.
+UNIFORM_RATES = [0.05, 0.1, 0.2, 0.3, 0.45, 0.7]
+
+#: Network sizes used in the simulation figures (the paper simulates
+#: 2x4=8 and 4x6=24 meshes; 8..32 for the validation figure).
+SIM_NODE_COUNTS = (8, 24)
+VALIDATION_NODE_COUNTS = (8, 12, 16, 24, 32)
+UNIFORM_NODE_COUNTS = (8, 16, 24, 32)
+
+
+def _paper_topologies(num_nodes: int) -> list[Topology]:
+    """Ring, Spidergon and the factorized ("real") mesh at size N."""
+    return [
+        RingTopology(num_nodes),
+        SpidergonTopology(num_nodes),
+        MeshTopology.factorized(num_nodes),
+    ]
+
+
+def _from_series(
+    figure_id: str,
+    title: str,
+    series_list,
+    x_label: str = "N",
+) -> FigureData:
+    x_values = [n for n, _ in series_list[0].points]
+    figure = FigureData(figure_id, title, x_label, list(x_values))
+    for series in series_list:
+        by_n = dict(series.points)
+        figure.add_series(
+            series.label, [by_n.get(n) for n in x_values]
+        )
+    return figure
+
+
+# -- analytical figures -------------------------------------------------
+
+
+def figure2(min_nodes: int = 4, max_nodes: int = 64) -> FigureData:
+    """Figure 2: network diameter ND vs number of nodes."""
+    figure = _from_series(
+        "fig2",
+        "Network diameter ND vs N (Ring, ideal/real/irregular 2D "
+        "Mesh, Spidergon)",
+        analytical.figure2_diameter_series(min_nodes, max_nodes),
+    )
+    figure.notes.append(
+        "real-mesh = best balanced factorization of N; "
+        "irregular-mesh = partially filled near-square grid"
+    )
+    return figure
+
+
+def figure3(min_nodes: int = 4, max_nodes: int = 64) -> FigureData:
+    """Figure 3: average network distance E[D] vs number of nodes."""
+    figure = _from_series(
+        "fig3",
+        "Average network distance E[D] vs N (Ring, ideal/real/"
+        "irregular 2D Mesh, Spidergon)",
+        analytical.figure3_average_distance_series(min_nodes, max_nodes),
+    )
+    figure.notes.append(
+        "E[D] uses the paper's sum/N convention (self-pairs in the "
+        "denominator)"
+    )
+    return figure
+
+
+# -- simulation figures ---------------------------------------------------
+
+
+def figure5(
+    settings: SimulationSettings | None = None,
+    node_counts=VALIDATION_NODE_COUNTS,
+    injection_rate: float = 0.05,
+) -> FigureData:
+    """Figure 5: analytical vs simulation-based average distance.
+
+    Uniform traffic at low load; the simulated value is the mean hop
+    count of delivered packets.  The analytical reference here is the
+    exact mean over *distinct* node pairs, because simulated packets
+    never target their own source.
+    """
+    settings = settings or SimulationSettings()
+    figure = FigureData(
+        "fig5",
+        "Analytical vs simulated average network distance (hops)",
+        "N",
+        list(node_counts),
+    )
+    labels = ("ring", "spidergon", "mesh")
+    analytic: dict[str, list[float | None]] = {k: [] for k in labels}
+    simulated: dict[str, list[float | None]] = {k: [] for k in labels}
+    for n in node_counts:
+        for label, topology in zip(labels, _paper_topologies(n)):
+            analytic[label].append(
+                average_distance(topology, include_self=False)
+            )
+            result = run_simulation(
+                topology,
+                UniformTraffic(topology),
+                injection_rate,
+                settings,
+            )
+            simulated[label].append(result.avg_hops)
+    for label in labels:
+        figure.add_series(f"{label}-analytic", analytic[label])
+        figure.add_series(f"{label}-sim", simulated[label])
+    figure.notes.append(
+        f"uniform traffic at {injection_rate} flits/cycle/node "
+        "(low load); analytic = exact mean over distinct pairs"
+    )
+    return figure
+
+
+def _hotspot_figure(
+    figure_id: str,
+    metric: str,
+    settings: SimulationSettings,
+    node_counts,
+    rates,
+    num_hotspots: int,
+    scenarios: dict[str, str] | None = None,
+) -> FigureData:
+    """Shared machinery of figures 6-9.
+
+    *metric* is ``"throughput"`` (flits/cycle) or ``"latency"``
+    (mean cycles).  For two hot-spots, *scenarios* maps topology kind
+    ("mesh" or "ringlike") to placement labels.
+    """
+    title_metric = (
+        "throughput (flits/cycle)"
+        if metric == "throughput"
+        else "average latency (cycles)"
+    )
+    plural = "two hot-spot destinations" if num_hotspots == 2 else (
+        "one hot-spot destination"
+    )
+    figure = FigureData(
+        figure_id,
+        f"NoC {title_metric}, {plural}",
+        "lambda",
+        list(rates),
+    )
+    for n in node_counts:
+        for topology in _paper_topologies(n):
+            is_mesh = isinstance(topology, MeshTopology)
+            if num_hotspots == 1:
+                placements = {"": [0]}
+            else:
+                assert scenarios is not None
+                kind = "mesh" if is_mesh else "ringlike"
+                placements = {
+                    f"-{label}": double_hotspot_targets(topology, label)
+                    for label in scenarios[kind]
+                }
+            for suffix, targets in placements.items():
+                pattern = HotspotTraffic(topology, targets)
+                results = sweep_injection_rates(
+                    topology, pattern, list(rates), settings
+                )
+                values = [
+                    r.throughput
+                    if metric == "throughput"
+                    else r.avg_latency
+                    for r in results
+                ]
+                figure.add_series(
+                    f"{topology.name}{suffix}", values
+                )
+    figure.notes.append(
+        "lambda = injection rate per source (flits/cycle); hot-spot "
+        "targets are pure sinks"
+    )
+    return figure
+
+
+def figure6(
+    settings: SimulationSettings | None = None,
+    node_counts=SIM_NODE_COUNTS,
+    rates=HOTSPOT_RATES,
+) -> FigureData:
+    """Figure 6: throughput vs injection rate, one hot-spot target."""
+    return _hotspot_figure(
+        "fig6",
+        "throughput",
+        settings or SimulationSettings(),
+        node_counts,
+        rates,
+        num_hotspots=1,
+    )
+
+
+def figure7(
+    settings: SimulationSettings | None = None,
+    node_counts=SIM_NODE_COUNTS,
+    rates=HOTSPOT_RATES,
+) -> FigureData:
+    """Figure 7: latency vs injection rate, one hot-spot target."""
+    return _hotspot_figure(
+        "fig7",
+        "latency",
+        settings or SimulationSettings(),
+        node_counts,
+        rates,
+        num_hotspots=1,
+    )
+
+
+_DOUBLE_SCENARIOS = {"mesh": "ABC", "ringlike": "AB"}
+
+
+def figure8(
+    settings: SimulationSettings | None = None,
+    node_counts=SIM_NODE_COUNTS,
+    rates=HOTSPOT_RATES,
+) -> FigureData:
+    """Figure 8: throughput vs injection rate, two hot-spot targets.
+
+    Placements follow the paper: mesh A = opposite corners, B =
+    corner + middle, C = two middle nodes; ring/spidergon A =
+    North/South opposition, B = North/West.
+    """
+    return _hotspot_figure(
+        "fig8",
+        "throughput",
+        settings or SimulationSettings(),
+        node_counts,
+        rates,
+        num_hotspots=2,
+        scenarios=_DOUBLE_SCENARIOS,
+    )
+
+
+def figure9(
+    settings: SimulationSettings | None = None,
+    node_counts=SIM_NODE_COUNTS,
+    rates=HOTSPOT_RATES,
+) -> FigureData:
+    """Figure 9: latency vs injection rate, two hot-spot targets."""
+    return _hotspot_figure(
+        "fig9",
+        "latency",
+        settings or SimulationSettings(),
+        node_counts,
+        rates,
+        num_hotspots=2,
+        scenarios=_DOUBLE_SCENARIOS,
+    )
+
+
+def _uniform_figure(
+    figure_id: str,
+    metric: str,
+    settings: SimulationSettings,
+    node_counts,
+    rates,
+) -> FigureData:
+    title_metric = (
+        "throughput (flits/cycle)"
+        if metric == "throughput"
+        else "average latency (cycles)"
+    )
+    figure = FigureData(
+        figure_id,
+        f"NoC {title_metric}, homogeneous uniform sources/destinations",
+        "lambda",
+        list(rates),
+    )
+    for n in node_counts:
+        for topology in _paper_topologies(n):
+            results = sweep_injection_rates(
+                topology,
+                UniformTraffic(topology),
+                list(rates),
+                settings,
+            )
+            values = [
+                r.throughput if metric == "throughput" else r.avg_latency
+                for r in results
+            ]
+            figure.add_series(topology.name, values)
+    figure.notes.append(
+        "all nodes are sources; destinations uniform over the other "
+        "nodes"
+    )
+    return figure
+
+
+def figure10(
+    settings: SimulationSettings | None = None,
+    node_counts=UNIFORM_NODE_COUNTS,
+    rates=UNIFORM_RATES,
+) -> FigureData:
+    """Figure 10: throughput vs injection rate, homogeneous traffic."""
+    return _uniform_figure(
+        "fig10",
+        "throughput",
+        settings or SimulationSettings(),
+        node_counts,
+        rates,
+    )
+
+
+def figure11(
+    settings: SimulationSettings | None = None,
+    node_counts=UNIFORM_NODE_COUNTS,
+    rates=UNIFORM_RATES,
+) -> FigureData:
+    """Figure 11: latency vs injection rate, homogeneous traffic."""
+    return _uniform_figure(
+        "fig11",
+        "latency",
+        settings or SimulationSettings(),
+        node_counts,
+        rates,
+    )
+
+
+ALL_FIGURES = {
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+}
+
+_ANALYTICAL = {"fig2", "fig3"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print (and optionally save) figure data."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures as tables."
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run ~10x shorter simulations (shapes only)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write <figure>.csv files into DIR",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw each figure as an ASCII chart",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    settings = SimulationSettings()
+    if args.quick:
+        settings = settings.scaled(0.1)
+    for name in names:
+        generator = ALL_FIGURES[name]
+        if name in _ANALYTICAL:
+            figure = generator()
+        else:
+            figure = generator(settings=settings)
+        sys.stdout.write(format_table(figure))
+        sys.stdout.write("\n")
+        if args.chart:
+            from repro.experiments.ascii_chart import render_chart
+
+            sys.stdout.write(render_chart(figure))
+            sys.stdout.write("\n")
+        if args.csv:
+            directory = pathlib.Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.csv").write_text(to_csv(figure))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Figure data containers and text/CSV rendering.
+
+The original paper presents its evaluation as line plots; in this
+offline reproduction each figure is a table whose first column is the
+x-axis (node count or injection rate) and whose remaining columns are
+one series per topology/scenario.  The *shape* comparisons the paper
+draws (who wins, where curves cross, where saturation knees sit) read
+directly off these tables.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class FigureData:
+    """A rendered-figure equivalent: labelled columns over an x-axis.
+
+    Attributes:
+        figure_id: Paper figure identifier, e.g. ``"fig10"``.
+        title: Human-readable description.
+        x_label: Name of the x column.
+        x_values: The x-axis points.
+        series: Mapping of series label to y-values (must align with
+            ``x_values``; None marks a missing measurement).
+        notes: Free-form remarks (scenario details, caveats).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: list[float]
+    series: dict[str, list[float | None]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, label: str, values: list[float | None]) -> None:
+        """Attach a series, validating alignment with the x-axis."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(self.x_values)} x values"
+            )
+        if label in self.series:
+            raise ValueError(f"duplicate series label {label!r}")
+        self.series[label] = values
+
+    def column(self, label: str) -> list[float | None]:
+        """The y-values of one series."""
+        return self.series[label]
+
+
+def _format_value(value: float | None, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{value:.{precision}f}"
+
+
+def format_table(figure: FigureData, precision: int = 3) -> str:
+    """Render *figure* as an aligned monospace table."""
+    headers = [figure.x_label] + list(figure.series)
+    rows = []
+    for i, x in enumerate(figure.x_values):
+        row = [_format_value(x, precision)]
+        row.extend(
+            _format_value(figure.series[label][i], precision)
+            for label in figure.series
+        )
+        rows.append(row)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+    out = io.StringIO()
+    out.write(f"== {figure.figure_id}: {figure.title} ==\n")
+    for note in figure.notes:
+        out.write(f"   ({note})\n")
+    out.write(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n"
+    )
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n"
+        )
+    return out.getvalue()
+
+
+def to_csv(figure: FigureData) -> str:
+    """Render *figure* as CSV (header row + one row per x value)."""
+    headers = [figure.x_label] + list(figure.series)
+    lines = [",".join(headers)]
+    for i, x in enumerate(figure.x_values):
+        cells = [repr(float(x))]
+        for label in figure.series:
+            value = figure.series[label][i]
+            cells.append("" if value is None else repr(float(value)))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

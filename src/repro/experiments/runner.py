@@ -1,0 +1,79 @@
+"""Single-run and sweep execution helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.routing.base import RoutingAlgorithm
+from repro.stats.summary import RunResult
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficPattern, TrafficSpec
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationSettings:
+    """Run-length and model parameters shared across a sweep.
+
+    The defaults are sized so a full figure regenerates in minutes on
+    a laptop while keeping the post-warmup window long enough for
+    stable throughput estimates (the paper's qualitative shapes are
+    insensitive to the exact horizon).
+
+    Attributes:
+        cycles: Total simulated cycles per run.
+        warmup: Cycles excluded from measurement.
+        config: NoC model parameters.
+        seed: Root seed; each source derives its own stream.
+    """
+
+    cycles: int = 20_000
+    warmup: int = 4_000
+    config: NocConfig = NocConfig(source_queue_packets=64)
+    seed: int = 1
+
+    def scaled(self, factor: float) -> "SimulationSettings":
+        """A copy with run length scaled by *factor* (for quick tests)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return replace(
+            self,
+            cycles=max(2, int(self.cycles * factor)),
+            warmup=int(self.warmup * factor),
+        )
+
+
+def run_simulation(
+    topology: Topology,
+    pattern: TrafficPattern,
+    injection_rate: float,
+    settings: SimulationSettings,
+    routing: RoutingAlgorithm | None = None,
+) -> RunResult:
+    """Build, run and summarise one simulation."""
+    traffic = TrafficSpec(pattern, injection_rate)
+    network = Network(
+        topology,
+        routing=routing,
+        config=settings.config,
+        traffic=traffic,
+        seed=settings.seed,
+    )
+    return network.run(cycles=settings.cycles, warmup=settings.warmup)
+
+
+def sweep_injection_rates(
+    topology: Topology,
+    pattern: TrafficPattern,
+    injection_rates: list[float],
+    settings: SimulationSettings,
+    routing: RoutingAlgorithm | None = None,
+) -> list[RunResult]:
+    """One run per injection rate, same topology and pattern."""
+    return [
+        run_simulation(
+            topology, pattern, rate, settings, routing=routing
+        )
+        for rate in injection_rates
+    ]

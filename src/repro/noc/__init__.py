@@ -1,0 +1,37 @@
+"""Flit-level wormhole NoC model (paper Section 3, figure 4).
+
+The model follows the paper's node architecture:
+
+* each IP connects to its router through a network interface
+  (:class:`~repro.noc.interface.NetworkInterface`) that fragments
+  packets into flits and reassembles/consumes them,
+* packets are fixed-size (6 flits by default) and are forwarded with
+  **wormhole switching**: the head flit is routed, body flits follow
+  the switching state the head established,
+* incoming links have a one-flit buffer; outgoing links have 3-flit
+  output queues — a pair per link (two virtual channels, used for
+  deadlock avoidance) on Ring and Spidergon, a single queue on Mesh,
+* flow control is credit-based ("local signal-based"): a flit leaves a
+  node only when the downstream input buffer has room; credits return
+  within the cycle, so a one-flit input buffer sustains one
+  flit/cycle/link.
+
+:class:`~repro.noc.network.Network` assembles routers, interfaces and
+links from a :class:`~repro.topology.Topology`, a routing algorithm
+and a :class:`~repro.noc.config.NocConfig`.
+"""
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import Router
+from repro.noc.interface import NetworkInterface
+
+__all__ = [
+    "Flit",
+    "Network",
+    "NetworkInterface",
+    "NocConfig",
+    "Packet",
+    "Router",
+]

@@ -1,0 +1,152 @@
+"""Flit buffers: bounded FIFOs, output queues with wormhole ownership,
+and per-input-port switching state."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.packet import Flit, Packet
+
+
+class BufferError(RuntimeError):
+    """Raised on buffer misuse (overflow, underflow) — these indicate
+    a flow-control bug, never a legal simulation state."""
+
+
+class FlitFifo:
+    """A bounded FIFO of flits."""
+
+    __slots__ = ("capacity", "_flits")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._flits: deque[Flit] = deque()
+
+    def __len__(self) -> int:
+        return len(self._flits)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._flits) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._flits
+
+    def head(self) -> Flit | None:
+        """The next flit to leave, or None when empty."""
+        return self._flits[0] if self._flits else None
+
+    def push(self, flit: Flit) -> None:
+        if self.is_full:
+            raise BufferError(
+                f"push into full buffer (capacity {self.capacity}) — "
+                "flow control violated"
+            )
+        self._flits.append(flit)
+
+    def pop(self) -> Flit:
+        if not self._flits:
+            raise BufferError("pop from empty buffer")
+        return self._flits.popleft()
+
+
+class OutputQueue(FlitFifo):
+    """One virtual-channel output queue of a router port.
+
+    Wormhole discipline: while a packet's flits are being enqueued the
+    queue is *owned* by that packet and no other packet's head flit
+    may enter; ownership is released when the tail flit is enqueued
+    (the queue itself is FIFO, so flits of successive packets never
+    interleave inside it or on the wire of this VC).
+    """
+
+    __slots__ = ("port", "vc", "owner", "last_enqueue_cycle", "rr_grant")
+
+    def __init__(self, port: str, vc: int, capacity: int) -> None:
+        super().__init__(capacity)
+        self.port = port
+        self.vc = vc
+        self.owner: Packet | None = None
+        self.last_enqueue_cycle = -1
+        # Rotating grant priority over the router's input-port
+        # indices: the input after the last ownership winner gets
+        # first claim on this queue (fair separable allocation).
+        self.rr_grant = 0
+
+    def can_accept(self, flit: Flit, now: int) -> bool:
+        """Whether *flit* may be enqueued this cycle.
+
+        Requires a free slot, at most one enqueue per cycle (the
+        crossbar writes each queue once per cycle), and — for head
+        flits — that no other packet owns the queue.
+        """
+        if self.is_full or self.last_enqueue_cycle == now:
+            return False
+        if flit.is_head:
+            return self.owner is None
+        return self.owner is flit.packet
+
+    def enqueue(self, flit: Flit, now: int) -> None:
+        """Admit *flit*, updating ownership and the cycle stamp.
+
+        Raises:
+            BufferError: if :meth:`can_accept` would have refused.
+        """
+        if not self.can_accept(flit, now):
+            raise BufferError(
+                f"illegal enqueue on {self.port}/vc{self.vc} at {now}"
+            )
+        if flit.is_head:
+            self.owner = flit.packet
+        flit.enqueued_at = now
+        self.push(flit)
+        self.last_enqueue_cycle = now
+        if flit.is_tail:
+            self.owner = None
+
+
+class SwitchingState:
+    """Per-(input port, wire VC) wormhole switching state.
+
+    Set when a head flit is routed; body flits of the same packet
+    follow it; cleared when the tail flit passes.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self) -> None:
+        self._state: dict[int, tuple[Packet, str, int]] = {}
+
+    def set_route(
+        self, wire_vc: int, packet: Packet, port: str, vc: int
+    ) -> None:
+        if wire_vc in self._state:
+            raise BufferError(
+                f"wire VC {wire_vc} already carries packet "
+                f"{self._state[wire_vc][0].packet_id}"
+            )
+        self._state[wire_vc] = (packet, port, vc)
+
+    def route_of(self, wire_vc: int, packet: Packet) -> tuple[str, int]:
+        """Output (port, vc) the head flit of *packet* established.
+
+        Raises:
+            BufferError: if no state exists or it belongs to another
+                packet — either means flits interleaved illegally.
+        """
+        entry = self._state.get(wire_vc)
+        if entry is None or entry[0] is not packet:
+            raise BufferError(
+                f"no switching state for packet {packet.packet_id} on "
+                f"wire VC {wire_vc}"
+            )
+        return entry[1], entry[2]
+
+    def clear(self, wire_vc: int) -> None:
+        self._state.pop(wire_vc, None)
+
+    def has_route(self, wire_vc: int) -> bool:
+        return wire_vc in self._state

@@ -1,0 +1,75 @@
+"""NoC model configuration.
+
+Defaults mirror the paper's simulation setup: 6-flit packets, one-flit
+input buffers, three-flit output queues, unit link delay, and a
+one-cycle router pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class NocConfig:
+    """Static parameters of the flit-level model.
+
+    Attributes:
+        packet_size_flits: Flits per packet (paper: 6).
+        input_buffer_flits: Capacity of each incoming-link buffer
+            (paper: 1).
+        output_buffer_flits: Capacity of each output queue
+            (paper: 3).
+        link_delay: Link traversal time in cycles (>= 1).
+        num_vcs: Output queues (virtual channels) per link; ``None``
+            defers to the routing algorithm's requirement (2 for the
+            dateline schemes on Ring/Spidergon, 1 for Mesh XY).
+        source_queue_packets: IP memory capacity in packets; ``None``
+            means unbounded.  When the queue is full, newly generated
+            packets are dropped and counted as rejected (throughput
+            measurements are unaffected; latency stays finite).
+        router_pipeline: When True (default) a flit cannot be
+            forwarded on a link in the same cycle it entered the
+            output queue, modelling a one-cycle router traversal.
+    """
+
+    packet_size_flits: int = 6
+    input_buffer_flits: int = 1
+    output_buffer_flits: int = 3
+    link_delay: int = 1
+    num_vcs: int | None = None
+    source_queue_packets: int | None = None
+    router_pipeline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.packet_size_flits < 1:
+            raise ValueError(
+                f"packet_size_flits must be >= 1, "
+                f"got {self.packet_size_flits}"
+            )
+        if self.input_buffer_flits < 1:
+            raise ValueError(
+                f"input_buffer_flits must be >= 1, "
+                f"got {self.input_buffer_flits}"
+            )
+        if self.output_buffer_flits < 1:
+            raise ValueError(
+                f"output_buffer_flits must be >= 1, "
+                f"got {self.output_buffer_flits}"
+            )
+        if self.link_delay < 1:
+            raise ValueError(
+                f"link_delay must be >= 1, got {self.link_delay}"
+            )
+        if self.num_vcs is not None and self.num_vcs < 1:
+            raise ValueError(
+                f"num_vcs must be >= 1 or None, got {self.num_vcs}"
+            )
+        if (
+            self.source_queue_packets is not None
+            and self.source_queue_packets < 1
+        ):
+            raise ValueError(
+                f"source_queue_packets must be >= 1 or None, "
+                f"got {self.source_queue_packets}"
+            )

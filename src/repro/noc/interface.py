@@ -1,0 +1,206 @@
+"""The Network Interface (NI) connecting an IP to its router.
+
+"The IPs are connected to a NoC switch by a Network Interface (NI)
+incorporating the connection management and the data fragmentation
+functions."  Per the paper's node model:
+
+* the **source** side generates fixed-size packets with Poisson
+  interarrivals, queues them in IP memory (FIFO; optionally bounded)
+  and injects one flit per cycle into the router's local input port,
+  subject to credit flow control;
+* the **sink** side consumes arriving flits immediately, returning a
+  zero-delay credit — consumption is therefore limited to one
+  flit/cycle purely by the ejection link, which is exactly the
+  destination bottleneck the hot-spot scenarios expose.
+
+Flits are materialised lazily at injection time, so a saturated IP
+memory holds compact packet objects rather than flits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.noc.config import NocConfig
+from repro.noc.packet import Flit, Packet
+from repro.noc.signals import CreditMessage, FlitMessage
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.module import SimModule
+from repro.sim.rng import RngStream
+from repro.stats.collectors import NetworkStats
+from repro.traffic.base import TrafficSpec
+
+
+class _GenerateMessage(Message):
+    """Self-message timer marking the next packet generation."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(name="generate")
+
+
+class NetworkInterface(SimModule):
+    """Source and sink for node *node*."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node: int,
+        config: NocConfig,
+        scheduler,
+        stats: NetworkStats,
+    ) -> None:
+        super().__init__(simulator, f"ni{node}")
+        self.node = node
+        self.config = config
+        self.scheduler = scheduler
+        self.stats = stats
+        self.data_out = self.add_gate("data_out")
+        self.credit_in = self.add_gate("credit_in")
+        self.data_in = self.add_gate("data_in")
+        self.credit_out = self.add_gate("credit_out")
+        self._credits = 0
+        self._backlog: deque[Packet] = deque()
+        self._next_flit_index = 0
+        self._traffic: TrafficSpec | None = None
+        self._rng: RngStream | None = None
+        self._generate_msg = _GenerateMessage()
+        self._gen_clock = 0.0
+
+    # -- wiring ----------------------------------------------------------
+
+    def set_injection_credits(self, credits: int) -> None:
+        """Initial credit count for the router's local input buffer."""
+        if credits < 1:
+            raise ValueError(f"credits must be >= 1, got {credits}")
+        self._credits = credits
+
+    # -- traffic ----------------------------------------------------------
+
+    def attach_traffic(self, traffic: TrafficSpec, rng: RngStream) -> None:
+        """Make this NI a packet source for *traffic*."""
+        self._traffic = traffic
+        self._rng = rng
+
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Queue *packet* for injection directly (trace-driven use).
+
+        Bypasses the stochastic generator: callers replaying a traffic
+        trace (or tests injecting a deterministic packet) create the
+        packet themselves and hand it to the source side.  The IP
+        memory bound still applies.
+
+        Raises:
+            ValueError: if the packet's source is not this node, or
+                the IP memory is full.
+        """
+        if packet.src != self.node:
+            raise ValueError(
+                f"packet src {packet.src} does not match node "
+                f"{self.node}"
+            )
+        limit = self.config.source_queue_packets
+        if limit is not None and len(self._backlog) >= limit:
+            raise ValueError(f"{self.name}: IP memory full")
+        self._backlog.append(packet)
+        self.scheduler.activate(self)
+
+    def initialize(self) -> None:
+        if self._traffic is not None and self._traffic.injection_rate > 0:
+            self._schedule_next_generation()
+
+    def _schedule_next_generation(self) -> None:
+        assert self._traffic is not None and self._rng is not None
+        mean = self._traffic.mean_interarrival(
+            self.config.packet_size_flits
+        )
+        gap = self._traffic.process.next_interarrival(mean, self._rng)
+        self._gen_clock += gap
+        fire_at = max(self.now, math.ceil(self._gen_clock))
+        self.schedule_self(fire_at - self.now, self._generate_msg)
+
+    def _generate_packet(self) -> None:
+        assert self._traffic is not None and self._rng is not None
+        now = self.now
+        dst = self._traffic.pattern.destination_for(self.node, self._rng)
+        self.stats.record_generated(now)
+        limit = self.config.source_queue_packets
+        if limit is not None and len(self._backlog) >= limit:
+            self.stats.record_rejected(now)
+        else:
+            packet = Packet(
+                self.node,
+                dst,
+                self.config.packet_size_flits,
+                created_at=now,
+            )
+            self._backlog.append(packet)
+            self.scheduler.activate(self)
+        self._schedule_next_generation()
+
+    # -- message handling ----------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        if isinstance(message, FlitMessage):
+            self._consume(message.flit)
+            return
+        if isinstance(message, CreditMessage):
+            self._credits += 1
+            if self._backlog:
+                self.scheduler.activate(self)
+            return
+        if isinstance(message, _GenerateMessage):
+            self._generate_packet()
+            return
+        raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    def _consume(self, flit: Flit) -> None:
+        if flit.packet.dst != self.node:
+            raise RuntimeError(
+                f"{self.name}: misrouted flit of packet "
+                f"{flit.packet.packet_id} bound for {flit.packet.dst}"
+            )
+        now = self.now
+        self.send(CreditMessage(flit.wire_vc), self.credit_out)
+        self.stats.record_consumed_flit(now)
+        if flit.is_tail:
+            self.stats.record_packet_delivered(flit.packet, now)
+
+    # -- cycle phases ------------------------------------------------------
+
+    def advance_phase(self) -> None:
+        """The NI has no internal pipeline stage."""
+
+    def send_phase(self) -> None:
+        """Inject at most one flit of the head-of-line packet."""
+        if not self._backlog or self._credits <= 0:
+            return
+        packet = self._backlog[0]
+        flit = Flit(packet, self._next_flit_index)
+        # All flits enter the network on wire VC 0; the source router
+        # keys its switching state by the arrival VC, and packet.vc may
+        # be promoted (dateline) between the head and body injections.
+        flit.wire_vc = 0
+        if flit.is_head:
+            packet.injected_at = self.now
+        self._credits -= 1
+        self.stats.record_injected_flit(self.now)
+        self.send(FlitMessage(flit, flit.wire_vc), self.data_out)
+        if flit.is_tail:
+            self._backlog.popleft()
+            self._next_flit_index = 0
+        else:
+            self._next_flit_index += 1
+
+    def has_pending_work(self) -> bool:
+        return bool(self._backlog)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets waiting in IP memory (including the one injecting)."""
+        return len(self._backlog)

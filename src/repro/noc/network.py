@@ -1,0 +1,224 @@
+"""Network assembly: topology + routing + config -> runnable model.
+
+:class:`Network` is the main entry point of the flit-level model::
+
+    topology = SpidergonTopology(16)
+    traffic = TrafficSpec(UniformTraffic(topology), injection_rate=0.2)
+    network = Network(topology, traffic=traffic, seed=7)
+    result = network.run(cycles=20_000, warmup=5_000)
+    print(result.throughput, result.avg_latency)
+
+Data links carry ``config.link_delay`` cycles of latency; credit links
+are zero-delay (signal-based flow control).  The routing algorithm
+defaults to the paper's scheme for the given topology
+(:func:`repro.routing.routing_for`).
+"""
+
+from __future__ import annotations
+
+from repro.noc.config import NocConfig
+from repro.noc.interface import NetworkInterface
+from repro.noc.router import Router
+from repro.noc.scheduler import CycleScheduler
+from repro.routing import RoutingAlgorithm, routing_for
+from repro.routing.base import LOCAL_PORT
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStream
+from repro.stats.collectors import NetworkStats
+from repro.stats.summary import RunResult
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficSpec
+
+
+class Network:
+    """A fully wired NoC simulation instance (single use)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm | None = None,
+        config: NocConfig | None = None,
+        traffic: TrafficSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing if routing is not None else routing_for(
+            topology
+        )
+        if self.routing.topology is not topology:
+            raise ValueError(
+                "routing algorithm was built for a different topology"
+            )
+        self.config = config if config is not None else NocConfig()
+        self.traffic = traffic
+        self.seed = seed
+        self.num_vcs = (
+            self.config.num_vcs
+            if self.config.num_vcs is not None
+            else self.routing.required_vcs
+        )
+        self.simulator = Simulator()
+        self.scheduler = CycleScheduler(self.simulator)
+        self.stats = NetworkStats()
+        self.routers: list[Router] = []
+        self.interfaces: list[NetworkInterface] = []
+        self._source_nodes: list[int] = []
+        self._build()
+        self._ran = False
+        self.cycles_run = 0
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        topology = self.topology
+        config = self.config
+        for node in range(topology.num_nodes):
+            self.routers.append(
+                Router(
+                    self.simulator,
+                    node,
+                    self.routing,
+                    config,
+                    self.scheduler,
+                    self.num_vcs,
+                )
+            )
+            self.interfaces.append(
+                NetworkInterface(
+                    self.simulator,
+                    node,
+                    config,
+                    self.scheduler,
+                    self.stats,
+                )
+            )
+        # Inter-router links: data forward, credit backward.
+        for link in topology.links():
+            src_router = self.routers[link.src]
+            dst_router = self.routers[link.dst]
+            in_name = f"from{link.src}"
+            data_in, credit_out = dst_router.add_input_port(in_name)
+            data_out, credit_in = src_router.add_output_port(
+                link.port, config.input_buffer_flits
+            )
+            data_out.connect(data_in, delay=config.link_delay)
+            credit_out.connect(credit_in, delay=0)
+        # Local ports: router <-> NI, both directions.
+        for node in range(topology.num_nodes):
+            router = self.routers[node]
+            ni = self.interfaces[node]
+            # Injection: NI -> router.
+            data_in, credit_out = router.add_input_port(LOCAL_PORT)
+            ni.data_out.connect(data_in, delay=config.link_delay)
+            credit_out.connect(ni.credit_in, delay=0)
+            ni.set_injection_credits(config.input_buffer_flits)
+            # Ejection: router -> NI (sink consumes instantly; its
+            # logical buffer is one flit deep).
+            data_out, credit_in = router.add_output_port(LOCAL_PORT, 1)
+            data_out.connect(ni.data_in, delay=config.link_delay)
+            ni.credit_out.connect(credit_in, delay=0)
+        if self.traffic is not None:
+            self._attach_traffic(self.traffic)
+
+    def _attach_traffic(self, traffic: TrafficSpec) -> None:
+        if traffic.pattern.topology is not self.topology:
+            raise ValueError(
+                "traffic pattern was built for a different topology"
+            )
+        self._source_nodes = traffic.pattern.sources()
+        for node in self._source_nodes:
+            rng = RngStream(self.seed, f"source{node}")
+            self.interfaces[node].attach_traffic(traffic, rng)
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def num_sources(self) -> int:
+        """Number of packet-generating nodes."""
+        if self.traffic is None:
+            return 0
+        return len(self._source_nodes)
+
+    def install_trace(self, trace) -> "object":
+        """Attach a :class:`~repro.traffic.trace.Trace` for replay.
+
+        May be combined with stochastic traffic (the trace adds to
+        it) or used alone for fully deterministic workloads.  Must be
+        called before :meth:`run`.
+
+        Returns:
+            The :class:`~repro.noc.trace_driver.TraceDriver`, whose
+            ``packets_injected`` / ``packets_dropped`` counters are
+            readable after the run.
+
+        Raises:
+            ValueError: if the trace references unknown nodes or the
+                network already ran.
+        """
+        from repro.noc.trace_driver import TraceDriver
+
+        if self._ran:
+            raise ValueError("cannot install a trace after run()")
+        trace.validate_for(self.topology)
+        return TraceDriver(
+            self.simulator,
+            trace,
+            self.interfaces,
+            self.config.packet_size_flits,
+        )
+
+    def link_flit_counts(self) -> dict[tuple[int, str], int]:
+        """Flits forwarded per (node, output port) over the whole run.
+
+        Includes the ejection port (``"local"``); injection flits are
+        counted by the source NI, not here.  Divide by
+        :attr:`cycles_run` for per-link utilization — a proxy for the
+        per-link energy the paper's introduction lists among the on
+        chip constraints.
+        """
+        counts = {}
+        for router in self.routers:
+            for port_name in router._outputs:
+                counts[(router.node, port_name)] = router.flits_sent_on(
+                    port_name
+                )
+        return counts
+
+    def run(self, cycles: int, warmup: int = 0) -> RunResult:
+        """Simulate *cycles* cycles; measure after *warmup* cycles.
+
+        Raises:
+            ValueError: on a non-positive horizon, a warmup that
+                leaves no measurement window, or a second call (build
+                a fresh Network per run).
+        """
+        if cycles <= 0:
+            raise ValueError(f"cycles must be > 0, got {cycles}")
+        if not 0 <= warmup < cycles:
+            raise ValueError(
+                f"warmup must be in [0, cycles), got {warmup}"
+            )
+        if self._ran:
+            raise ValueError(
+                "Network.run is single-use; construct a new Network"
+            )
+        self._ran = True
+        self.stats.warmup_cycles = warmup
+        self.simulator.run(until=cycles)
+        self.simulator.finalize()
+        self.cycles_run = cycles
+        return RunResult.from_stats(
+            self.stats,
+            topology_name=self.topology.name,
+            routing_name=self.routing.name,
+            pattern_name=(
+                self.traffic.pattern.name if self.traffic else "none"
+            ),
+            num_nodes=self.topology.num_nodes,
+            num_sources=self.num_sources,
+            injection_rate=(
+                self.traffic.injection_rate if self.traffic else 0.0
+            ),
+            cycles=cycles,
+            seed=self.seed,
+        )

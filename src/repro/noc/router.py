@@ -1,0 +1,365 @@
+"""The wormhole router (paper figure 4, minus the IP-side interface).
+
+Per node the router owns:
+
+* per incoming link, one **input lane** per virtual channel (each one
+  flit deep by default — the paper's "one-flit buffer" per incoming
+  link, provisioned per VC so the dateline deadlock-avoidance
+  discipline is sound; see below),
+* per outgoing link, ``num_vcs`` **output queues** (three flits deep
+  by default — a pair per link on Ring and Spidergon, "used both for
+  virtual channel management and deadlock avoidance", a single queue
+  on Mesh),
+* an output port toward the local network interface (ejection) and an
+  input port from it (injection), treated exactly like link ports.
+
+Behaviour per cycle (driven by the
+:class:`~repro.noc.scheduler.CycleScheduler`):
+
+* **advance phase** — for each input port, examine the head flits of
+  its lanes (round-robin).  Head flits ask the routing algorithm for
+  an output (port, VC) and must win the queue's wormhole ownership;
+  body flits follow the switching state their head established.  An
+  admitted flit moves to the output queue and a per-VC credit returns
+  upstream with zero delay.  At most one flit advances per input port
+  per cycle (the crossbar input bandwidth).
+* **send phase** — for each output port, pick one output queue
+  round-robin among those whose head flit is ready (enqueued in an
+  earlier cycle, when the one-cycle pipeline is on) and whose VC has
+  downstream credit, and forward the flit on the link.
+
+Both phases move at most one flit per port per cycle, which bounds
+every physical link — including the ejection link, whose one
+flit/cycle ceiling is the hot-spot bottleneck the paper measures.
+
+Why per-VC input lanes: with a single shared one-flit input buffer, a
+VC0 flit blocked in the buffer stalls VC1 flits arriving on the same
+link, so VC1 channels inherit VC0 dependencies and the ring's channel
+dependency cycle closes despite the dateline (observed as a hard
+deadlock under uniform traffic).  Splitting the input stage per VC is
+the textbook virtual-channel router organisation and restores the
+acyclicity argument: VC1 resources never wait on VC0 resources.
+"""
+
+from __future__ import annotations
+
+from repro.noc.buffers import FlitFifo, OutputQueue, SwitchingState
+from repro.noc.config import NocConfig
+from repro.noc.signals import CreditMessage, FlitMessage
+from repro.routing.base import LOCAL_PORT, RoutingAlgorithm
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.module import Gate, SimModule
+
+
+class _InputPort:
+    """State of one incoming link: per-VC lanes + switching state."""
+
+    __slots__ = (
+        "name",
+        "lanes",
+        "switching",
+        "credit_gate",
+        "rr_next_lane",
+        "pending",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_lanes: int,
+        lane_capacity: int,
+        credit_gate: Gate,
+    ) -> None:
+        self.name = name
+        self.lanes = [FlitFifo(lane_capacity) for _ in range(num_lanes)]
+        self.switching = SwitchingState()
+        self.credit_gate = credit_gate
+        self.rr_next_lane = 0
+        # Routing decision taken for a head flit that has not yet won
+        # its output queue (one per lane); routing algorithms are
+        # consulted exactly once per packet per router.
+        self.pending: dict[int, tuple[str, int]] = {}
+
+    def occupancy(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+
+class _OutputPort:
+    """State of one outgoing link: VC queues + per-VC credits."""
+
+    __slots__ = (
+        "name",
+        "queues",
+        "credits",
+        "data_gate",
+        "rr_next_vc",
+        "flits_sent",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_vcs: int,
+        queue_capacity: int,
+        downstream_capacity: int,
+        data_gate: Gate,
+    ) -> None:
+        self.name = name
+        self.queues = [
+            OutputQueue(name, vc, queue_capacity) for vc in range(num_vcs)
+        ]
+        self.credits = [downstream_capacity] * num_vcs
+        self.data_gate = data_gate
+        self.rr_next_vc = 0
+        self.flits_sent = 0
+
+    def occupancy(self) -> int:
+        return sum(len(queue) for queue in self.queues)
+
+
+class Router(SimModule):
+    """One NoC switch, attached to node *node* of the topology."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node: int,
+        routing: RoutingAlgorithm,
+        config: NocConfig,
+        scheduler,
+        num_vcs: int,
+    ) -> None:
+        super().__init__(simulator, f"router{node}")
+        self.node = node
+        self.routing = routing
+        self.config = config
+        self.scheduler = scheduler
+        self.num_vcs = num_vcs
+        self._inputs: dict[str, _InputPort] = {}
+        self._outputs: dict[str, _OutputPort] = {}
+        self._input_order: list[_InputPort] = []
+        self._output_order: list[_OutputPort] = []
+        self._input_of_gate: dict[Gate, _InputPort] = {}
+        self._output_of_gate: dict[Gate, _OutputPort] = {}
+
+    # -- wiring (done by the Network builder) --------------------------
+
+    def add_input_port(self, name: str) -> tuple[Gate, Gate]:
+        """Create an input port; returns (data-in gate, credit-out gate)."""
+        data_gate = self.add_gate(f"data_in:{name}")
+        credit_gate = self.add_gate(f"credit_out:{name}")
+        port = _InputPort(
+            name,
+            self.num_vcs,
+            self.config.input_buffer_flits,
+            credit_gate,
+        )
+        self._inputs[name] = port
+        self._input_order.append(port)
+        self._input_of_gate[data_gate] = port
+        return data_gate, credit_gate
+
+    def add_output_port(
+        self, name: str, downstream_capacity: int
+    ) -> tuple[Gate, Gate]:
+        """Create an output port; returns (data-out gate, credit-in gate)."""
+        data_gate = self.add_gate(f"data_out:{name}")
+        credit_gate = self.add_gate(f"credit_in:{name}")
+        port = _OutputPort(
+            name,
+            self.num_vcs,
+            self.config.output_buffer_flits,
+            downstream_capacity,
+            data_gate,
+        )
+        self._outputs[name] = port
+        self._output_order.append(port)
+        self._output_of_gate[credit_gate] = port
+        return data_gate, credit_gate
+
+    # -- message handling ----------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        if isinstance(message, FlitMessage):
+            port = self._input_of_gate[message.arrival_gate]
+            port.lanes[message.wire_vc].push(message.flit)
+            self.scheduler.activate(self)
+            return
+        if isinstance(message, CreditMessage):
+            port = self._output_of_gate[message.arrival_gate]
+            port.credits[message.vc] += 1
+            self.scheduler.activate(self)
+            return
+        raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    # -- cycle phases ----------------------------------------------------
+
+    def advance_phase(self) -> None:
+        """Move up to one flit per input port into its output queue.
+
+        Separable two-step allocation:
+
+        1. every input port nominates one candidate flit (first lane
+           in its round-robin order whose flit could move this
+           cycle);
+        2. body flits move directly (their queue is owned by their
+           packet, so no two candidates collide); head flits
+           *claiming* a free queue are arbitrated per queue with a
+           rotating grant priority stored on the queue itself.
+
+        Per-queue grant rotation matters: any router-global pointer
+        resonates when its period divides the packet length (e.g. 3
+        ports x 6-flit packets) and then one input captures an output
+        queue forever, starving the local source — observed as zero
+        delivered packets from distance-1 nodes under hot-spot load.
+        """
+        now = self.now
+        claims: dict = {}
+        for index, port in enumerate(self._input_order):
+            candidate = self._candidate(port, now)
+            if candidate is None:
+                continue
+            wire_vc, flit, queue = candidate
+            if flit.is_head and queue.owner is None:
+                claims.setdefault(queue, []).append(
+                    (index, port, wire_vc, flit)
+                )
+            else:
+                self._execute_move(port, wire_vc, flit, queue, now)
+        num_inputs = len(self._input_order)
+        for queue, requests in claims.items():
+            winner = min(
+                requests,
+                key=lambda req: (req[0] - queue.rr_grant) % num_inputs,
+            )
+            index, port, wire_vc, flit = winner
+            queue.rr_grant = (index + 1) % num_inputs
+            del port.pending[wire_vc]
+            port.switching.set_route(
+                wire_vc, flit.packet, queue.port, queue.vc
+            )
+            self._execute_move(port, wire_vc, flit, queue, now)
+
+    def _candidate(
+        self, port: _InputPort, now: int
+    ) -> tuple[int, "object", "object"] | None:
+        """The port's movable flit this cycle: (wire_vc, flit, queue)."""
+        lanes = port.lanes
+        lane_count = len(lanes)
+        lane_start = port.rr_next_lane % lane_count
+        for lane_offset in range(lane_count):
+            wire_vc = (lane_start + lane_offset) % lane_count
+            flit = lanes[wire_vc].head()
+            if flit is None:
+                continue
+            if flit.is_head and not port.switching.has_route(wire_vc):
+                pending = port.pending.get(wire_vc)
+                if pending is None:
+                    # Routing algorithms are consulted exactly once
+                    # per packet per router; a decision that cannot
+                    # be realised yet (queue busy) is parked and
+                    # retried.
+                    decision = self.routing.decide(
+                        self.node, flit.packet
+                    )
+                    # When the network has fewer VCs than the routing
+                    # discipline asks for (the 1-VC ablation),
+                    # packets are forced onto the highest available
+                    # queue — deliberately losing the dateline's
+                    # deadlock guarantee.
+                    pending = (
+                        decision.port,
+                        min(decision.vc, self.num_vcs - 1),
+                    )
+                    port.pending[wire_vc] = pending
+                out_port, out_vc = pending
+                queue = self._outputs[out_port].queues[out_vc]
+                if not queue.can_accept(flit, now):
+                    continue
+                return wire_vc, flit, queue
+            out_port, out_vc = port.switching.route_of(
+                wire_vc, flit.packet
+            )
+            queue = self._outputs[out_port].queues[out_vc]
+            if not queue.can_accept(flit, now):
+                continue
+            return wire_vc, flit, queue
+        return None
+
+    def _execute_move(
+        self, port: _InputPort, wire_vc: int, flit, queue, now: int
+    ) -> None:
+        """Dequeue from the lane, enqueue into *queue*, return credit."""
+        port.lanes[wire_vc].pop()
+        queue.enqueue(flit, now)
+        if flit.is_tail:
+            port.switching.clear(wire_vc)
+        port.rr_next_lane = (wire_vc + 1) % len(port.lanes)
+        self.send(CreditMessage(wire_vc), port.credit_gate)
+
+    def send_phase(self) -> None:
+        """Forward up to one ready flit per output port."""
+        now = self.now
+        pipeline = self.config.router_pipeline
+        for port in self._output_order:
+            queues = port.queues
+            count = len(queues)
+            start = port.rr_next_vc % count
+            for offset in range(count):
+                queue = queues[(start + offset) % count]
+                if port.credits[queue.vc] <= 0:
+                    continue
+                flit = queue.head()
+                if flit is None:
+                    continue
+                if pipeline and flit.enqueued_at == now:
+                    continue
+                queue.pop()
+                port.credits[queue.vc] -= 1
+                port.rr_next_vc = (queue.vc + 1) % count
+                port.flits_sent += 1
+                if flit.is_head and port.name != LOCAL_PORT:
+                    flit.packet.hops += 1
+                flit.wire_vc = queue.vc
+                self.send(FlitMessage(flit, queue.vc), port.data_gate)
+                break
+
+    def has_pending_work(self) -> bool:
+        """True while any lane or queue holds a flit."""
+        for port in self._input_order:
+            for lane in port.lanes:
+                if not lane.is_empty:
+                    return True
+        for port in self._output_order:
+            for queue in port.queues:
+                if not queue.is_empty:
+                    return True
+        return False
+
+    # -- introspection (tests, debugging) --------------------------------
+
+    def input_occupancy(self, name: str, vc: int | None = None) -> int:
+        port = self._inputs[name]
+        if vc is None:
+            return port.occupancy()
+        return len(port.lanes[vc])
+
+    def output_occupancy(self, name: str, vc: int | None = None) -> int:
+        port = self._outputs[name]
+        if vc is None:
+            return port.occupancy()
+        return len(port.queues[vc])
+
+    def credits_for(self, name: str, vc: int = 0) -> int:
+        return self._outputs[name].credits[vc]
+
+    def flits_sent_on(self, name: str) -> int:
+        """Total flits this router forwarded on output port *name*."""
+        return self._outputs[name].flits_sent
+
+    def total_buffered_flits(self) -> int:
+        """Every flit currently inside this router."""
+        return sum(p.occupancy() for p in self._input_order) + sum(
+            p.occupancy() for p in self._output_order
+        )

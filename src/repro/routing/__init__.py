@@ -1,0 +1,79 @@
+"""Routing algorithms for the paper's topologies.
+
+* :class:`~repro.routing.ring.RingShortestRouting` — clockwise or
+  counterclockwise, whichever is shorter, direction maintained.
+* :class:`~repro.routing.spidergon.SpidergonAcrossFirstRouting` — the
+  paper's Across-first scheme: take the across link when the target is
+  more than N/4 away on the external ring, then stay on one ring
+  direction.
+* :class:`~repro.routing.mesh.MeshXYRouting` — dimension-order: X to
+  the target column, then Y to the target row.
+* :class:`~repro.routing.table.TableRouting` — generic precomputed
+  shortest-path next hops; works on any topology (including irregular
+  meshes) and serves as the ablation baseline for the specialised
+  schemes.
+
+The ring-based schemes use a two-virtual-channel dateline discipline
+for deadlock freedom, matching the paper's "pair of output buffers ...
+used both for virtual channel management and deadlock avoidance".
+"""
+
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+    RoutingError,
+)
+from repro.routing.adaptive import MeshO1TurnRouting
+from repro.routing.hypercube import HypercubeEcubeRouting
+from repro.routing.mesh import MeshXYRouting
+from repro.routing.ring import RingShortestRouting
+from repro.routing.source import SourceRouting
+from repro.routing.spidergon import SpidergonAcrossFirstRouting
+from repro.routing.table import TableRouting
+from repro.routing.torus import TorusXYRouting
+
+
+def routing_for(topology) -> RoutingAlgorithm:
+    """The paper's routing scheme for *topology*.
+
+    Ring -> shortest direction, Spidergon -> across-first, regular
+    Mesh -> XY; anything else (e.g. irregular meshes) falls back to
+    table-driven shortest paths.
+    """
+    from repro.topology import (
+        MeshTopology,
+        RingTopology,
+        SpidergonTopology,
+    )
+    from repro.topology.hypercube import HypercubeTopology
+    from repro.topology.torus import TorusTopology
+
+    if isinstance(topology, HypercubeTopology):
+        return HypercubeEcubeRouting(topology)
+    if isinstance(topology, SpidergonTopology):
+        return SpidergonAcrossFirstRouting(topology)
+    if isinstance(topology, RingTopology):
+        return RingShortestRouting(topology)
+    if isinstance(topology, TorusTopology):
+        return TorusXYRouting(topology)
+    if isinstance(topology, MeshTopology) and topology.is_regular:
+        return MeshXYRouting(topology)
+    return TableRouting(topology)
+
+
+__all__ = [
+    "HypercubeEcubeRouting",
+    "LOCAL_PORT",
+    "MeshXYRouting",
+    "RingShortestRouting",
+    "RouteDecision",
+    "RoutingAlgorithm",
+    "RoutingError",
+    "MeshO1TurnRouting",
+    "SourceRouting",
+    "SpidergonAcrossFirstRouting",
+    "TableRouting",
+    "TorusXYRouting",
+    "routing_for",
+]

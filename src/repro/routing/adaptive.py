@@ -1,0 +1,77 @@
+"""O1TURN routing on regular meshes: randomised XY/YX per packet.
+
+An "adaptive-lite" scheme from the literature (Seo et al., ISCA 2005)
+covering the paper's "analysis of routing protocols" future work:
+each packet picks XY or YX dimension order at the source — XY packets
+travel on virtual channel 0, YX packets on virtual channel 1, which
+keeps the two turn-models on disjoint channel sets and preserves
+deadlock freedom while spreading load across both route families.
+
+The choice is derived deterministically from the packet id, so runs
+stay reproducible without threading an RNG into the routing layer.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+    RoutingError,
+)
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST, MeshTopology
+
+_ORDER_KEY = "o1turn_order"
+
+
+class MeshO1TurnRouting(RoutingAlgorithm):
+    """Per-packet randomised dimension order with per-order VCs."""
+
+    required_vcs = 2
+
+    def __init__(self, topology: MeshTopology) -> None:
+        if not topology.is_regular:
+            raise RoutingError(
+                f"O1TURN requires a regular mesh, got {topology.name}"
+            )
+        super().__init__(topology, f"o1turn/{topology.name}")
+        self._mesh = topology
+
+    @staticmethod
+    def _order_for(packet: Packet) -> str:
+        order = packet.route_state.get(_ORDER_KEY)
+        if order is None:
+            # Full splitmix64 finalizer over the packet id: cheap,
+            # deterministic, and decorrelates the low bit from
+            # consecutive ids (a partial scramble leaves runs of one
+            # parity).
+            mask = 2**64 - 1
+            z = (packet.packet_id + 0x9E3779B97F4A7C15) & mask
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+            z ^= z >> 31
+            order = "xy" if z & 1 == 0 else "yx"
+            packet.route_state[_ORDER_KEY] = order
+        return order
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, packet.vc)
+        order = self._order_for(packet)
+        vc = 0 if order == "xy" else 1
+        packet.vc = vc
+        row, col = self._mesh.coordinates(node)
+        dst_row, dst_col = self._mesh.coordinates(packet.dst)
+        if order == "xy":
+            moves = ((col, dst_col, EAST, WEST), (row, dst_row, SOUTH, NORTH))
+        else:
+            moves = ((row, dst_row, SOUTH, NORTH), (col, dst_col, EAST, WEST))
+        for position, target, forward, backward in moves:
+            if position < target:
+                return RouteDecision(forward, vc)
+            if position > target:
+                return RouteDecision(backward, vc)
+        raise RoutingError(
+            f"{self.name}: no move from {node} to {packet.dst}"
+        )  # pragma: no cover - unreachable, dst checked above

@@ -1,0 +1,96 @@
+"""Routing abstractions.
+
+A routing algorithm maps ``(current node, packet)`` to a
+:class:`RouteDecision` — an output-port name plus the virtual channel
+the packet must use on that port.  Algorithms may keep per-packet
+state in ``packet.route_state`` (e.g. the ring direction, locked in at
+the first decision and maintained afterwards, as the paper requires).
+
+``LOCAL_PORT`` is the pseudo-port for ejection to the local IP.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.noc.packet import Packet
+from repro.topology.base import Topology
+
+LOCAL_PORT = "local"
+
+
+class RoutingError(RuntimeError):
+    """Raised when an algorithm cannot produce a legal next hop."""
+
+
+@dataclass(frozen=True, slots=True)
+class RouteDecision:
+    """Output port and virtual channel chosen for a packet's next hop."""
+
+    port: str
+    vc: int = 0
+
+    @property
+    def is_local(self) -> bool:
+        """True when the packet has reached its destination node."""
+        return self.port == LOCAL_PORT
+
+
+class RoutingAlgorithm(ABC):
+    """Base class for deterministic per-hop routing.
+
+    Attributes:
+        topology: The topology the algorithm routes on.
+    """
+
+    #: Virtual channels the algorithm needs per link (subclasses with
+    #: dateline disciplines override to 2).
+    required_vcs = 1
+
+    def __init__(self, topology: Topology, name: str) -> None:
+        self.topology = topology
+        self.name = name
+
+    @abstractmethod
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        """Choose the next hop for *packet* standing at *node*.
+
+        Must return ``RouteDecision(LOCAL_PORT)`` when
+        ``node == packet.dst``.  Implementations may mutate
+        ``packet.route_state`` and ``packet.vc``.
+        """
+
+    def path(self, src: int, dst: int, size_flits: int = 1) -> list[int]:
+        """The node sequence a packet would take from *src* to *dst*.
+
+        A convenience for tests and analysis: walks the algorithm hop
+        by hop on a throwaway packet.
+
+        Raises:
+            RoutingError: if the walk does not terminate within
+                ``num_nodes`` hops (a routing loop).
+        """
+        self.topology.check_node(src)
+        self.topology.check_node(dst)
+        if src == dst:
+            return [src]
+        packet = Packet(src, dst, size_flits, created_at=0)
+        nodes = [src]
+        current = src
+        for _ in range(self.topology.num_nodes + 1):
+            decision = self.decide(current, packet)
+            if decision.is_local:
+                return nodes
+            current = self.topology.out_ports(current)[decision.port]
+            nodes.append(current)
+        raise RoutingError(
+            f"{self.name}: routing loop from {src} to {dst}: {nodes}"
+        )
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Number of links the algorithm's route traverses."""
+        return len(self.path(src, dst)) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.topology.name})"

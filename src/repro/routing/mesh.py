@@ -1,0 +1,52 @@
+"""Dimension-order (XY) routing on regular 2D meshes.
+
+"In 2D Mesh NoC, Dimension order routing is adopted: flits from the
+source node migrate along the X (horizontal link) nodes up to the
+column of the target, then along the Y (vertical link) nodes up to the
+target node."
+
+XY routing on a full grid is minimal and deadlock-free with a single
+virtual channel (turns from Y back to X never occur).  It is **not**
+safe on irregular meshes, where an X-path row may have missing cells —
+the constructor rejects those; use
+:class:`~repro.routing.table.TableRouting` instead.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+    RoutingError,
+)
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST, MeshTopology
+
+
+class MeshXYRouting(RoutingAlgorithm):
+    """Deterministic X-then-Y routing on a regular mesh."""
+
+    required_vcs = 1
+
+    def __init__(self, topology: MeshTopology) -> None:
+        if not topology.is_regular:
+            raise RoutingError(
+                f"XY routing requires a regular mesh; {topology.name} "
+                "has missing cells (use TableRouting)"
+            )
+        super().__init__(topology, f"xy/{topology.name}")
+        self._mesh = topology
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, 0)
+        row, col = self._mesh.coordinates(node)
+        dst_row, dst_col = self._mesh.coordinates(packet.dst)
+        if col < dst_col:
+            return RouteDecision(EAST, 0)
+        if col > dst_col:
+            return RouteDecision(WEST, 0)
+        if row < dst_row:
+            return RouteDecision(SOUTH, 0)
+        return RouteDecision(NORTH, 0)

@@ -1,0 +1,75 @@
+"""Shortest-direction routing on the Ring, with dateline VCs.
+
+"In Ring-based NoC the routing strategy is straightforward: clockwise
+or counterclockwise direction is taken from the source to the target
+node, depending on the shortest path direction."
+
+Deadlock avoidance uses the classic dateline discipline on each ring
+direction: packets start on virtual channel 0 and move to virtual
+channel 1 on (and after) the hop that crosses the dateline — the
+``N-1 -> 0`` edge clockwise, the ``0 -> N-1`` edge counterclockwise.
+Because minimal routes never wrap around the whole ring, the channel
+dependency graph per VC is acyclic, which is what the paper's "pair of
+output buffers ... used for deadlock avoidance" provides.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+)
+from repro.topology.ring import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
+
+_DIRECTION_KEY = "ring_direction"
+
+
+def shortest_ring_direction(num_nodes: int, src: int, dst: int) -> str:
+    """``"cw"`` or ``"ccw"``, whichever reaches *dst* in fewer hops.
+
+    Clockwise wins exact ties, making the choice deterministic.
+    """
+    clockwise = (dst - src) % num_nodes
+    if clockwise <= num_nodes - clockwise:
+        return CLOCKWISE
+    return COUNTERCLOCKWISE
+
+
+def dateline_vc(
+    num_nodes: int, node: int, direction: str, packet: Packet
+) -> int:
+    """Virtual channel for the next ring hop under the dateline rule.
+
+    Promotes ``packet.vc`` to 1 when the hop crosses the dateline of
+    its direction; once promoted, the packet stays on VC 1.
+    """
+    crossing = (direction == CLOCKWISE and node == num_nodes - 1) or (
+        direction == COUNTERCLOCKWISE and node == 0
+    )
+    if crossing:
+        packet.vc = 1
+    return packet.vc
+
+
+class RingShortestRouting(RoutingAlgorithm):
+    """The paper's Ring routing: pick the shorter direction, keep it."""
+
+    required_vcs = 2
+
+    def __init__(self, topology: RingTopology) -> None:
+        super().__init__(topology, f"ring-shortest/{topology.name}")
+        self._num_nodes = topology.num_nodes
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, packet.vc)
+        direction = packet.route_state.get(_DIRECTION_KEY)
+        if direction is None:
+            direction = shortest_ring_direction(
+                self._num_nodes, node, packet.dst
+            )
+            packet.route_state[_DIRECTION_KEY] = direction
+        vc = dateline_vc(self._num_nodes, node, direction, packet)
+        return RouteDecision(direction, vc)

@@ -1,0 +1,56 @@
+"""The paper's Across-first routing on the Spidergon.
+
+"First, if the target node for a packet is at distance D > N/4 on the
+external ring (that is, in the opposite half of the Spidergon external
+ring) then the across link is traversed first, to reach the opposite
+node.  Second, clockwise or counterclockwise direction is taken and
+maintained, depending on the target's position."
+
+After the across hop the remaining ring distance is at most
+``ceil(N/4)``, so the across link is never taken twice; the decision
+can therefore be made statelessly from the current node.  Ring travel
+reuses the dateline virtual-channel discipline
+(:func:`repro.routing.ring.dateline_vc`); across hops always use
+VC 0 — across channels only ever feed ring channels, never another
+across channel, so they add no cyclic dependency.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+)
+from repro.routing.ring import dateline_vc, shortest_ring_direction
+from repro.topology.spidergon import ACROSS, SpidergonTopology
+
+_DIRECTION_KEY = "ring_direction"
+
+
+class SpidergonAcrossFirstRouting(RoutingAlgorithm):
+    """Across-first deterministic routing (paper Section 2)."""
+
+    required_vcs = 2
+
+    def __init__(self, topology: SpidergonTopology) -> None:
+        super().__init__(topology, f"across-first/{topology.name}")
+        self._num_nodes = topology.num_nodes
+        self._quarter = topology.num_nodes / 4
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, packet.vc)
+        clockwise = (packet.dst - node) % self._num_nodes
+        ring_distance = min(clockwise, self._num_nodes - clockwise)
+        if ring_distance > self._quarter:
+            return RouteDecision(ACROSS, 0)
+        direction = packet.route_state.get(_DIRECTION_KEY)
+        if direction is None:
+            direction = shortest_ring_direction(
+                self._num_nodes, node, packet.dst
+            )
+            packet.route_state[_DIRECTION_KEY] = direction
+        vc = dateline_vc(self._num_nodes, node, direction, packet)
+        return RouteDecision(direction, vc)

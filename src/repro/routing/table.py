@@ -1,0 +1,79 @@
+"""Table-driven shortest-path routing.
+
+Next hops are precomputed with BFS from every destination, breaking
+ties toward the lowest-numbered neighbor, so routes are deterministic
+and minimal on any connected topology.  This is
+
+* the only general option for **irregular meshes**, where XY routing
+  can hit missing cells, and
+* the ablation baseline quantifying what the specialised schemes
+  (across-first, shortest-direction) give up or gain.
+
+Table routing makes no deadlock guarantee by itself (the paper's
+specialised schemes carry that burden); it is intended for analysis
+and for low-load irregular-mesh studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+    RoutingError,
+)
+from repro.topology.base import Topology
+
+
+def _next_hop_table(topology: Topology) -> list[list[int]]:
+    """``table[dst][node]`` = neighbor of *node* on a shortest path to
+    *dst* (-1 for ``node == dst``)."""
+    n = topology.num_nodes
+    neighbors = [sorted(topology.neighbors(node)) for node in range(n)]
+    table = []
+    for dst in range(n):
+        next_hop = [-1] * n
+        dist = [-1] * n
+        dist[dst] = 0
+        frontier = deque([dst])
+        # BFS outward from the destination: the node we came from is
+        # the next hop toward dst.
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in neighbors[node]:
+                if dist[neighbor] == -1:
+                    dist[neighbor] = dist[node] + 1
+                    next_hop[neighbor] = node
+                    frontier.append(neighbor)
+        if any(d == -1 for d in dist):
+            raise RoutingError(
+                f"{topology.name}: not all nodes reach node {dst}"
+            )
+        table.append(next_hop)
+    return table
+
+
+class TableRouting(RoutingAlgorithm):
+    """Precomputed minimal routing for arbitrary connected topologies."""
+
+    required_vcs = 1
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology, f"table/{topology.name}")
+        self._table = _next_hop_table(topology)
+        self._port_of = [
+            {
+                neighbor: port
+                for port, neighbor in topology.out_ports(node).items()
+            }
+            for node in range(topology.num_nodes)
+        ]
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, 0)
+        neighbor = self._table[packet.dst][node]
+        return RouteDecision(self._port_of[node][neighbor], 0)

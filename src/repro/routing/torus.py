@@ -1,0 +1,78 @@
+"""Dimension-order routing on the 2D torus, with per-dimension
+datelines.
+
+Like mesh XY routing, packets finish the X (column) dimension before
+starting Y (rows), so inter-dimension dependencies flow one way.
+Within each dimension the topology is a ring, handled exactly like
+:mod:`repro.routing.ring`: shortest direction, and a promotion to
+virtual channel 1 on the hop that crosses the dimension's wraparound
+edge.  The VC class resets when the packet turns from X to Y — X and
+Y channels are disjoint resource sets, so each dimension's dateline
+argument applies independently and the scheme is deadlock-free with
+two VCs.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+)
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+from repro.topology.torus import TorusTopology
+
+_DIM_KEY = "torus_dimension"
+
+
+class TorusXYRouting(RoutingAlgorithm):
+    """Shortest-direction dimension-order routing with dateline VCs."""
+
+    required_vcs = 2
+
+    def __init__(self, topology: TorusTopology) -> None:
+        super().__init__(topology, f"torus-xy/{topology.name}")
+        self._torus = topology
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, packet.vc)
+        row, col = self._torus.coordinates(node)
+        dst_row, dst_col = self._torus.coordinates(packet.dst)
+        if col != dst_col:
+            return self._ring_hop(
+                packet, "x", col, dst_col, self._torus.cols, EAST, WEST
+            )
+        # "Forward" in the row dimension is south (row + 1).
+        return self._ring_hop(
+            packet, "y", row, dst_row, self._torus.rows, SOUTH, NORTH
+        )
+
+    def _ring_hop(
+        self,
+        packet: Packet,
+        dimension: str,
+        position: int,
+        target: int,
+        size: int,
+        forward_port: str,
+        backward_port: str,
+    ) -> RouteDecision:
+        # Entering a new dimension resets the dateline class: the
+        # previous dimension's channels can never be revisited.
+        if packet.route_state.get(_DIM_KEY) != dimension:
+            packet.route_state[_DIM_KEY] = dimension
+            packet.vc = 0
+        forward = (target - position) % size
+        if forward <= size - forward:
+            port = forward_port
+            # Moving forward wraps on the hop leaving the last
+            # coordinate — that edge is the dimension's dateline.
+            crossing = position == size - 1
+        else:
+            port = backward_port
+            crossing = position == 0
+        if crossing:
+            packet.vc = 1
+        return RouteDecision(port, packet.vc)

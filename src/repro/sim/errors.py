@@ -1,0 +1,22 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled at an invalid time.
+
+    The most common cause is scheduling an event in the past, which
+    would break the causal ordering guarantees of the event queue.
+    """
+
+
+class GateConnectionError(SimulationError):
+    """Raised on invalid gate wiring.
+
+    Examples: connecting a gate that already has an outgoing channel,
+    sending through an unconnected gate, or connecting a gate to
+    itself with a zero-delay loop.
+    """

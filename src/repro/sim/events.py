@@ -1,0 +1,110 @@
+"""Event representation and the pending-event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number is a monotonically increasing counter assigned at scheduling
+time, so events that share a timestamp and priority are delivered in
+FIFO order.  This matches the OMNeT++ guarantee that the paper's node
+models implicitly rely on (e.g. a flit arriving and a credit arriving
+in the same cycle are processed in the order they were sent).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.sim.messages import Message
+    from repro.sim.module import SimModule
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A pending message delivery.
+
+    Attributes:
+        time: Simulation cycle at which the event fires.
+        priority: Tie-breaker among events at the same time; lower
+            values fire first.  Kernel-internal events use 0; models
+            may use other values to force intra-cycle phases.
+        sequence: Scheduling order counter, assigned by the queue.
+        target: Module whose handler receives the message.
+        message: The message being delivered.
+        handler: Optional callable override; when set, the kernel
+            invokes it instead of ``target.handle_message``.
+    """
+
+    time: int
+    priority: int
+    sequence: int
+    target: "SimModule | None" = field(compare=False, default=None)
+    message: "Message | None" = field(compare=False, default=None)
+    handler: Callable[["Message"], None] | None = field(
+        compare=False, default=None
+    )
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects.
+
+    Cancelled events stay in the heap and are discarded lazily on pop,
+    which keeps cancellation O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert *event*, stamping its sequence number."""
+        event.sequence = self._sequence
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Return the timestamp of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def discard_cancelled(self, event: Event) -> None:
+        """Account for a cancellation (keeps ``len`` accurate)."""
+        if not event.cancelled:
+            raise ValueError("event is not cancelled")
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

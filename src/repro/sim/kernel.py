@@ -1,0 +1,171 @@
+"""The simulator: event loop, scheduling, and run control."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.messages import Message
+from repro.sim.module import SimModule
+
+
+class Simulator:
+    """Owns simulation time, the event queue, and the module registry.
+
+    Typical usage::
+
+        sim = Simulator()
+        node = MyModule(sim, "node0")   # registers itself
+        sim.run(until=10_000)
+
+    The simulator may be run incrementally: successive :meth:`run`
+    calls continue from the current time.  ``initialize`` hooks run
+    exactly once, before the first event of the first ``run``.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0
+        self._modules: list[SimModule] = []
+        self._module_names: set[str] = set()
+        self._pending_init: list[SimModule] = []
+        self._initialized = False
+        self._finalized = False
+        self._events_processed = 0
+
+    # -- registry ----------------------------------------------------
+
+    def register_module(self, module: SimModule) -> None:
+        """Add *module* to the registry (called by SimModule.__init__).
+
+        Raises:
+            SimulationError: on duplicate module names, which would
+                make traces and diagnostics ambiguous.
+        """
+        if module.name in self._module_names:
+            raise SimulationError(
+                f"duplicate module name: {module.name!r}"
+            )
+        self._module_names.add(module.name)
+        self._modules.append(module)
+        # Initialization is deferred to the next run() even when the
+        # simulation already started: register_module is called from
+        # SimModule.__init__, before the subclass constructor has
+        # finished setting up the module's own state.
+        self._pending_init.append(module)
+
+    @property
+    def modules(self) -> tuple[SimModule, ...]:
+        return tuple(self._modules)
+
+    # -- time and scheduling ------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events delivered so far."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        time: int,
+        target: SimModule,
+        message: Message,
+        priority: int = 0,
+        handler: Callable[[Message], None] | None = None,
+    ) -> Event:
+        """Schedule delivery of *message* to *target* at *time*.
+
+        Raises:
+            SchedulingError: if *time* precedes the current time.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time}, current time is {self._now}"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=0,
+            target=target,
+            message=message,
+            handler=handler,
+        )
+        return self._queue.push(event)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* if it has not fired yet (idempotent)."""
+        if event.cancelled:
+            return
+        event.cancel()
+        self._queue.discard_cancelled(event)
+
+    # -- run control ---------------------------------------------------
+
+    def _ensure_initialized(self) -> None:
+        self._initialized = True
+        while self._pending_init:
+            self._pending_init.pop(0).initialize()
+
+    def run(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Process events until a stop condition is met.
+
+        Args:
+            until: Stop once the next event's time exceeds this value;
+                events *at* ``until`` are processed.  ``now`` is set to
+                ``until`` on a time-limited stop.
+            max_events: Stop after this many deliveries in this call.
+
+        Returns:
+            The number of events processed by this call.
+
+        Raises:
+            SimulationError: if neither stop condition is given and
+                the event queue drains forever is impossible — i.e.
+                this is allowed; an empty queue always stops the run.
+        """
+        self._ensure_initialized()
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            self._events_processed += 1
+            processed += 1
+            message = event.message
+            assert message is not None
+            if event.handler is not None:
+                event.handler(message)
+            else:
+                assert event.target is not None
+                event.target.handle_message(message)
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def finalize(self) -> None:
+        """Invoke every module's ``finalize`` hook (once)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for module in self._modules:
+            module.finalize()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still in the queue."""
+        return len(self._queue)

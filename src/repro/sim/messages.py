@@ -1,0 +1,62 @@
+"""Message base class for the simulation kernel.
+
+A :class:`Message` is the unit of communication between modules.  The
+NoC model derives flit and credit messages from it.  Messages record
+bookkeeping timestamps that the kernel fills in on send/delivery so
+models can measure channel latencies without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.module import Gate, SimModule
+
+_message_ids = itertools.count()
+
+
+class Message:
+    """Base class for everything that travels between modules.
+
+    Attributes:
+        name: Human-readable label used in ``repr`` and traces.
+        kind: Small integer tag models may use for cheap dispatch.
+        message_id: Unique id assigned at construction.
+        created_at: Simulation time at construction (set by kernel on
+            first send if the message was built outside a handler).
+        sent_at: Time of the most recent ``send``.
+        arrival_gate: Gate the message was delivered through (None for
+            self-messages).
+        sender: Module that performed the most recent ``send``.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "message_id",
+        "created_at",
+        "sent_at",
+        "arrival_gate",
+        "sender",
+    )
+
+    def __init__(self, name: str = "msg", kind: int = 0) -> None:
+        self.name = name
+        self.kind = kind
+        self.message_id = next(_message_ids)
+        self.created_at: int | None = None
+        self.sent_at: int | None = None
+        self.arrival_gate: "Gate | None" = None
+        self.sender: "SimModule | None" = None
+
+    def is_self_message(self) -> bool:
+        """True when the last delivery was a self-scheduled timer."""
+        return self.arrival_gate is None and self.sender is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"id={self.message_id}, kind={self.kind})"
+        )

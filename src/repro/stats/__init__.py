@@ -1,0 +1,29 @@
+"""Measurement: collectors, run summaries, and sweep analysis."""
+
+from repro.stats.collectors import NetworkStats
+from repro.stats.sampling import OccupancySampler, OccupancySummary
+from repro.stats.summary import (
+    RunResult,
+    batch_means,
+    confidence_interval,
+    detect_saturation_point,
+    histogram,
+    mean,
+    percentile,
+)
+from repro.stats.utilization import LinkLoad, UtilizationReport
+
+__all__ = [
+    "LinkLoad",
+    "NetworkStats",
+    "OccupancySampler",
+    "OccupancySummary",
+    "RunResult",
+    "UtilizationReport",
+    "batch_means",
+    "confidence_interval",
+    "detect_saturation_point",
+    "histogram",
+    "mean",
+    "percentile",
+]

@@ -1,0 +1,87 @@
+"""Runtime measurement of a NoC simulation.
+
+One :class:`NetworkStats` instance is shared by every network
+interface of a run.  Events before ``warmup_cycles`` are counted in
+the ``warmup_*`` tallies but excluded from the reported metrics, which
+is the standard steady-state measurement discipline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.noc.packet import Packet
+
+
+class NetworkStats:
+    """Accumulates generation, injection and consumption events.
+
+    Attributes:
+        warmup_cycles: Events strictly before this cycle are excluded
+            from the measured tallies.
+        packets_generated / packets_rejected: Source-side counts
+            (rejected = IP memory full).
+        flits_injected: Flits accepted by source routers.
+        flits_consumed / packets_consumed: Sink-side counts after
+            warmup.
+        latencies: Per-delivered-packet latency in cycles
+            (creation to tail-flit consumption), after warmup.
+        queueing_delays: Source-side component of each latency: cycles
+            from packet creation to head-flit injection (time spent in
+            IP memory).  The post-saturation latency explosion lives
+            entirely in this component.
+        network_latencies: In-network component: head-flit injection
+            to tail-flit consumption.
+        hop_counts: Per-delivered-packet hop count, after warmup.
+    """
+
+    def __init__(self, warmup_cycles: int = 0) -> None:
+        if warmup_cycles < 0:
+            raise ValueError(
+                f"warmup_cycles must be >= 0, got {warmup_cycles}"
+            )
+        self.warmup_cycles = warmup_cycles
+        self.packets_generated = 0
+        self.packets_rejected = 0
+        self.flits_injected = 0
+        self.flits_consumed = 0
+        self.packets_consumed = 0
+        self.warmup_flits_consumed = 0
+        self.warmup_packets_consumed = 0
+        self.latencies: list[int] = []
+        self.queueing_delays: list[int] = []
+        self.network_latencies: list[int] = []
+        self.hop_counts: list[int] = []
+        self.delivered_by_source: Counter[int] = Counter()
+
+    def record_generated(self, now: int) -> None:
+        self.packets_generated += 1
+
+    def record_rejected(self, now: int) -> None:
+        self.packets_rejected += 1
+
+    def record_injected_flit(self, now: int) -> None:
+        self.flits_injected += 1
+
+    def record_consumed_flit(self, now: int) -> None:
+        if now < self.warmup_cycles:
+            self.warmup_flits_consumed += 1
+        else:
+            self.flits_consumed += 1
+
+    def record_packet_delivered(self, packet: Packet, now: int) -> None:
+        if now < self.warmup_cycles:
+            self.warmup_packets_consumed += 1
+            return
+        self.packets_consumed += 1
+        self.latencies.append(now - packet.created_at)
+        if packet.injected_at is None:
+            raise ValueError(
+                f"delivered packet {packet.packet_id} was never injected"
+            )
+        self.queueing_delays.append(
+            packet.injected_at - packet.created_at
+        )
+        self.network_latencies.append(now - packet.injected_at)
+        self.hop_counts.append(packet.hops)
+        self.delivered_by_source[packet.src] += 1

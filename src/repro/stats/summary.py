@@ -1,0 +1,263 @@
+"""Run summaries and small statistical helpers.
+
+Deliberately dependency-light: the helpers cover exactly what the
+experiment harness needs (means, percentiles, normal-approximation
+confidence intervals, knee detection on latency curves).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.stats.collectors import NetworkStats
+
+
+def mean(values: list[float] | list[int]) -> float:
+    """Arithmetic mean; raises on empty input rather than guessing."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: list[float] | list[int], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def confidence_interval(
+    values: list[float] | list[int], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI of the mean as ``(center, half_width)``.
+
+    Uses z = 1.96 for 95% and 2.576 for 99%; for other levels the
+    inverse error function via :func:`math.erf` bisection would be
+    overkill, so only those two levels are supported.
+    """
+    if len(values) < 2:
+        raise ValueError("confidence interval needs >= 2 samples")
+    z_by_level = {0.95: 1.96, 0.99: 2.576}
+    if confidence not in z_by_level:
+        raise ValueError(
+            f"supported confidence levels: {sorted(z_by_level)}, "
+            f"got {confidence}"
+        )
+    center = mean(values)
+    variance = sum((v - center) ** 2 for v in values) / (len(values) - 1)
+    half_width = z_by_level[confidence] * math.sqrt(
+        variance / len(values)
+    )
+    return center, half_width
+
+
+def histogram(
+    values: list[float] | list[int], bucket_width: float
+) -> dict[float, int]:
+    """Counts per bucket; keys are bucket lower bounds.
+
+    Used to inspect latency distributions (the paper reports means;
+    the tail behaviour around saturation is easier to see bucketed).
+
+    Raises:
+        ValueError: on empty input or non-positive width.
+    """
+    if not values:
+        raise ValueError("histogram of empty sequence")
+    if bucket_width <= 0:
+        raise ValueError(
+            f"bucket_width must be > 0, got {bucket_width}"
+        )
+    counts: dict[float, int] = {}
+    for value in values:
+        bucket = math.floor(value / bucket_width) * bucket_width
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def batch_means(
+    values: list[float] | list[int],
+    num_batches: int = 10,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Batch-means confidence interval for autocorrelated series.
+
+    Simulation outputs (per-packet latencies in arrival order) are
+    positively autocorrelated, so the naive i.i.d. CI is too narrow.
+    Batch means splits the series into *num_batches* contiguous
+    batches and builds the CI over the batch averages, which are
+    nearly independent for reasonable batch sizes.
+
+    Returns:
+        ``(mean, half_width)``.
+
+    Raises:
+        ValueError: with fewer than 2 observations per batch.
+    """
+    if num_batches < 2:
+        raise ValueError(
+            f"need at least 2 batches, got {num_batches}"
+        )
+    batch_size = len(values) // num_batches
+    if batch_size < 2:
+        raise ValueError(
+            f"{len(values)} observations are too few for "
+            f"{num_batches} batches"
+        )
+    averages = [
+        mean(values[i * batch_size:(i + 1) * batch_size])
+        for i in range(num_batches)
+    ]
+    return confidence_interval(averages, confidence)
+
+
+def detect_saturation_point(
+    rates: list[float],
+    latencies: list[float],
+    threshold_factor: float = 3.0,
+) -> float | None:
+    """First injection rate where latency exceeds *threshold_factor*
+    times the zero-load (first point) latency — the knee of the
+    latency curve, used to compare saturation across topologies.
+
+    Returns None when the curve never crosses the threshold.
+    """
+    if len(rates) != len(latencies) or not rates:
+        raise ValueError("rates and latencies must be equal, non-empty")
+    baseline = latencies[0]
+    for rate, latency in zip(rates, latencies):
+        if latency > threshold_factor * baseline:
+            return rate
+    return None
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything measured in one simulation run.
+
+    Attributes:
+        topology_name / routing_name / pattern_name: Identification.
+        num_nodes: Network size.
+        num_sources: Nodes generating traffic.
+        injection_rate: Offered load per source (flits/cycle).
+        cycles: Total simulated cycles.
+        warmup_cycles: Cycles excluded from measurement.
+        throughput: Aggregate accepted traffic at sinks,
+            flits/cycle, measured after warmup.
+        avg_latency: Mean packet latency (cycles), None if no packet
+            was delivered after warmup.
+        avg_queueing_delay: Mean IP-memory waiting time (cycles) of
+            delivered packets — the component that explodes past
+            saturation.
+        avg_network_latency: Mean injection-to-consumption time.
+        p95_latency: 95th-percentile latency, same caveat.
+        avg_hops: Mean head-flit hop count of delivered packets.
+        packets_delivered / flits_delivered: Post-warmup counts.
+        packets_generated / packets_rejected: Source-side totals.
+    """
+
+    topology_name: str
+    routing_name: str
+    pattern_name: str
+    num_nodes: int
+    num_sources: int
+    injection_rate: float
+    cycles: int
+    warmup_cycles: int
+    throughput: float
+    avg_latency: float | None
+    avg_queueing_delay: float | None
+    avg_network_latency: float | None
+    p95_latency: float | None
+    avg_hops: float | None
+    packets_delivered: int
+    flits_delivered: int
+    packets_generated: int
+    packets_rejected: int
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def offered_load(self) -> float:
+        """Aggregate offered load, flits/cycle across all sources."""
+        return self.injection_rate * self.num_sources
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / generated packets (over the whole run)."""
+        if self.packets_generated == 0:
+            return 0.0
+        total_delivered = self.packets_delivered
+        return total_delivered / self.packets_generated
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: NetworkStats,
+        *,
+        topology_name: str,
+        routing_name: str,
+        pattern_name: str,
+        num_nodes: int,
+        num_sources: int,
+        injection_rate: float,
+        cycles: int,
+        seed: int = 0,
+    ) -> "RunResult":
+        """Summarise *stats* for a run of *cycles* total cycles."""
+        measured = cycles - stats.warmup_cycles
+        if measured <= 0:
+            raise ValueError(
+                f"run of {cycles} cycles leaves no measurement window "
+                f"after {stats.warmup_cycles} warmup cycles"
+            )
+        throughput = stats.flits_consumed / measured
+        return cls(
+            topology_name=topology_name,
+            routing_name=routing_name,
+            pattern_name=pattern_name,
+            num_nodes=num_nodes,
+            num_sources=num_sources,
+            injection_rate=injection_rate,
+            cycles=cycles,
+            warmup_cycles=stats.warmup_cycles,
+            throughput=throughput,
+            avg_latency=(
+                mean(stats.latencies) if stats.latencies else None
+            ),
+            avg_queueing_delay=(
+                mean(stats.queueing_delays)
+                if stats.queueing_delays
+                else None
+            ),
+            avg_network_latency=(
+                mean(stats.network_latencies)
+                if stats.network_latencies
+                else None
+            ),
+            p95_latency=(
+                percentile(stats.latencies, 95)
+                if stats.latencies
+                else None
+            ),
+            avg_hops=(
+                mean(stats.hop_counts) if stats.hop_counts else None
+            ),
+            packets_delivered=stats.packets_consumed,
+            flits_delivered=stats.flits_consumed,
+            packets_generated=stats.packets_generated,
+            packets_rejected=stats.packets_rejected,
+            seed=seed,
+        )

@@ -1,0 +1,113 @@
+"""Link-utilization analysis.
+
+The paper's introduction lists "the high correlation of the link
+traffic" and "severe energy ... constraints" among the on-chip
+realities.  Per-link flit counts are the standard first-order proxy
+for both: utilization imbalance reveals traffic hot links, and total
+link traversals scale with dynamic interconnect energy.
+
+Usage::
+
+    network = Network(topology, traffic=traffic)
+    network.run(cycles=20_000, warmup=4_000)
+    report = UtilizationReport.from_network(network)
+    print(report.mean_utilization, report.peak.utilization)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.base import LOCAL_PORT
+
+
+@dataclass(frozen=True, slots=True)
+class LinkLoad:
+    """Traffic on one unidirectional link.
+
+    Attributes:
+        node: Source router of the link.
+        port: Output-port name at the source router.
+        flits: Total flits forwarded over the run.
+        utilization: Flits per cycle (0..1 — each link carries at most
+            one flit per cycle).
+    """
+
+    node: int
+    port: str
+    flits: int
+    utilization: float
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationReport:
+    """Aggregate link-load statistics for one run."""
+
+    loads: tuple[LinkLoad, ...]
+    cycles: int
+
+    @classmethod
+    def from_network(
+        cls, network, include_local: bool = False
+    ) -> "UtilizationReport":
+        """Build a report from a completed :class:`~repro.noc.Network`.
+
+        Args:
+            network: A network whose ``run`` has finished.
+            include_local: Also count the ejection links when True.
+
+        Raises:
+            ValueError: if the network has not been run.
+        """
+        if network.cycles_run <= 0:
+            raise ValueError("network has not been run yet")
+        cycles = network.cycles_run
+        loads = []
+        for (node, port), flits in sorted(
+            network.link_flit_counts().items()
+        ):
+            if port == LOCAL_PORT and not include_local:
+                continue
+            loads.append(
+                LinkLoad(node, port, flits, flits / cycles)
+            )
+        return cls(tuple(loads), cycles)
+
+    @property
+    def total_flit_hops(self) -> int:
+        """Total link traversals — the dynamic-energy proxy."""
+        return sum(load.flits for load in self.loads)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.loads:
+            return 0.0
+        return sum(l.utilization for l in self.loads) / len(self.loads)
+
+    @property
+    def peak(self) -> LinkLoad:
+        """The busiest link.
+
+        Raises:
+            ValueError: if the report is empty.
+        """
+        if not self.loads:
+            raise ValueError("no links in report")
+        return max(self.loads, key=lambda l: (l.utilization, -l.node))
+
+    @property
+    def imbalance(self) -> float:
+        """Peak-to-mean utilization ratio (1.0 = perfectly balanced).
+
+        Returns 0.0 for an idle network.
+        """
+        mean = self.mean_utilization
+        if mean == 0:
+            return 0.0
+        return self.peak.utilization / mean
+
+    def busiest(self, count: int = 5) -> list[LinkLoad]:
+        """The *count* most-loaded links, busiest first."""
+        return sorted(
+            self.loads, key=lambda l: l.utilization, reverse=True
+        )[:count]

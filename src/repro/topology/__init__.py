@@ -1,0 +1,44 @@
+"""NoC topology library.
+
+Provides the three topology families compared in the paper —
+:class:`~repro.topology.ring.RingTopology`,
+:class:`~repro.topology.spidergon.SpidergonTopology` and
+:class:`~repro.topology.mesh.MeshTopology` (ideal, factorized and
+irregular variants) — on top of a small dependency-free graph type
+with BFS-based shortest-path metrics.
+"""
+
+from repro.topology.base import Link, Topology, TopologyError
+from repro.topology.faults import FaultyTopology
+from repro.topology.graph import Graph
+from repro.topology.mesh import MeshTopology, best_factorization
+from repro.topology.metrics import (
+    all_pairs_distances,
+    average_distance,
+    diameter,
+    distance_histogram,
+    per_node_distance_sum,
+)
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.ring import RingTopology
+from repro.topology.spidergon import SpidergonTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = [
+    "FaultyTopology",
+    "Graph",
+    "HypercubeTopology",
+    "Link",
+    "MeshTopology",
+    "RingTopology",
+    "SpidergonTopology",
+    "Topology",
+    "TopologyError",
+    "TorusTopology",
+    "all_pairs_distances",
+    "average_distance",
+    "best_factorization",
+    "diameter",
+    "distance_histogram",
+    "per_node_distance_sum",
+]

@@ -1,0 +1,135 @@
+"""Topology base class and the directed-link abstraction.
+
+A topology describes the static wiring of the NoC: which nodes exist,
+which unidirectional links connect them, and the *output-port names*
+routers use to refer to those links (``"cw"``, ``"across"``, ``"east"``
+...).  The flit-level model in :mod:`repro.noc` builds one router per
+node and one channel per directed link from this description, and the
+routing algorithms in :mod:`repro.routing` return port names chosen
+from the same namespace.
+
+Following the paper, channels are unidirectional pairs: every physical
+connection contributes two directed links, so a Ring has ``2N`` links,
+a Spidergon ``3N`` and an ``m*n`` mesh ``2(m-1)n + 2(n-1)m``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.topology.graph import Graph
+
+
+class TopologyError(ValueError):
+    """Raised on invalid topology parameters (odd Spidergon size...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A unidirectional link ``src -> dst`` leaving *src* via *port*."""
+
+    src: int
+    dst: int
+    port: str
+
+
+class Topology(ABC):
+    """Abstract base for NoC topologies.
+
+    Subclasses implement :meth:`out_ports`; everything else is derived.
+    Node ids are ``0 .. num_nodes-1``.
+    """
+
+    def __init__(self, num_nodes: int, name: str) -> None:
+        if num_nodes < 2:
+            raise TopologyError(
+                f"a NoC needs at least 2 nodes, got {num_nodes}"
+            )
+        self.num_nodes = num_nodes
+        self.name = name
+
+    @abstractmethod
+    def out_ports(self, node: int) -> dict[str, int]:
+        """Map each output-port name of *node* to the neighbor node."""
+
+    # -- derived structure --------------------------------------------
+
+    def check_node(self, node: int) -> None:
+        """Raise :class:`TopologyError` if *node* is out of range."""
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Neighbor node ids of *node*, in port-definition order."""
+        return tuple(self.out_ports(node).values())
+
+    def degree(self, node: int) -> int:
+        """Number of outgoing links of *node* (excluding the local port)."""
+        return len(self.out_ports(node))
+
+    def port_to(self, node: int, neighbor: int) -> str:
+        """Name of the output port of *node* that reaches *neighbor*.
+
+        Raises:
+            TopologyError: if the nodes are not adjacent.
+        """
+        for port, dst in self.out_ports(node).items():
+            if dst == neighbor:
+                return port
+        raise TopologyError(
+            f"{self.name}: nodes {node} and {neighbor} are not adjacent"
+        )
+
+    def links(self) -> list[Link]:
+        """Every directed link, ordered by source node then port name."""
+        result = []
+        for node in range(self.num_nodes):
+            ports = self.out_ports(node)
+            for port in sorted(ports):
+                result.append(Link(node, ports[port], port))
+        return result
+
+    @property
+    def num_links(self) -> int:
+        """Total number of unidirectional links."""
+        return sum(
+            len(self.out_ports(node)) for node in range(self.num_nodes)
+        )
+
+    def to_graph(self) -> Graph:
+        """Directed :class:`Graph` over the same nodes and links."""
+        graph = Graph(self.num_nodes)
+        for link in self.links():
+            graph.add_edge(link.src, link.dst)
+        return graph
+
+    def validate(self) -> None:
+        """Check structural invariants shared by all paper topologies.
+
+        * every link's reverse link exists (channels come in pairs),
+        * the network is connected,
+        * no port maps a node to itself.
+
+        Raises:
+            TopologyError: on any violation.
+        """
+        for link in self.links():
+            if link.src == link.dst:
+                raise TopologyError(
+                    f"{self.name}: node {link.src} links to itself"
+                )
+        graph = self.to_graph()
+        for link in self.links():
+            if not graph.has_edge(link.dst, link.src):
+                raise TopologyError(
+                    f"{self.name}: link {link.src}->{link.dst} has no "
+                    "reverse link"
+                )
+        if not graph.is_strongly_connected():
+            raise TopologyError(f"{self.name}: network is not connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_nodes={self.num_nodes})"

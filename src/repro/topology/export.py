@@ -1,0 +1,56 @@
+"""Topology export: Graphviz DOT and adjacency listings.
+
+No plotting stack is assumed — the DOT text can be rendered elsewhere
+(``dot -Tsvg``), and :func:`to_adjacency_text` gives a greppable
+plain-text form used in docs and debugging sessions.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.topology.mesh import MeshTopology
+
+
+def to_dot(topology: Topology, name: str | None = None) -> str:
+    """Graphviz DOT for *topology*.
+
+    Paired unidirectional links are emitted as one undirected edge
+    labelled with the forward port name; meshes get grid positions so
+    ``neato -n`` reproduces the floorplan.
+    """
+    graph_name = (name or topology.name).replace("-", "_")
+    lines = [f"graph {graph_name} {{"]
+    lines.append("  node [shape=circle];")
+    if isinstance(topology, MeshTopology):
+        for node in range(topology.num_nodes):
+            row, col = topology.coordinates(node)
+            lines.append(
+                f'  n{node} [label="{node}", pos="{col},{-row}!"];'
+            )
+    else:
+        for node in range(topology.num_nodes):
+            lines.append(f'  n{node} [label="{node}"];')
+    seen = set()
+    for link in topology.links():
+        key = frozenset((link.src, link.dst))
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(
+            f'  n{link.src} -- n{link.dst} [label="{link.port}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_adjacency_text(topology: Topology) -> str:
+    """One line per node: ``node: port->neighbor ...``."""
+    lines = [f"# {topology.name}: {topology.num_nodes} nodes, "
+             f"{topology.num_links} links"]
+    for node in range(topology.num_nodes):
+        ports = topology.out_ports(node)
+        parts = " ".join(
+            f"{port}->{dst}" for port, dst in sorted(ports.items())
+        )
+        lines.append(f"{node}: {parts}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,100 @@
+"""Link-fault injection: degraded topologies.
+
+Manufacturing defects and wear-out leave SoC interconnects with dead
+links; the irregular-mesh motivation of the paper ("regular meshes
+cannot be always assumed") extends naturally to *regular topologies
+minus faulty links*.  :class:`FaultyTopology` wraps any base topology
+and removes chosen bidirectional links; table-driven routing
+(:class:`~repro.routing.table.TableRouting`, the automatic fallback of
+``routing_for``) then routes around the damage as long as the network
+stays connected.
+
+The specialised algorithms (XY, across-first...) assume intact
+structure and must not be used on a faulty topology — ``routing_for``
+handles this automatically because :class:`FaultyTopology` is its own
+type.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStream
+from repro.topology.base import Topology, TopologyError
+
+
+def _normalise(pair: tuple[int, int]) -> tuple[int, int]:
+    a, b = pair
+    return (a, b) if a <= b else (b, a)
+
+
+class FaultyTopology(Topology):
+    """A base topology with a set of failed bidirectional links."""
+
+    def __init__(
+        self,
+        base: Topology,
+        failed_links: list[tuple[int, int]],
+    ) -> None:
+        failed = {_normalise(pair) for pair in failed_links}
+        for a, b in failed:
+            base.check_node(a)
+            base.check_node(b)
+            if b not in base.neighbors(a):
+                raise TopologyError(
+                    f"cannot fail non-existent link {a}<->{b} of "
+                    f"{base.name}"
+                )
+        super().__init__(
+            base.num_nodes, f"{base.name}-faulty{len(failed)}"
+        )
+        self.base = base
+        self.failed_links = frozenset(failed)
+        # A degraded network is only usable if it stays connected.
+        if not self.to_graph().is_strongly_connected():
+            raise TopologyError(
+                f"{self.name}: failing {sorted(failed)} disconnects "
+                "the network"
+            )
+
+    @classmethod
+    def with_random_faults(
+        cls, base: Topology, count: int, seed: int = 0
+    ) -> "FaultyTopology":
+        """Fail *count* random links, retrying picks that would
+        disconnect the network.
+
+        Raises:
+            TopologyError: if no connected configuration is found in
+                a bounded number of attempts.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = RngStream(seed, f"faults:{base.name}:{count}")
+        candidates = sorted(
+            {
+                _normalise((link.src, link.dst))
+                for link in base.links()
+            }
+        )
+        if count > len(candidates):
+            raise TopologyError(
+                f"{base.name} has only {len(candidates)} links; "
+                f"cannot fail {count}"
+            )
+        for _ in range(200):
+            picks = list(candidates)
+            rng.shuffle(picks)
+            try:
+                return cls(base, picks[:count])
+            except TopologyError:
+                continue
+        raise TopologyError(
+            f"no connected configuration with {count} failed links "
+            f"found for {base.name}"
+        )
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        return {
+            port: dst
+            for port, dst in self.base.out_ports(node).items()
+            if _normalise((node, dst)) not in self.failed_links
+        }

@@ -1,0 +1,126 @@
+"""A minimal directed graph with BFS shortest paths.
+
+The topology classes expose their structure through this type so the
+analysis code does not depend on any particular topology's internals.
+``networkx`` is deliberately not used here — the library must stand on
+its own; tests use networkx as an independent oracle instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Graph:
+    """Directed graph over integer nodes ``0 .. num_nodes-1``."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be > 0, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._succ: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._edge_set: set[tuple[int, int]] = set()
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add the directed edge ``src -> dst`` (idempotent).
+
+        Raises:
+            ValueError: if either endpoint is out of range or the edge
+                is a self-loop (links never connect a node to itself).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            raise ValueError(f"self-loop on node {src} is not allowed")
+        if (src, dst) in self._edge_set:
+            return
+        self._edge_set.add((src, dst))
+        self._succ[src].append(dst)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        """Nodes reachable from *node* in one hop."""
+        self._check_node(node)
+        return tuple(self._succ[node])
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._edge_set
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_set)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All directed edges in insertion order per source node."""
+        return [
+            (src, dst)
+            for src in range(self.num_nodes)
+            for dst in self._succ[src]
+        ]
+
+    def bfs_distances(self, source: int) -> list[int]:
+        """Hop distances from *source*; unreachable nodes get -1."""
+        self._check_node(source)
+        dist = [-1] * self.num_nodes
+        dist[source] = 0
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            next_dist = dist[node] + 1
+            for succ in self._succ[node]:
+                if dist[succ] == -1:
+                    dist[succ] = next_dist
+                    frontier.append(succ)
+        return dist
+
+    def shortest_path(self, source: int, target: int) -> list[int]:
+        """One shortest path ``source -> ... -> target``.
+
+        Ties are broken toward the lowest-numbered next hop, so the
+        result is deterministic.
+
+        Raises:
+            ValueError: if *target* is unreachable from *source*.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if source == target:
+            return [source]
+        parent = [-1] * self.num_nodes
+        dist = [-1] * self.num_nodes
+        dist[source] = 0
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for succ in sorted(self._succ[node]):
+                if dist[succ] == -1:
+                    dist[succ] = dist[node] + 1
+                    parent[succ] = node
+                    if succ == target:
+                        frontier.clear()
+                        break
+                    frontier.append(succ)
+        if dist[target] == -1:
+            raise ValueError(
+                f"node {target} is unreachable from {source}"
+            )
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def is_strongly_connected(self) -> bool:
+        """True when every node reaches every other node."""
+        forward = self.bfs_distances(0)
+        if any(d == -1 for d in forward):
+            return False
+        reverse = Graph(self.num_nodes)
+        for src, dst in self._edge_set:
+            reverse.add_edge(dst, src)
+        return all(d != -1 for d in reverse.bfs_distances(0))

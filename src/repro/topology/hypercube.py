@@ -1,0 +1,60 @@
+"""Hypercube topology — the parallel-computing reference point.
+
+The paper positions NoC design "in between the classical networking
+solutions ... and the more specific communication and switching
+architectures for high-performance parallel computing", and notes
+that "high node degree reduces the average path length but increases
+complexity".  The binary hypercube is the canonical high-degree
+example: ``N = 2^d`` nodes of degree ``d = log2 N``, diameter ``d``,
+average distance ``d/2`` — unbeatable path lengths, router cost
+growing with ``log N`` ports (quadratically in the crossbar).
+
+Including it lets the cost/performance studies quantify exactly the
+complexity trade-off the paper uses to motivate constant-degree
+topologies like the Spidergon.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology, TopologyError
+
+
+class HypercubeTopology(Topology):
+    """Binary hypercube over ``2^dimension`` nodes.
+
+    Port names are ``"dim0" .. "dim{d-1}"``; port ``dimK`` connects
+    node ``i`` to ``i XOR 2^K``.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise TopologyError(
+                f"hypercube dimension must be >= 1, got {dimension}"
+            )
+        if dimension > 16:
+            raise TopologyError(
+                f"dimension {dimension} means {2**dimension} nodes; "
+                "refusing (likely a mistake)"
+            )
+        super().__init__(2**dimension, f"hypercube{2**dimension}")
+        self.dimension = dimension
+
+    @classmethod
+    def with_nodes(cls, num_nodes: int) -> "HypercubeTopology":
+        """Hypercube with exactly *num_nodes* nodes.
+
+        Raises:
+            TopologyError: if *num_nodes* is not a power of two.
+        """
+        if num_nodes < 2 or num_nodes & (num_nodes - 1):
+            raise TopologyError(
+                f"hypercube needs a power-of-two node count, got "
+                f"{num_nodes}"
+            )
+        return cls(num_nodes.bit_length() - 1)
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        self.check_node(node)
+        return {
+            f"dim{k}": node ^ (1 << k) for k in range(self.dimension)
+        }

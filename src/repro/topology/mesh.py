@@ -1,0 +1,189 @@
+"""2D Mesh topologies (paper figure 1.c), regular and irregular.
+
+The paper distinguishes three mesh notions:
+
+* the **ideal** mesh ``sqrt(N) x sqrt(N)``, only defined when N is a
+  perfect square;
+* the **real** mesh for arbitrary N, obtained by the best balanced
+  factorization ``m * n = N`` — for awkward N (e.g. ``N = 2p`` with p
+  prime) this degenerates toward a ``2 x N/2`` strip whose diameter
+  approaches the Ring's, which is exactly the fluctuation figure 2
+  shows;
+* the **irregular** mesh: a partially filled bounding grid (the last
+  row holds fewer cells), which is the paper's "realistic topologies"
+  motivation — regular meshes cannot always be assumed.
+
+All three are instances of :class:`MeshTopology`, which models an
+arbitrary subset of grid cells numbered row-major.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topology.base import Topology, TopologyError
+
+NORTH = "north"
+SOUTH = "south"
+EAST = "east"
+WEST = "west"
+
+
+def best_factorization(num_nodes: int) -> tuple[int, int]:
+    """Most balanced pair ``(rows, cols)`` with ``rows*cols == num_nodes``.
+
+    ``rows <= cols`` and ``rows`` is the largest divisor of *num_nodes*
+    not exceeding ``sqrt(num_nodes)``.  For prime N this is ``(1, N)``.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+    rows = 1
+    for candidate in range(1, int(math.isqrt(num_nodes)) + 1):
+        if num_nodes % candidate == 0:
+            rows = candidate
+    return rows, num_nodes // rows
+
+
+class MeshTopology(Topology):
+    """A 2D mesh over an arbitrary subset of an ``rows x cols`` grid.
+
+    Port names are ``"north"`` (row-1), ``"south"`` (row+1),
+    ``"east"`` (col+1) and ``"west"`` (col-1); a port exists only when
+    the neighboring cell is present.  Nodes are numbered row-major over
+    the present cells, matching the paper's figure 1.c numbering for
+    full grids.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        cells: list[tuple[int, int]] | None = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise TopologyError(
+                f"mesh dimensions must be >= 1, got {rows}x{cols}"
+            )
+        if cells is None:
+            cells = [(r, c) for r in range(rows) for c in range(cols)]
+        else:
+            cells = sorted(set(cells))
+            for row, col in cells:
+                if not (0 <= row < rows and 0 <= col < cols):
+                    raise TopologyError(
+                        f"cell ({row}, {col}) outside {rows}x{cols} grid"
+                    )
+        if rows * cols == len(cells):
+            name = f"mesh{rows}x{cols}"
+        else:
+            name = f"mesh{rows}x{cols}-irregular{len(cells)}"
+        super().__init__(len(cells), name)
+        self.rows = rows
+        self.cols = cols
+        self._cells = cells
+        self._node_of = {cell: node for node, cell in enumerate(cells)}
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def ideal(cls, num_nodes: int) -> "MeshTopology":
+        """Square ``sqrt(N) x sqrt(N)`` mesh.
+
+        Raises:
+            TopologyError: if *num_nodes* is not a perfect square.
+        """
+        side = math.isqrt(num_nodes)
+        if side * side != num_nodes:
+            raise TopologyError(
+                f"ideal mesh needs a perfect square, got {num_nodes}"
+            )
+        return cls(side, side)
+
+    @classmethod
+    def factorized(cls, num_nodes: int) -> "MeshTopology":
+        """The paper's "real" mesh: best balanced ``m x n = N`` grid."""
+        rows, cols = best_factorization(num_nodes)
+        if rows == 1 and num_nodes > 1:
+            # A 1 x N strip: still a valid (degenerate) mesh.
+            return cls(1, cols)
+        return cls(rows, cols)
+
+    @classmethod
+    def irregular(cls, num_nodes: int) -> "MeshTopology":
+        """Partially filled near-square grid holding *num_nodes* cells.
+
+        Uses ``cols = ceil(sqrt(N))`` columns, fills rows top to
+        bottom; the last row may be partial.  Connectivity is
+        guaranteed because every cell in a partial row has its north
+        neighbor present.
+        """
+        if num_nodes < 2:
+            raise TopologyError(
+                f"irregular mesh needs >= 2 nodes, got {num_nodes}"
+            )
+        cols = math.isqrt(num_nodes)
+        if cols * cols != num_nodes:
+            cols += 1
+        rows = (num_nodes + cols - 1) // cols
+        cells = []
+        remaining = num_nodes
+        for row in range(rows):
+            for col in range(min(cols, remaining)):
+                cells.append((row, col))
+            remaining -= min(cols, remaining)
+        return cls(rows, cols, cells)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def is_regular(self) -> bool:
+        """True when every cell of the bounding grid is present."""
+        return self.num_nodes == self.rows * self.cols
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        """Grid cell ``(row, col)`` of *node*."""
+        self.check_node(node)
+        return self._cells[node]
+
+    def node_at(self, row: int, col: int) -> int:
+        """Node id at cell ``(row, col)``.
+
+        Raises:
+            TopologyError: if the cell is absent.
+        """
+        node = self._node_of.get((row, col))
+        if node is None:
+            raise TopologyError(
+                f"{self.name}: no node at cell ({row}, {col})"
+            )
+        return node
+
+    def has_cell(self, row: int, col: int) -> bool:
+        return (row, col) in self._node_of
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        row, col = self.coordinates(node)
+        ports = {}
+        for port, (dr, dc) in (
+            (NORTH, (-1, 0)),
+            (SOUTH, (1, 0)),
+            (EAST, (0, 1)),
+            (WEST, (0, -1)),
+        ):
+            neighbor = self._node_of.get((row + dr, col + dc))
+            if neighbor is not None:
+                ports[port] = neighbor
+        return ports
+
+    def center_node(self) -> int:
+        """Node closest to the grid center (paper's "middle" target)."""
+        mid_row = (self.rows - 1) / 2
+        mid_col = (self.cols - 1) / 2
+        return min(
+            range(self.num_nodes),
+            key=lambda n: (
+                abs(self._cells[n][0] - mid_row)
+                + abs(self._cells[n][1] - mid_col),
+                n,
+            ),
+        )

@@ -1,0 +1,73 @@
+"""Exact graph-based topology metrics.
+
+These BFS-based computations are the ground truth against which the
+paper's closed-form expressions (:mod:`repro.analysis.formulas`) are
+checked.  The paper's E[D] convention divides the distance sum by N
+(including the zero self-distance), so :func:`average_distance` follows
+the same convention; :func:`average_distance` with
+``include_self=False`` gives the textbook mean over distinct pairs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.topology.base import Topology
+
+
+def all_pairs_distances(topology: Topology) -> list[list[int]]:
+    """Matrix ``d[u][v]`` of hop distances (BFS from every node)."""
+    graph = topology.to_graph()
+    return [graph.bfs_distances(node) for node in range(topology.num_nodes)]
+
+
+def per_node_distance_sum(topology: Topology, node: int) -> int:
+    """Sum of hop distances from *node* to every node (self included).
+
+    Raises:
+        ValueError: if any node is unreachable.
+    """
+    distances = topology.to_graph().bfs_distances(node)
+    if any(d == -1 for d in distances):
+        raise ValueError(f"{topology.name}: disconnected from node {node}")
+    return sum(distances)
+
+
+def diameter(topology: Topology) -> int:
+    """Maximum shortest-path length over all node pairs (paper's ND)."""
+    worst = 0
+    for row in all_pairs_distances(topology):
+        if any(d == -1 for d in row):
+            raise ValueError(f"{topology.name}: network is disconnected")
+        worst = max(worst, max(row))
+    return worst
+
+
+def average_distance(
+    topology: Topology, include_self: bool = True
+) -> float:
+    """Mean shortest-path length over all ordered pairs (paper's E[D]).
+
+    Args:
+        include_self: With True (the paper's convention) the N zero
+            self-distances participate in the denominator; with False
+            the mean is over the ``N*(N-1)`` distinct ordered pairs.
+    """
+    total = 0
+    n = topology.num_nodes
+    for row in all_pairs_distances(topology):
+        if any(d == -1 for d in row):
+            raise ValueError(f"{topology.name}: network is disconnected")
+        total += sum(row)
+    pairs = n * n if include_self else n * (n - 1)
+    return total / pairs
+
+
+def distance_histogram(topology: Topology) -> dict[int, int]:
+    """Count of ordered node pairs at each positive hop distance."""
+    counts: Counter[int] = Counter()
+    for row in all_pairs_distances(topology):
+        for d in row:
+            if d > 0:
+                counts[d] += 1
+    return dict(sorted(counts.items()))

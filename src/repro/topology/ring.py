@@ -1,0 +1,48 @@
+"""The Ring topology (paper figure 1.b).
+
+Every node ``i`` has a clockwise link to ``(i+1) mod N`` and a
+counterclockwise link to ``(i-1) mod N``; degree is constant 2 and the
+number of unidirectional links is ``2N``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology, TopologyError
+
+CLOCKWISE = "cw"
+COUNTERCLOCKWISE = "ccw"
+
+
+class RingTopology(Topology):
+    """Bidirectional ring of *num_nodes* nodes.
+
+    Port names are ``"cw"`` (toward ``i+1``) and ``"ccw"``
+    (toward ``i-1``).
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 3:
+            raise TopologyError(
+                f"a ring needs at least 3 nodes, got {num_nodes}"
+            )
+        super().__init__(num_nodes, f"ring{num_nodes}")
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        self.check_node(node)
+        return {
+            CLOCKWISE: (node + 1) % self.num_nodes,
+            COUNTERCLOCKWISE: (node - 1) % self.num_nodes,
+        }
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Shortest hop distance between *src* and *dst* on the ring."""
+        self.check_node(src)
+        self.check_node(dst)
+        clockwise = (dst - src) % self.num_nodes
+        return min(clockwise, self.num_nodes - clockwise)
+
+    def clockwise_distance(self, src: int, dst: int) -> int:
+        """Hops from *src* to *dst* travelling clockwise only."""
+        self.check_node(src)
+        self.check_node(dst)
+        return (dst - src) % self.num_nodes

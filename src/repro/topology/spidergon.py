@@ -1,0 +1,56 @@
+"""The Spidergon topology (paper figure 1.a and section 2).
+
+A Spidergon with an even number of nodes ``N`` is a bidirectional ring
+augmented with *across* links connecting each node ``i`` to its
+opposite node ``(i + N/2) mod N``.  Properties the paper highlights:
+
+* regular, vertex-symmetric, edge-transitive,
+* constant node degree 3 (cw, ccw, across),
+* ``3N`` unidirectional links,
+* network diameter ``ceil(N/4)``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology, TopologyError
+from repro.topology.ring import CLOCKWISE, COUNTERCLOCKWISE
+
+ACROSS = "across"
+
+
+class SpidergonTopology(Topology):
+    """Spidergon over an even number of nodes.
+
+    Port names are ``"cw"``, ``"ccw"`` and ``"across"``.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 4:
+            raise TopologyError(
+                f"a Spidergon needs at least 4 nodes, got {num_nodes}"
+            )
+        if num_nodes % 2 != 0:
+            raise TopologyError(
+                f"Spidergon requires an even node count, got {num_nodes}"
+            )
+        super().__init__(num_nodes, f"spidergon{num_nodes}")
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        self.check_node(node)
+        return {
+            CLOCKWISE: (node + 1) % self.num_nodes,
+            COUNTERCLOCKWISE: (node - 1) % self.num_nodes,
+            ACROSS: self.opposite(node),
+        }
+
+    def opposite(self, node: int) -> int:
+        """The node reached by the across link of *node*."""
+        self.check_node(node)
+        return (node + self.num_nodes // 2) % self.num_nodes
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Distance between *src* and *dst* on the external ring only."""
+        self.check_node(src)
+        self.check_node(dst)
+        clockwise = (dst - src) % self.num_nodes
+        return min(clockwise, self.num_nodes - clockwise)

@@ -1,0 +1,57 @@
+"""2D Torus topology — extension beyond the paper.
+
+The paper's future work lists "additional NoC topologies".  The torus
+(a mesh with wraparound links) is the natural next candidate: it keeps
+the mesh's constant degree-4 routers and restores the vertex symmetry
+the paper prizes in the Spidergon, at the cost of long wrap links.
+
+Both dimensions wrap, so every node has exactly four neighbors and
+an ``m x n`` torus has ``4mn`` unidirectional links.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology, TopologyError
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+
+
+class TorusTopology(Topology):
+    """An ``rows x cols`` 2D torus, both dimensions >= 3.
+
+    Nodes are numbered row-major; port names match the mesh
+    (``north``/``south``/``east``/``west``) with wraparound at the
+    edges.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 3 or cols < 3:
+            raise TopologyError(
+                f"torus dimensions must be >= 3 (wraparound links "
+                f"would duplicate mesh links), got {rows}x{cols}"
+            )
+        super().__init__(rows * cols, f"torus{rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        """Grid cell ``(row, col)`` of *node*."""
+        self.check_node(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Node id at (row, col), coordinates taken modulo the size."""
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        row, col = self.coordinates(node)
+        return {
+            NORTH: self.node_at(row - 1, col),
+            SOUTH: self.node_at(row + 1, col),
+            EAST: self.node_at(row, col + 1),
+            WEST: self.node_at(row, col - 1),
+        }
+
+    def ring_distance(self, size: int, a: int, b: int) -> int:
+        """Shortest wrap distance between coordinates on one dimension."""
+        forward = (b - a) % size
+        return min(forward, size - forward)

@@ -1,0 +1,55 @@
+"""Traffic generation: spatial patterns and injection processes.
+
+The paper's three scenarios map to:
+
+* single hot-spot — ``HotspotTraffic([target])``,
+* double hot-spot — ``HotspotTraffic`` with two targets, using the
+  paper's placements (:func:`~repro.traffic.patterns.double_hotspot_targets`),
+* homogeneous sources/destinations — ``UniformTraffic``.
+
+The extra patterns (transpose, bit-complement, tornado, neighbor)
+cover the paper's stated future work on "specific traffic patterns
+originated by common applications".
+
+Packet interarrival times are Poisson by default ("Packet sources
+adopt a Poisson interarrival distribution of constant size packets"),
+with Bernoulli and periodic processes available for sensitivity
+studies.
+"""
+
+from repro.traffic.base import TrafficPattern, TrafficSpec
+from repro.traffic.injection import (
+    BernoulliInjection,
+    InjectionProcess,
+    PeriodicInjection,
+    PoissonInjection,
+)
+from repro.traffic.patterns import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    TornadoTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+    double_hotspot_targets,
+)
+from repro.traffic.trace import Trace, TraceEntry, record_trace
+
+__all__ = [
+    "BernoulliInjection",
+    "BitComplementTraffic",
+    "HotspotTraffic",
+    "InjectionProcess",
+    "NearestNeighborTraffic",
+    "PeriodicInjection",
+    "PoissonInjection",
+    "TornadoTraffic",
+    "Trace",
+    "TraceEntry",
+    "TrafficPattern",
+    "TrafficSpec",
+    "TransposeTraffic",
+    "UniformTraffic",
+    "double_hotspot_targets",
+    "record_trace",
+]

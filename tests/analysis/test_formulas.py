@@ -1,0 +1,135 @@
+"""Closed-form formulas versus exhaustive BFS ground truth."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import formulas
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    average_distance,
+    diameter,
+    per_node_distance_sum,
+)
+
+even_sizes = st.integers(min_value=2, max_value=40).map(lambda x: 2 * x)
+
+
+class TestRingFormulas:
+    @given(st.integers(min_value=3, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_exact(self, n):
+        assert formulas.ring_diameter(n) == diameter(RingTopology(n))
+
+    @given(st.integers(min_value=3, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_average_distance_exact(self, n):
+        expected = average_distance(RingTopology(n))
+        assert formulas.ring_average_distance(n) == pytest.approx(expected)
+
+    def test_paper_value_even(self):
+        # Paper: E[D] = N/4.
+        assert formulas.ring_average_distance(16) == 4.0
+
+    def test_links(self):
+        assert formulas.ring_num_links(10) == 20
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            formulas.ring_diameter(1)
+
+
+class TestMeshFormulas:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_exact(self, rows, cols):
+        assert formulas.mesh_diameter(rows, cols) == diameter(
+            MeshTopology(rows, cols)
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_average_distance_exact(self, rows, cols):
+        expected = average_distance(MeshTopology(rows, cols))
+        assert formulas.mesh_average_distance(rows, cols) == pytest.approx(
+            expected
+        )
+
+    def test_paper_approximation_close_for_large_meshes(self):
+        exact = formulas.mesh_average_distance(8, 8)
+        paper = formulas.mesh_average_distance_paper(8, 8)
+        assert abs(exact - paper) / paper < 0.15
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_links_formula(self, rows, cols):
+        expected = 2 * (rows - 1) * cols + 2 * (cols - 1) * rows
+        assert formulas.mesh_num_links(rows, cols) == expected
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            formulas.mesh_diameter(0, 3)
+
+
+class TestSpidergonFormulas:
+    @given(even_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_exact(self, n):
+        assert formulas.spidergon_diameter(n) == diameter(
+            SpidergonTopology(n)
+        )
+
+    @given(even_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_distance_sum_exact(self, n):
+        # The corrected closed form (paper's two cases are swapped).
+        assert formulas.spidergon_distance_sum(n) == per_node_distance_sum(
+            SpidergonTopology(n), 0
+        )
+
+    @given(even_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_average_distance_exact(self, n):
+        expected = average_distance(SpidergonTopology(n))
+        assert formulas.spidergon_average_distance(n) == pytest.approx(
+            expected
+        )
+
+    def test_paper_typo_documented(self):
+        # The paper's verbatim expressions swap the N=4x and N=4x+2
+        # cases; they must NOT match the exact values (documenting the
+        # typo), while the corrected version must.
+        for n in (8, 12, 16, 20):
+            exact = average_distance(SpidergonTopology(n))
+            assert formulas.spidergon_average_distance(n) == pytest.approx(
+                exact
+            )
+            assert formulas.spidergon_average_distance_paper(
+                n
+            ) != pytest.approx(exact)
+
+    def test_paper_formula_matches_for_4x_plus_2_swap(self):
+        # The paper's "N=4x+2" expression is actually the exact value
+        # for N=4x (and vice versa).
+        for n in (8, 16, 24):
+            x = n // 4
+            assert formulas.spidergon_distance_sum(n) == 2 * x * x + 2 * x - 1
+
+    def test_links(self):
+        assert formulas.spidergon_num_links(12) == 36
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            formulas.spidergon_diameter(7)
+        with pytest.raises(ValueError):
+            formulas.spidergon_average_distance(10**1 + 1)

@@ -1,0 +1,87 @@
+"""Tests for the M/D/1 hot-spot latency model, against simulation."""
+
+import pytest
+
+from repro.analysis.queueing import (
+    md1_waiting_time,
+    mm1_waiting_time,
+    predicted_hotspot_latency,
+    utilization,
+)
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.topology import SpidergonTopology, average_distance
+from repro.traffic import HotspotTraffic, TrafficSpec
+
+
+class TestFormulas:
+    def test_utilization(self):
+        assert utilization(15, 1 / 15) == pytest.approx(1.0)
+        assert utilization(10, 0.05) == pytest.approx(0.5)
+        assert utilization(10, 0.1, num_targets=2) == pytest.approx(0.5)
+
+    def test_md1_zero_at_zero_load(self):
+        assert md1_waiting_time(6, 0.0) == 0.0
+
+    def test_md1_grows_toward_saturation(self):
+        waits = [md1_waiting_time(6, rho) for rho in (0.2, 0.5, 0.8)]
+        assert waits == sorted(waits)
+        assert waits[-1] == pytest.approx(0.8 * 6 / (2 * 0.2))
+
+    def test_mm1_is_twice_md1(self):
+        assert mm1_waiting_time(6, 0.6) == pytest.approx(
+            2 * md1_waiting_time(6, 0.6)
+        )
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ValueError):
+            md1_waiting_time(6, 1.0)
+        with pytest.raises(ValueError):
+            predicted_hotspot_latency(2.0, 6, 15, 1 / 15)
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            utilization(0, 0.1)
+        with pytest.raises(ValueError):
+            md1_waiting_time(0, 0.5)
+        with pytest.raises(ValueError):
+            predicted_hotspot_latency(2.0, 0, 15, 0.01)
+
+
+class TestAgainstSimulation:
+    def _simulate(self, rate, n=16, cycles=30_000):
+        topology = SpidergonTopology(n)
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=256),
+            traffic=TrafficSpec(HotspotTraffic(topology, [0]), rate),
+            seed=9,
+        )
+        return topology, net.run(cycles=cycles, warmup=6_000)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6])
+    def test_prediction_within_tolerance_below_knee(self, rho):
+        n = 16
+        sources = n - 1
+        rate = rho / sources
+        topology, result = self._simulate(rate)
+        # Mean hop count of hot-spot traffic: average distance from
+        # the sources to node 0 — by vertex symmetry the per-node
+        # mean over distinct pairs.
+        mean_hops = average_distance(topology, include_self=False)
+        predicted = predicted_hotspot_latency(
+            mean_hops, 6, sources, rate
+        )
+        assert result.avg_latency == pytest.approx(predicted, rel=0.30)
+
+    def test_prediction_bracketed_by_md1_mm1_at_moderate_load(self):
+        n = 16
+        sources = n - 1
+        rho = 0.6
+        rate = rho / sources
+        topology, result = self._simulate(rate)
+        mean_hops = average_distance(topology, include_self=False)
+        zero_load = 2 * mean_hops + 6 + 2
+        low = zero_load + md1_waiting_time(6, rho) * 0.5
+        high = zero_load + mm1_waiting_time(6, rho) * 2.5
+        assert low < result.avg_latency < high

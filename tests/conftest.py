@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.experiments.runner import SimulationSettings
+
+
+@pytest.fixture
+def quick_settings() -> SimulationSettings:
+    """Short-run settings for integration tests (seconds, not minutes)."""
+    return SimulationSettings(
+        cycles=3_000,
+        warmup=600,
+        config=NocConfig(source_queue_packets=32),
+        seed=1234,
+    )
+
+
+def make_network(topology, pattern, rate, *, cycles=3_000, warmup=600,
+                 seed=7, **config_overrides):
+    """Build-and-run helper used across noc/integration tests.
+
+    Returns ``(network, result)`` so tests can inspect internal state
+    after the run.
+    """
+    from repro.noc.network import Network
+    from repro.traffic.base import TrafficSpec
+
+    defaults = {"source_queue_packets": 32}
+    defaults.update(config_overrides)
+    config = NocConfig(**defaults)
+    network = Network(
+        topology,
+        config=config,
+        traffic=TrafficSpec(pattern, rate),
+        seed=seed,
+    )
+    result = network.run(cycles=cycles, warmup=warmup)
+    return network, result

@@ -1,0 +1,81 @@
+"""Tests for the router/network area model."""
+
+import pytest
+
+from repro.cost import RouterArea, network_area, router_area
+from repro.noc.config import NocConfig
+from repro.topology import MeshTopology, RingTopology, SpidergonTopology
+
+
+class TestRouterArea:
+    def test_breakdown_sums(self):
+        area = router_area(SpidergonTopology(8), 0, num_vcs=2)
+        assert area.total == pytest.approx(
+            area.buffers + area.crossbar + area.control
+        )
+
+    def test_spidergon_routers_identical(self):
+        # Constant degree 3: "same topology appears from any node".
+        topology = SpidergonTopology(12)
+        areas = {
+            router_area(topology, n, num_vcs=2).total
+            for n in range(12)
+        }
+        assert len(areas) == 1
+
+    def test_mesh_routers_vary_with_degree(self):
+        topology = MeshTopology(3, 3)
+        corner = router_area(topology, 0).total
+        center = router_area(topology, 4).total
+        assert center > corner
+
+    def test_more_vcs_more_area(self):
+        topology = RingTopology(8)
+        one = router_area(topology, 0, num_vcs=1).total
+        two = router_area(topology, 0, num_vcs=2).total
+        assert two > one
+
+    def test_deeper_buffers_more_area(self):
+        topology = RingTopology(8)
+        shallow = router_area(
+            topology, 0, NocConfig(output_buffer_flits=1)
+        ).total
+        deep = router_area(
+            topology, 0, NocConfig(output_buffer_flits=8)
+        ).total
+        assert deep > shallow
+
+    def test_rejects_bad_vcs(self):
+        with pytest.raises(ValueError):
+            router_area(RingTopology(8), 0, num_vcs=0)
+
+
+class TestNetworkArea:
+    def test_ordering_at_equal_provisioning(self):
+        # At equal VC provisioning the ring (degree 2) is cheapest.
+        # The Spidergon's constant 4-port routers come in slightly
+        # *below* the 4x4 mesh, whose five-port inner routers pay
+        # quadratically in the crossbar — the quantified form of the
+        # paper's "constant node degree ... translating in simple
+        # router HW and efficiency".
+        n = 16
+        ring = network_area(RingTopology(n), num_vcs=1)
+        mesh = network_area(MeshTopology(4, 4), num_vcs=1)
+        spider = network_area(SpidergonTopology(n), num_vcs=1)
+        assert ring < spider <= mesh
+
+    def test_deadlock_vcs_shift_the_ordering(self):
+        # With each topology's actual provisioning (2 VCs on the
+        # ring-based schemes, 1 on the mesh) the mesh becomes
+        # cheaper than the 2-VC ring — buffer storage dominates.
+        # This is the quantified form of the paper's area trade-off.
+        n = 16
+        ring = network_area(RingTopology(n), num_vcs=2)
+        spider = network_area(SpidergonTopology(n), num_vcs=2)
+        mesh = network_area(MeshTopology(4, 4), num_vcs=1)
+        assert mesh < ring < spider
+
+    def test_scales_linearly_for_symmetric_topologies(self):
+        small = network_area(SpidergonTopology(8), num_vcs=2)
+        large = network_area(SpidergonTopology(16), num_vcs=2)
+        assert large == pytest.approx(2 * small)

@@ -1,0 +1,89 @@
+"""Tests for run-energy accounting."""
+
+import pytest
+
+from repro.cost import EnergyModel, EnergyReport
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.topology import RingTopology, SpidergonTopology
+from repro.traffic import TrafficSpec, UniformTraffic
+
+
+def burst_network(topology, pairs, size=6):
+    """Inject a deterministic burst and drain it completely."""
+    net = Network(topology, seed=0)
+    for src, dst in pairs:
+        net.interfaces[src].enqueue_packet(
+            Packet(src, dst, size, created_at=0)
+        )
+    net.simulator.run(until=2_000)
+    net.cycles_run = 2_000
+    return net
+
+
+class TestAccounting:
+    def test_requires_completed_run(self):
+        net = Network(RingTopology(4))
+        with pytest.raises(ValueError):
+            EnergyReport.from_network(net)
+
+    def test_single_packet_energy_exact(self):
+        # One 6-flit packet over 2 unit-length ring hops:
+        # wire = 2 hops * 6 flits * 1.0
+        # router hops = (2 links + 1 ejection) * 6 flits * 1.2
+        # routing = 12 flit-hops / 6 flits * 0.3
+        net = burst_network(RingTopology(8), [(0, 2)])
+        report = EnergyReport.from_network(net)
+        assert report.wire_energy == pytest.approx(12.0)
+        assert report.router_energy == pytest.approx(18 * 1.2)
+        assert report.routing_energy == pytest.approx(2 * 0.3)
+        assert report.flits_delivered == 6
+        assert report.energy_per_flit == pytest.approx(
+            report.total / 6
+        )
+
+    def test_custom_model_scales(self):
+        net = burst_network(RingTopology(8), [(0, 2)])
+        doubled = EnergyReport.from_network(
+            net, EnergyModel(wire=2.0, router_hop=2.4,
+                             routing_decision=0.6)
+        )
+        base = EnergyReport.from_network(net)
+        assert doubled.total == pytest.approx(2 * base.total)
+
+    def test_empty_run_zero_energy(self):
+        net = Network(RingTopology(4))
+        net.run(cycles=100)
+        report = EnergyReport.from_network(net)
+        assert report.total == 0.0
+        assert report.energy_per_flit == 0.0
+
+
+class TestTopologyComparison:
+    def test_across_links_cost_wire_energy(self):
+        # The same packet delivered over the Spidergon across link
+        # spends more wire energy than two ring hops would, but fewer
+        # router hops: the model resolves the trade-off numerically.
+        spider = SpidergonTopology(16)
+        net = burst_network(spider, [(0, 8)])
+        report = EnergyReport.from_network(net)
+        # One across hop: 6 flits * 16/pi length.
+        assert report.wire_energy == pytest.approx(
+            6 * 16 / 3.141592653589793, rel=1e-6
+        )
+
+    def test_uniform_traffic_energy_per_flit_finite(self):
+        topology = SpidergonTopology(16)
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.2),
+            seed=3,
+        )
+        net.run(cycles=3_000)
+        report = EnergyReport.from_network(net)
+        assert report.total > 0
+        assert report.energy_per_flit > 0
+        # Per-link map only holds loaded links.
+        assert all(e > 0 for e in report.per_link.values())

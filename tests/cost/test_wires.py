@@ -1,0 +1,71 @@
+"""Tests for the wire-length model."""
+
+import math
+
+import pytest
+
+from repro.cost import link_length, total_wire_length
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    TorusTopology,
+)
+from repro.topology.base import Link
+
+
+class TestLinkLength:
+    def test_ring_links_unit(self):
+        topology = RingTopology(12)
+        assert all(
+            link_length(topology, link) == 1.0
+            for link in topology.links()
+        )
+
+    def test_mesh_links_unit(self):
+        topology = MeshTopology(3, 4)
+        assert all(
+            link_length(topology, link) == 1.0
+            for link in topology.links()
+        )
+
+    def test_spidergon_across_crosses_die(self):
+        topology = SpidergonTopology(16)
+        across = Link(0, 8, "across")
+        assert link_length(topology, across) == pytest.approx(
+            16 / math.pi
+        )
+        ring_link = Link(0, 1, "cw")
+        assert link_length(topology, ring_link) == 1.0
+
+    def test_folded_torus_links_constant(self):
+        topology = TorusTopology(4, 4)
+        lengths = {
+            link_length(topology, link) for link in topology.links()
+        }
+        assert lengths == {2.0}
+
+
+class TestTotalWireLength:
+    def test_ring_total(self):
+        assert total_wire_length(RingTopology(10)) == 20.0
+
+    def test_mesh_total_matches_link_count(self):
+        topology = MeshTopology(4, 6)
+        assert total_wire_length(topology) == topology.num_links
+
+    def test_spidergon_more_wire_than_ring(self):
+        n = 16
+        ring = total_wire_length(RingTopology(n))
+        spider = total_wire_length(SpidergonTopology(n))
+        # 2N unit ring links + N across links of length N/pi.
+        assert spider == pytest.approx(2 * n + n * n / math.pi)
+        assert spider > ring
+
+    def test_wire_ordering(self):
+        # Per unit of bisection capacity the mesh spends its wire in
+        # short hops; the Spidergon concentrates it in chords.  At
+        # N=16 the Spidergon's total wire exceeds the mesh's.
+        spider = total_wire_length(SpidergonTopology(16))
+        mesh = total_wire_length(MeshTopology(4, 4))
+        assert spider > mesh

@@ -1,0 +1,90 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_chart import MARKERS, render_chart
+from repro.experiments.report import FigureData
+
+
+def figure(series=None, xs=(1.0, 2.0, 3.0)):
+    fig = FigureData("figT", "Test", "x", list(xs))
+    for label, values in (series or {"a": [1.0, 2.0, 3.0]}).items():
+        fig.add_series(label, values)
+    return fig
+
+
+class TestRendering:
+    def test_contains_title_axis_and_legend(self):
+        text = render_chart(figure())
+        assert "figT: Test" in text
+        assert "legend: o = a" in text
+        assert text.rstrip().splitlines()[-2].strip() == "x"
+
+    def test_extremes_on_axis_labels(self):
+        text = render_chart(
+            figure({"a": [0.0, 50.0, 100.0]})
+        )
+        assert "100" in text
+        assert " 0 |" in text or "0 |" in text
+
+    def test_marker_per_series(self):
+        text = render_chart(
+            figure({"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        )
+        assert "o = a" in text
+        assert "x = b" in text
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        plot = "\n".join(plot_lines)
+        assert "o" in plot
+        assert "x" in plot
+
+    def test_none_points_skipped(self):
+        text = render_chart(figure({"a": [1.0, None, 3.0]}))
+        assert "figT" in text
+
+    def test_monotone_series_is_monotone_on_grid(self):
+        text = render_chart(figure({"a": [1.0, 2.0, 3.0]}))
+        rows = [
+            (i, line.index("o"))
+            for i, line in enumerate(text.splitlines())
+            if "o" in line and "|" in line
+        ]
+        # Later columns must appear on earlier (higher) rows.
+        cols = [c for _, c in sorted(rows)]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_constant_series_renders(self):
+        text = render_chart(figure({"a": [5.0, 5.0, 5.0]}))
+        assert "o" in text
+
+    def test_many_series_wrap_markers(self):
+        labels = {f"s{i}": [float(i)] * 3 for i in range(len(MARKERS) + 2)}
+        text = render_chart(figure(labels))
+        assert f"{MARKERS[0]} = s0" in text
+        assert f"{MARKERS[0]} = s{len(MARKERS)}" in text
+
+
+class TestValidation:
+    def test_rejects_tiny_geometry(self):
+        with pytest.raises(ValueError):
+            render_chart(figure(), width=5)
+        with pytest.raises(ValueError):
+            render_chart(figure(), height=2)
+
+    def test_rejects_empty_figure(self):
+        fig = FigureData("f", "t", "x", [1.0])
+        with pytest.raises(ValueError):
+            render_chart(fig)
+
+    def test_rejects_all_none(self):
+        with pytest.raises(ValueError):
+            render_chart(figure({"a": [None, None, None]}))
+
+
+class TestCliIntegration:
+    def test_chart_flag(self, capsys):
+        from repro.experiments.figures import main
+
+        main(["fig2", "--chart"])
+        out = capsys.readouterr().out
+        assert "legend:" in out

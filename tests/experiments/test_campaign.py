@@ -1,0 +1,133 @@
+"""Tests for the declarative campaign runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    Campaign,
+    parse_pattern,
+    parse_topology,
+)
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    TorusTopology,
+)
+
+
+class TestParsers:
+    def test_topology_specs(self):
+        assert isinstance(parse_topology("ring8"), RingTopology)
+        assert isinstance(
+            parse_topology("spidergon16"), SpidergonTopology
+        )
+        mesh = parse_topology("mesh4x6")
+        assert isinstance(mesh, MeshTopology)
+        assert (mesh.rows, mesh.cols) == (4, 6)
+        factorized = parse_topology("mesh24")
+        assert (factorized.rows, factorized.cols) == (4, 6)
+        irregular = parse_topology("mesh-irregular13")
+        assert irregular.num_nodes == 13
+        assert not irregular.is_regular
+        assert isinstance(parse_topology("torus3x3"), TorusTopology)
+        from repro.topology import HypercubeTopology
+
+        assert isinstance(
+            parse_topology("hypercube16"), HypercubeTopology
+        )
+
+    def test_bad_topology_spec(self):
+        with pytest.raises(ValueError):
+            parse_topology("butterfly8")
+        with pytest.raises(ValueError):
+            parse_topology("hypercube12")  # not a power of two
+
+    def test_pattern_specs(self):
+        topology = SpidergonTopology(8)
+        assert parse_pattern("uniform", topology).name == "uniform"
+        hotspot = parse_pattern("hotspot:0,4", topology)
+        assert hotspot.targets == [0, 4]
+        assert parse_pattern("tornado", topology).name == "tornado"
+        mesh = MeshTopology(3, 3)
+        assert parse_pattern("transpose", mesh).name == "transpose"
+
+    def test_bad_pattern_specs(self):
+        topology = SpidergonTopology(8)
+        with pytest.raises(ValueError):
+            parse_pattern("randomly", topology)
+        with pytest.raises(ValueError):
+            parse_pattern("transpose", topology)
+
+
+def small_spec(**overrides):
+    spec = {
+        "name": "smoke",
+        "cycles": 800,
+        "warmup": 100,
+        "seed": 4,
+        "source_queue_packets": 8,
+        "topologies": ["ring8", "spidergon8"],
+        "patterns": ["uniform", "hotspot:0"],
+        "rates": [0.1],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestCampaign:
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            Campaign({"name": "x"})
+
+    def test_from_json(self):
+        campaign = Campaign.from_json(json.dumps(small_spec()))
+        assert campaign.name == "smoke"
+        assert len(campaign.runs()) == 4
+
+    def test_execute_writes_csv(self, tmp_path):
+        campaign = Campaign(small_spec())
+        csv_path = tmp_path / "out.csv"
+        results = campaign.execute(csv_path)
+        assert len(results) == 4
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 5  # header + 4 rows
+        assert lines[0].startswith("topology,pattern,rate")
+        assert lines[1].split(",")[0] == "ring8"
+
+    def test_resume_skips_completed(self, tmp_path):
+        campaign = Campaign(small_spec())
+        csv_path = tmp_path / "out.csv"
+        first = campaign.execute(csv_path)
+        assert len(first) == 4
+        second = campaign.execute(csv_path)
+        assert second == []
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 5  # no duplicates
+
+    def test_progress_callback(self, tmp_path):
+        campaign = Campaign(small_spec(rates=[0.05]))
+        events = []
+        campaign.execute(
+            tmp_path / "out.csv",
+            progress=lambda done, total, key: events.append(
+                (done, total, key)
+            ),
+        )
+        assert len(events) == 4
+        assert events[-1][1] == 4
+
+    def test_partial_resume(self, tmp_path):
+        # Simulate an interrupted run by truncating the CSV, then
+        # resume: only the missing cells execute.
+        campaign = Campaign(small_spec())
+        csv_path = tmp_path / "out.csv"
+        campaign.execute(csv_path)
+        lines = csv_path.read_text().strip().splitlines()
+        csv_path.write_text("\n".join(lines[:3]) + "\n")  # keep 2 rows
+        resumed = campaign.execute(csv_path)
+        assert len(resumed) == 2
+        assert len(
+            csv_path.read_text().strip().splitlines()
+        ) == 5

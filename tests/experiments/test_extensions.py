@@ -1,0 +1,121 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    Replication,
+    extension_fault_tolerance,
+    extension_large_networks,
+    extension_torus_comparison,
+    extension_traffic_patterns,
+    replicate,
+)
+from repro.experiments.runner import SimulationSettings
+from repro.noc.config import NocConfig
+from repro.topology import SpidergonTopology
+from repro.traffic import UniformTraffic
+
+TINY = SimulationSettings(
+    cycles=1_500,
+    warmup=300,
+    config=NocConfig(source_queue_packets=8),
+    seed=3,
+)
+
+
+class TestReplicate:
+    def test_ci_across_seeds(self):
+        rep = replicate(
+            lambda: SpidergonTopology(8),
+            UniformTraffic,
+            0.15,
+            TINY,
+            seeds=(1, 2, 3),
+        )
+        assert rep.metric == "throughput"
+        assert len(rep.samples) == 3
+        assert rep.mean == pytest.approx(
+            sum(rep.samples) / 3
+        )
+        assert rep.half_width >= 0
+        # Independent seeds give different draws.
+        assert len(set(rep.samples)) > 1
+
+    def test_relative_error_reasonable_at_low_load(self):
+        rep = replicate(
+            lambda: SpidergonTopology(8),
+            UniformTraffic,
+            0.15,
+            TINY,
+            seeds=(1, 2, 3, 4),
+        )
+        assert rep.relative_error < 0.25
+
+    def test_requires_two_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(
+                lambda: SpidergonTopology(8),
+                UniformTraffic,
+                0.1,
+                TINY,
+                seeds=(1,),
+            )
+
+    def test_other_metric(self):
+        rep = replicate(
+            lambda: SpidergonTopology(8),
+            UniformTraffic,
+            0.15,
+            TINY,
+            seeds=(1, 2),
+            metric="avg_latency",
+        )
+        assert rep.mean > 0
+
+    def test_zero_mean_relative_error(self):
+        rep = Replication("m", 0.0, 0.0, (0.0, 0.0))
+        assert rep.relative_error == 0.0
+
+
+class TestExtensionFigures:
+    def test_torus_comparison_series(self):
+        figure = extension_torus_comparison(
+            settings=TINY, rows=3, cols=3, rates=(0.2,)
+        )
+        assert set(figure.series) == {
+            "ring9",
+            "mesh3x3",
+            "torus3x3",
+        } or set(figure.series) == {
+            "ring9",
+            "spidergon9",
+            "mesh3x3",
+            "torus3x3",
+        }
+
+    def test_traffic_patterns_figure(self):
+        figure = extension_traffic_patterns(
+            settings=TINY, num_nodes=8, injection_rate=0.2
+        )
+        assert len(figure.x_values) == 4
+        assert set(figure.series) == {"ring8", "spidergon8", "mesh2x4"}
+        # Nearest-neighbor is the lightest load: highest throughput
+        # on the ring.
+        ring = figure.column("ring8")
+        assert ring[3] == max(ring)
+
+    def test_large_networks_figure(self):
+        figure = extension_large_networks(
+            settings=TINY, node_counts=(32,), injection_rate=0.2
+        )
+        assert figure.column("ring")[0] < figure.column("spidergon")[0]
+
+    def test_fault_tolerance_figure(self):
+        figure = extension_fault_tolerance(
+            settings=TINY, fault_counts=(0, 6), injection_rate=0.1
+        )
+        assert set(figure.series) == {"throughput", "latency", "hops"}
+        # Both configurations deliver at low load; damage lengthens
+        # the routes.
+        assert all(v > 0 for v in figure.column("throughput"))
+        assert figure.column("hops")[1] > figure.column("hops")[0]

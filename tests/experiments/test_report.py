@@ -1,0 +1,73 @@
+"""Unit tests for figure data containers and rendering."""
+
+import pytest
+
+from repro.experiments.report import FigureData, format_table, to_csv
+
+
+def sample_figure():
+    figure = FigureData(
+        "figX", "A test figure", "lambda", [0.1, 0.2, 0.3]
+    )
+    figure.add_series("ring8", [1.0, 2.0, 3.0])
+    figure.add_series("mesh2x4", [1.5, None, 3.5])
+    figure.notes.append("a note")
+    return figure
+
+
+class TestFigureData:
+    def test_add_series_validates_length(self):
+        figure = FigureData("f", "t", "x", [1, 2])
+        with pytest.raises(ValueError):
+            figure.add_series("bad", [1.0])
+
+    def test_duplicate_label_rejected(self):
+        figure = FigureData("f", "t", "x", [1])
+        figure.add_series("a", [1.0])
+        with pytest.raises(ValueError):
+            figure.add_series("a", [2.0])
+
+    def test_column_lookup(self):
+        figure = sample_figure()
+        assert figure.column("ring8") == [1.0, 2.0, 3.0]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(sample_figure())
+        assert "figX" in text
+        assert "lambda" in text
+        assert "ring8" in text
+        assert "mesh2x4" in text
+        assert "a note" in text
+
+    def test_missing_values_rendered_as_dash(self):
+        text = format_table(sample_figure())
+        assert " -" in text
+
+    def test_rows_align(self):
+        lines = format_table(sample_figure()).splitlines()
+        data_lines = [l for l in lines if l and l[0] != "=" and "(" not in l]
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1
+
+    def test_integers_rendered_without_decimals(self):
+        figure = FigureData("f", "t", "N", [4, 8])
+        figure.add_series("s", [2.0, 4.0])
+        text = format_table(figure)
+        assert "2" in text and "2.000" not in text
+
+
+class TestCsv:
+    def test_round_trips_values(self):
+        csv = to_csv(sample_figure())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "lambda,ring8,mesh2x4"
+        assert len(lines) == 4
+        first = lines[1].split(",")
+        assert float(first[0]) == 0.1
+        assert float(first[1]) == 1.0
+
+    def test_none_becomes_empty_cell(self):
+        csv = to_csv(sample_figure())
+        assert ",," in csv or csv.strip().splitlines()[2].endswith(",")

@@ -1,0 +1,165 @@
+"""Unit tests for FIFOs, output queues and switching state."""
+
+import pytest
+
+from repro.noc.buffers import (
+    BufferError,
+    FlitFifo,
+    OutputQueue,
+    SwitchingState,
+)
+from repro.noc.packet import Flit, Packet
+
+
+def flits(size=3, src=0, dst=1):
+    pkt = Packet(src, dst, size, created_at=0)
+    return pkt, [Flit(pkt, i) for i in range(size)]
+
+
+class TestFlitFifo:
+    def test_fifo_order(self):
+        _, fs = flits(3)
+        fifo = FlitFifo(3)
+        for f in fs:
+            fifo.push(f)
+        assert [fifo.pop() for _ in range(3)] == fs
+
+    def test_capacity_enforced(self):
+        _, fs = flits(3)
+        fifo = FlitFifo(2)
+        fifo.push(fs[0])
+        fifo.push(fs[1])
+        assert fifo.is_full
+        with pytest.raises(BufferError):
+            fifo.push(fs[2])
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(BufferError):
+            FlitFifo(1).pop()
+
+    def test_head_peeks_without_removing(self):
+        _, fs = flits(2)
+        fifo = FlitFifo(2)
+        fifo.push(fs[0])
+        assert fifo.head() is fs[0]
+        assert len(fifo) == 1
+
+    def test_head_of_empty_is_none(self):
+        assert FlitFifo(1).head() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlitFifo(0)
+
+
+class TestOutputQueue:
+    def test_head_flit_takes_ownership(self):
+        pkt, fs = flits(3)
+        queue = OutputQueue("cw", 0, 3)
+        assert queue.can_accept(fs[0], now=0)
+        queue.enqueue(fs[0], now=0)
+        assert queue.owner is pkt
+
+    def test_tail_releases_ownership(self):
+        pkt, fs = flits(2)
+        queue = OutputQueue("cw", 0, 3)
+        queue.enqueue(fs[0], now=0)
+        queue.enqueue(fs[1], now=1)
+        assert queue.owner is None
+
+    def test_foreign_head_rejected_while_owned(self):
+        _, fs = flits(3)
+        other_pkt, other = flits(3, src=2, dst=3)
+        queue = OutputQueue("cw", 0, 4)
+        queue.enqueue(fs[0], now=0)
+        assert not queue.can_accept(other[0], now=1)
+
+    def test_foreign_body_rejected(self):
+        _, fs = flits(3)
+        _, other = flits(3, src=2, dst=3)
+        queue = OutputQueue("cw", 0, 4)
+        queue.enqueue(fs[0], now=0)
+        assert not queue.can_accept(other[1], now=1)
+
+    def test_new_head_allowed_after_tail(self):
+        _, fs = flits(1)
+        _, other = flits(2, src=2, dst=3)
+        queue = OutputQueue("cw", 0, 4)
+        queue.enqueue(fs[0], now=0)  # head == tail
+        assert queue.can_accept(other[0], now=1)
+
+    def test_one_enqueue_per_cycle(self):
+        _, fs = flits(3)
+        queue = OutputQueue("cw", 0, 4)
+        queue.enqueue(fs[0], now=5)
+        assert not queue.can_accept(fs[1], now=5)
+        assert queue.can_accept(fs[1], now=6)
+
+    def test_full_queue_rejects(self):
+        _, fs = flits(3)
+        queue = OutputQueue("cw", 0, 2)
+        queue.enqueue(fs[0], now=0)
+        queue.enqueue(fs[1], now=1)
+        assert not queue.can_accept(fs[2], now=2)
+
+    def test_enqueue_stamps_time(self):
+        _, fs = flits(1)
+        queue = OutputQueue("cw", 0, 2)
+        queue.enqueue(fs[0], now=9)
+        assert fs[0].enqueued_at == 9
+
+    def test_illegal_enqueue_raises(self):
+        _, fs = flits(3)
+        _, other = flits(3, src=2, dst=3)
+        queue = OutputQueue("cw", 0, 4)
+        queue.enqueue(fs[0], now=0)
+        with pytest.raises(BufferError):
+            queue.enqueue(other[0], now=1)
+
+
+class TestSwitchingState:
+    def test_set_and_lookup(self):
+        pkt, _ = flits()
+        state = SwitchingState()
+        state.set_route(0, pkt, "cw", 1)
+        assert state.route_of(0, pkt) == ("cw", 1)
+
+    def test_lookup_wrong_packet_raises(self):
+        pkt, _ = flits()
+        other, _ = flits(src=2, dst=3)
+        state = SwitchingState()
+        state.set_route(0, pkt, "cw", 1)
+        with pytest.raises(BufferError):
+            state.route_of(0, other)
+
+    def test_lookup_missing_raises(self):
+        pkt, _ = flits()
+        with pytest.raises(BufferError):
+            SwitchingState().route_of(0, pkt)
+
+    def test_double_set_raises(self):
+        pkt, _ = flits()
+        other, _ = flits(src=2, dst=3)
+        state = SwitchingState()
+        state.set_route(0, pkt, "cw", 1)
+        with pytest.raises(BufferError):
+            state.set_route(0, other, "ccw", 0)
+
+    def test_clear_allows_reuse(self):
+        pkt, _ = flits()
+        other, _ = flits(src=2, dst=3)
+        state = SwitchingState()
+        state.set_route(0, pkt, "cw", 1)
+        state.clear(0)
+        assert not state.has_route(0)
+        state.set_route(0, other, "ccw", 0)
+        assert state.route_of(0, other) == ("ccw", 0)
+
+    def test_independent_wire_vcs(self):
+        a, _ = flits()
+        b, _ = flits(src=2, dst=3)
+        state = SwitchingState()
+        state.set_route(0, a, "cw", 0)
+        state.set_route(1, b, "cw", 1)
+        assert state.route_of(0, a) == ("cw", 0)
+        assert state.route_of(1, b) == ("cw", 1)

@@ -1,0 +1,52 @@
+"""Unit tests for NocConfig validation and defaults."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = NocConfig()
+        assert config.packet_size_flits == 6
+        assert config.input_buffer_flits == 1
+        assert config.output_buffer_flits == 3
+        assert config.link_delay == 1
+        assert config.num_vcs is None
+        assert config.source_queue_packets is None
+        assert config.router_pipeline is True
+
+    def test_frozen(self):
+        config = NocConfig()
+        with pytest.raises(AttributeError):
+            config.packet_size_flits = 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"packet_size_flits": 0},
+            {"input_buffer_flits": 0},
+            {"output_buffer_flits": 0},
+            {"link_delay": 0},
+            {"num_vcs": 0},
+            {"source_queue_packets": 0},
+        ],
+    )
+    def test_rejects_nonpositive(self, kwargs):
+        with pytest.raises(ValueError):
+            NocConfig(**kwargs)
+
+    def test_accepts_custom_values(self):
+        config = NocConfig(
+            packet_size_flits=4,
+            input_buffer_flits=2,
+            output_buffer_flits=8,
+            link_delay=2,
+            num_vcs=3,
+            source_queue_packets=16,
+            router_pipeline=False,
+        )
+        assert config.num_vcs == 3
+        assert config.router_pipeline is False

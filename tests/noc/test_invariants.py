@@ -1,0 +1,101 @@
+"""Tests for the runtime invariant checker."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.invariants import InvariantChecker, InvariantViolation
+from repro.noc.network import Network
+from repro.topology import MeshTopology, RingTopology, SpidergonTopology
+from repro.traffic import HotspotTraffic, TrafficSpec, UniformTraffic
+
+
+def run_network(topology, pattern_cls, rate, cycles=2_500, **pattern_kw):
+    pattern = pattern_cls(topology, **pattern_kw)
+    net = Network(
+        topology,
+        config=NocConfig(source_queue_packets=16),
+        traffic=TrafficSpec(pattern, rate),
+        seed=11,
+    )
+    net.run(cycles=cycles)
+    return net
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize(
+        "topology_factory,rate",
+        [
+            (lambda: RingTopology(8), 0.6),
+            (lambda: SpidergonTopology(12), 0.4),
+            (lambda: MeshTopology(2, 4), 0.5),
+        ],
+    )
+    def test_uniform(self, topology_factory, rate):
+        net = run_network(topology_factory(), UniformTraffic, rate)
+        InvariantChecker(net).check_all()
+
+    def test_hotspot(self):
+        net = run_network(
+            SpidergonTopology(16),
+            HotspotTraffic,
+            0.5,
+            targets=[0],
+        )
+        InvariantChecker(net).check_all()
+
+    def test_mid_run_checks(self):
+        # Invariants hold at arbitrary intermediate points too.
+        topology = RingTopology(8)
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.5),
+            seed=2,
+        )
+        checker = InvariantChecker(net)
+        for until in (100, 500, 1_000, 2_000):
+            net.simulator.run(until=until)
+            checker.check_all()
+
+
+class TestViolationsDetected:
+    def test_conservation_detects_tampering(self):
+        net = run_network(RingTopology(8), UniformTraffic, 0.3)
+        net.stats.flits_injected += 1
+        with pytest.raises(InvariantViolation, match="conservation"):
+            InvariantChecker(net).check_conservation()
+
+    def test_credit_detects_tampering(self):
+        net = run_network(RingTopology(8), UniformTraffic, 0.3)
+        # Steal a credit from the first router's first link port.
+        router = net.routers[0]
+        port = router._output_order[0]
+        port.credits[0] += 1
+        with pytest.raises(InvariantViolation, match="credits"):
+            InvariantChecker(net).check_credit_consistency()
+
+    def test_wormhole_detects_interleaving(self):
+        from repro.noc.packet import Flit, Packet
+
+        net = Network(RingTopology(8))
+        router = net.routers[0]
+        queue = router._output_order[0].queues[0]
+        a = Packet(0, 2, 2, created_at=0)
+        b = Packet(0, 3, 2, created_at=0)
+        # Force an illegal interleave directly into the deque.
+        queue._flits.extend(
+            [Flit(a, 0), Flit(b, 0), Flit(a, 1)]
+        )
+        with pytest.raises(InvariantViolation, match="interleaved"):
+            InvariantChecker(net).check_wormhole_integrity()
+
+    def test_out_of_order_flits_detected(self):
+        from repro.noc.packet import Flit, Packet
+
+        net = Network(RingTopology(8))
+        router = net.routers[0]
+        queue = router._output_order[0].queues[0]
+        pkt = Packet(0, 2, 3, created_at=0)
+        queue._flits.extend([Flit(pkt, 0), Flit(pkt, 2)])
+        with pytest.raises(InvariantViolation, match="out of order"):
+            InvariantChecker(net).check_wormhole_integrity()

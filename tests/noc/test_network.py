@@ -1,0 +1,151 @@
+"""Network assembly and end-to-end single-packet behaviour."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.routing import TableRouting
+from repro.topology import MeshTopology, RingTopology, SpidergonTopology
+from repro.traffic import TrafficSpec, UniformTraffic
+
+
+class TestConstruction:
+    def test_one_router_and_ni_per_node(self):
+        net = Network(SpidergonTopology(8))
+        assert len(net.routers) == 8
+        assert len(net.interfaces) == 8
+
+    def test_vcs_follow_routing_requirement(self):
+        assert Network(RingTopology(8)).num_vcs == 2
+        assert Network(SpidergonTopology(8)).num_vcs == 2
+        assert Network(MeshTopology(2, 4)).num_vcs == 1
+
+    def test_vcs_config_override(self):
+        net = Network(RingTopology(8), config=NocConfig(num_vcs=1))
+        assert net.num_vcs == 1
+
+    def test_foreign_routing_rejected(self):
+        topo_a = SpidergonTopology(8)
+        topo_b = SpidergonTopology(8)
+        with pytest.raises(ValueError):
+            Network(topo_a, routing=TableRouting(topo_b))
+
+    def test_foreign_traffic_pattern_rejected(self):
+        topo_a = RingTopology(8)
+        topo_b = RingTopology(8)
+        with pytest.raises(ValueError):
+            Network(topo_a, traffic=TrafficSpec(UniformTraffic(topo_b), 0.1))
+
+    def test_run_is_single_use(self):
+        net = Network(RingTopology(4))
+        net.run(cycles=10)
+        with pytest.raises(ValueError):
+            net.run(cycles=10)
+
+    def test_run_argument_validation(self):
+        with pytest.raises(ValueError):
+            Network(RingTopology(4)).run(cycles=0)
+        with pytest.raises(ValueError):
+            Network(RingTopology(4)).run(cycles=10, warmup=10)
+
+
+def deliver_one(topology, src, dst, size=6, **config_kwargs):
+    """Inject a single packet and return (latency, hops)."""
+    config = NocConfig(packet_size_flits=size, **config_kwargs)
+    net = Network(topology, config=config, seed=0)
+    net.interfaces[src].enqueue_packet(
+        Packet(src, dst, size, created_at=0)
+    )
+    net.simulator.run(until=500)
+    assert net.stats.packets_consumed == 1
+    return net.stats.latencies[0], net.stats.hop_counts[0]
+
+
+class TestSinglePacketTiming:
+    """Freeze the zero-load timing model: latency = 2*hops + size + 2
+    (one cycle per link + one per router stage, plus injection,
+    ejection and flit serialisation)."""
+
+    @pytest.mark.parametrize(
+        "topology,src,dst",
+        [
+            (RingTopology(8), 0, 3),
+            (RingTopology(8), 0, 4),
+            (SpidergonTopology(8), 0, 4),
+            (SpidergonTopology(16), 2, 10),
+            (MeshTopology(2, 4), 0, 7),
+            (MeshTopology(4, 6), 0, 23),
+        ],
+        ids=str,
+    )
+    def test_zero_load_latency_formula(self, topology, src, dst):
+        latency, hops = deliver_one(topology, src, dst)
+        expected_hops = topology.to_graph().bfs_distances(src)[dst]
+        assert hops == expected_hops
+        assert latency == 2 * hops + 6 + 2
+
+    @pytest.mark.parametrize("size", [1, 2, 6, 12])
+    def test_latency_scales_with_packet_size(self, size):
+        latency, hops = deliver_one(SpidergonTopology(8), 0, 4, size=size)
+        assert latency == 2 * hops + size + 2
+
+    def test_longer_link_delay_increases_latency(self):
+        fast, _ = deliver_one(RingTopology(8), 0, 2)
+        slow, _ = deliver_one(RingTopology(8), 0, 2, link_delay=3)
+        assert slow > fast
+
+    def test_pipeline_off_reduces_latency(self):
+        on, _ = deliver_one(RingTopology(8), 0, 2)
+        off, _ = deliver_one(
+            RingTopology(8), 0, 2, router_pipeline=False
+        )
+        assert off < on
+
+
+class TestMultiplePackets:
+    def test_two_packets_same_source_fifo(self):
+        # Application packets are consumed from IP memory in FIFO
+        # order (paper): the first enqueued must arrive first.
+        topo = RingTopology(8)
+        net = Network(topo, seed=0)
+        first = Packet(0, 2, 6, created_at=0)
+        second = Packet(0, 2, 6, created_at=0)
+        net.interfaces[0].enqueue_packet(first)
+        net.interfaces[0].enqueue_packet(second)
+        net.simulator.run(until=500)
+        assert net.stats.packets_consumed == 2
+        assert net.stats.latencies[0] < net.stats.latencies[1]
+
+    def test_enqueue_wrong_source_rejected(self):
+        net = Network(RingTopology(8))
+        with pytest.raises(ValueError):
+            net.interfaces[1].enqueue_packet(Packet(0, 2, 6, created_at=0))
+
+    def test_enqueue_respects_ip_memory_bound(self):
+        net = Network(
+            RingTopology(8), config=NocConfig(source_queue_packets=1)
+        )
+        net.interfaces[0].enqueue_packet(Packet(0, 2, 6, created_at=0))
+        with pytest.raises(ValueError, match="full"):
+            net.interfaces[0].enqueue_packet(
+                Packet(0, 3, 6, created_at=0)
+            )
+
+    def test_all_pairs_deliverable(self):
+        # Every (src, dst) pair is individually deliverable on each
+        # paper topology.
+        for topology in (
+            RingTopology(6),
+            SpidergonTopology(6),
+            MeshTopology(2, 3),
+        ):
+            n = topology.num_nodes
+            for src in range(n):
+                for dst in range(n):
+                    if src == dst:
+                        continue
+                    latency, hops = deliver_one(topology, src, dst)
+                    assert hops == (
+                        topology.to_graph().bfs_distances(src)[dst]
+                    )

@@ -1,0 +1,61 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.noc.packet import Flit, Packet
+
+
+class TestPacket:
+    def test_fields(self):
+        pkt = Packet(1, 5, 6, created_at=100)
+        assert pkt.src == 1
+        assert pkt.dst == 5
+        assert pkt.size_flits == 6
+        assert pkt.created_at == 100
+        assert pkt.vc == 0
+        assert pkt.hops == 0
+        assert pkt.injected_at is None
+
+    def test_unique_ids(self):
+        a = Packet(0, 1, 6, created_at=0)
+        b = Packet(0, 1, 6, created_at=0)
+        assert a.packet_id != b.packet_id
+
+    def test_rejects_self_destination(self):
+        with pytest.raises(ValueError):
+            Packet(3, 3, 6, created_at=0)
+
+    def test_rejects_empty_packet(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 0, created_at=0)
+
+    def test_route_state_is_private_per_packet(self):
+        a = Packet(0, 1, 6, created_at=0)
+        b = Packet(0, 1, 6, created_at=0)
+        a.route_state["k"] = "v"
+        assert "k" not in b.route_state
+
+
+class TestFlit:
+    def test_head_and_tail_flags(self):
+        pkt = Packet(0, 1, 3, created_at=0)
+        head, body, tail = (Flit(pkt, i) for i in range(3))
+        assert head.is_head and not head.is_tail
+        assert not body.is_head and not body.is_tail
+        assert tail.is_tail and not tail.is_head
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        pkt = Packet(0, 1, 1, created_at=0)
+        only = Flit(pkt, 0)
+        assert only.is_head and only.is_tail
+
+    def test_index_bounds(self):
+        pkt = Packet(0, 1, 2, created_at=0)
+        with pytest.raises(ValueError):
+            Flit(pkt, 2)
+        with pytest.raises(ValueError):
+            Flit(pkt, -1)
+
+    def test_wire_vc_defaults_to_zero(self):
+        pkt = Packet(0, 1, 2, created_at=0)
+        assert Flit(pkt, 0).wire_vc == 0

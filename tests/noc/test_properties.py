@@ -1,0 +1,149 @@
+"""Property-based tests of the full NoC model (hypothesis).
+
+For random topologies, loads and seeds the model must uphold:
+
+* flit conservation (nothing lost, nothing duplicated),
+* hop correctness (every delivered packet took a minimal route),
+* determinism (same seed, same results).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.signals import FlitMessage
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    TorusTopology,
+    all_pairs_distances,
+)
+from repro.traffic import HotspotTraffic, TrafficSpec, UniformTraffic
+
+
+def build_topology(kind: int, size: int):
+    if kind == 0:
+        return RingTopology(3 + size)
+    if kind == 1:
+        return SpidergonTopology(4 + 2 * (size % 7))
+    if kind == 2:
+        return MeshTopology(2 + size % 3, 2 + size % 4)
+    return TorusTopology(3 + size % 2, 3 + size % 3)
+
+
+topology_strategy = st.builds(
+    build_topology,
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=12),
+)
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestConservationProperty:
+    @given(
+        topology_strategy,
+        st.floats(min_value=0.02, max_value=0.9),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW
+    def test_flits_conserved(self, topology, rate, seed):
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=8),
+            traffic=TrafficSpec(UniformTraffic(topology), rate),
+            seed=seed,
+        )
+        net.run(cycles=1_200)
+        consumed = (
+            net.stats.flits_consumed + net.stats.warmup_flits_consumed
+        )
+        in_routers = sum(
+            r.total_buffered_flits() for r in net.routers
+        )
+        in_flight = sum(
+            1
+            for event in net.simulator._queue._heap
+            if not event.cancelled
+            and isinstance(event.message, FlitMessage)
+        )
+        assert net.stats.flits_injected == (
+            consumed + in_routers + in_flight
+        )
+
+    @given(
+        topology_strategy,
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW
+    def test_hotspot_conservation(self, topology, seed):
+        target = topology.num_nodes - 1
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=8),
+            traffic=TrafficSpec(
+                HotspotTraffic(topology, [target]), 0.5
+            ),
+            seed=seed,
+        )
+        net.run(cycles=1_200)
+        consumed = (
+            net.stats.flits_consumed + net.stats.warmup_flits_consumed
+        )
+        assert consumed <= net.stats.flits_injected
+
+
+class TestHopCorrectnessProperty:
+    @given(
+        topology_strategy,
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW
+    def test_delivered_packets_took_minimal_routes(self, topology, seed):
+        # All implemented default routings are minimal, so measured
+        # hop counts must match BFS distances in distribution: mean
+        # hops within [min distance, diameter].
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=8),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.1),
+            seed=seed,
+        )
+        result = net.run(cycles=1_500)
+        if not net.stats.hop_counts:
+            return
+        dist = all_pairs_distances(topology)
+        worst = max(max(row) for row in dist)
+        assert 1 <= min(net.stats.hop_counts)
+        assert max(net.stats.hop_counts) <= worst
+
+
+class TestDeterminismProperty:
+    @given(
+        st.integers(min_value=0, max_value=2**16),
+        st.floats(min_value=0.05, max_value=0.6),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_same_seed_same_run(self, seed, rate):
+        def run():
+            topology = SpidergonTopology(8)
+            net = Network(
+                topology,
+                config=NocConfig(source_queue_packets=8),
+                traffic=TrafficSpec(UniformTraffic(topology), rate),
+                seed=seed,
+            )
+            result = net.run(cycles=1_000)
+            return (
+                result.throughput,
+                result.avg_latency,
+                net.stats.packets_generated,
+                tuple(net.stats.latencies[:20]),
+            )
+
+        assert run() == run()

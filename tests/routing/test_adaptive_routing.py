@@ -1,0 +1,101 @@
+"""Tests for O1TURN randomised dimension-order routing."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.routing import MeshO1TurnRouting, MeshXYRouting
+from repro.routing.base import RoutingError
+from repro.topology import MeshTopology, all_pairs_distances
+from repro.traffic import TrafficSpec, TransposeTraffic, UniformTraffic
+
+
+def packet(src, dst):
+    return Packet(src, dst, 6, created_at=0)
+
+
+class TestRoutes:
+    @pytest.mark.parametrize("dims", [(3, 3), (4, 4), (4, 6)])
+    def test_minimal(self, dims):
+        mesh = MeshTopology(*dims)
+        routing = MeshO1TurnRouting(mesh)
+        dist = all_pairs_distances(mesh)
+        for src in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                if src != dst:
+                    assert routing.path_length(src, dst) == dist[src][dst]
+
+    def test_both_orders_used(self):
+        mesh = MeshTopology(4, 4)
+        routing = MeshO1TurnRouting(mesh)
+        orders = set()
+        for _ in range(64):
+            pkt = packet(mesh.node_at(0, 0), mesh.node_at(3, 3))
+            routing.decide(0, pkt)
+            orders.add(pkt.route_state["o1turn_order"])
+        assert orders == {"xy", "yx"}
+
+    def test_order_is_sticky_per_packet(self):
+        mesh = MeshTopology(4, 4)
+        routing = MeshO1TurnRouting(mesh)
+        pkt = packet(mesh.node_at(0, 0), mesh.node_at(3, 3))
+        routing.decide(0, pkt)
+        first = pkt.route_state["o1turn_order"]
+        path = routing.path(0, mesh.node_at(3, 3))
+        coords = [mesh.coordinates(n) for n in path]
+        if first == "xy":
+            # Expect no row movement until the column settles... the
+            # path helper uses a fresh packet, so just re-decide:
+            pass
+        again = packet(mesh.node_at(0, 0), mesh.node_at(3, 3))
+        again.packet_id = pkt.packet_id  # same id -> same order
+        routing.decide(0, again)
+        assert again.route_state["o1turn_order"] == first
+
+    def test_vc_matches_order(self):
+        mesh = MeshTopology(4, 4)
+        routing = MeshO1TurnRouting(mesh)
+        for _ in range(32):
+            pkt = packet(mesh.node_at(0, 0), mesh.node_at(3, 3))
+            decision = routing.decide(0, pkt)
+            order = pkt.route_state["o1turn_order"]
+            assert decision.vc == (0 if order == "xy" else 1)
+
+    def test_requires_two_vcs(self):
+        assert MeshO1TurnRouting(MeshTopology(3, 3)).required_vcs == 2
+
+    def test_rejects_irregular_mesh(self):
+        with pytest.raises(RoutingError):
+            MeshO1TurnRouting(MeshTopology.irregular(11))
+
+
+class TestInNetwork:
+    def _throughput(self, routing_factory, rate=0.5):
+        mesh = MeshTopology(4, 4)
+        net = Network(
+            mesh,
+            routing=routing_factory(mesh),
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(TransposeTraffic(mesh), rate),
+            seed=7,
+        )
+        return net.run(cycles=6_000, warmup=2_000).throughput
+
+    def test_no_deadlock_under_uniform_load(self):
+        mesh = MeshTopology(4, 4)
+        net = Network(
+            mesh,
+            routing=MeshO1TurnRouting(mesh),
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(mesh), 0.8),
+            seed=7,
+        )
+        assert net.run(cycles=6_000, warmup=2_000).throughput > 2.0
+
+    def test_beats_xy_on_transpose(self):
+        # Transpose concentrates XY routes on one diagonal family;
+        # O1TURN halves that load across XY and YX.
+        o1turn = self._throughput(MeshO1TurnRouting)
+        xy = self._throughput(MeshXYRouting)
+        assert o1turn >= xy

@@ -1,0 +1,71 @@
+"""Unit tests for dimension-order (XY) routing."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.routing import MeshXYRouting
+from repro.routing.base import RoutingError
+from repro.topology import MeshTopology, all_pairs_distances
+
+
+def packet(src, dst):
+    return Packet(src, dst, 6, created_at=0)
+
+
+class TestXYOrder:
+    def test_x_before_y(self):
+        # Paper: "flits ... migrate along the X (horizontal link)
+        # nodes up to the column of the target, then along the Y".
+        mesh = MeshTopology(3, 4)
+        routing = MeshXYRouting(mesh)
+        src = mesh.node_at(0, 0)
+        dst = mesh.node_at(2, 3)
+        path = routing.path(src, dst)
+        coords = [mesh.coordinates(n) for n in path]
+        # First the column must settle, then the row.
+        cols = [c for _, c in coords]
+        rows = [r for r, _ in coords]
+        settle = cols.index(3)
+        assert all(c == 3 for c in cols[settle:])
+        assert all(r == 0 for r in rows[: settle + 1])
+
+    def test_single_vc(self):
+        assert MeshXYRouting(MeshTopology(2, 4)).required_vcs == 1
+
+    def test_pure_horizontal_and_vertical(self):
+        mesh = MeshTopology(3, 3)
+        routing = MeshXYRouting(mesh)
+        east = routing.decide(mesh.node_at(1, 0), packet(0, mesh.node_at(1, 2)))
+        assert east.port == "east"
+        west = routing.decide(mesh.node_at(1, 2), packet(0, mesh.node_at(1, 0)))
+        assert west.port == "west"
+        south = routing.decide(mesh.node_at(0, 1), packet(0, mesh.node_at(2, 1)))
+        assert south.port == "south"
+        north = routing.decide(mesh.node_at(2, 1), packet(0, mesh.node_at(0, 1)))
+        assert north.port == "north"
+
+    def test_local_at_destination(self):
+        mesh = MeshTopology(2, 4)
+        routing = MeshXYRouting(mesh)
+        assert routing.decide(3, packet(0, 3)).is_local
+
+
+class TestMinimality:
+    @pytest.mark.parametrize(
+        "dims", [(2, 4), (3, 3), (4, 6), (1, 8), (5, 2)]
+    )
+    def test_xy_is_minimal(self, dims):
+        mesh = MeshTopology(*dims)
+        routing = MeshXYRouting(mesh)
+        dist = all_pairs_distances(mesh)
+        for src in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                if src == dst:
+                    continue
+                assert routing.path_length(src, dst) == dist[src][dst]
+
+
+class TestIrregularRejection:
+    def test_irregular_mesh_rejected(self):
+        with pytest.raises(RoutingError, match="TableRouting"):
+            MeshXYRouting(MeshTopology.irregular(11))

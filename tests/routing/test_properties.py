@@ -1,0 +1,117 @@
+"""Property-based tests over all routing algorithms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.packet import Packet
+from repro.routing import (
+    MeshXYRouting,
+    RingShortestRouting,
+    SpidergonAcrossFirstRouting,
+    TableRouting,
+)
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    all_pairs_distances,
+)
+
+even_sizes = st.integers(min_value=2, max_value=24).map(lambda x: 2 * x)
+
+
+def walk_vcs(topology, routing, src, dst):
+    """The VC sequence a packet sees along its route."""
+    pkt = Packet(src, dst, 6, created_at=0)
+    node, vcs = src, []
+    while True:
+        decision = routing.decide(node, pkt)
+        if decision.is_local:
+            return vcs
+        vcs.append(decision.vc)
+        node = topology.out_ports(node)[decision.port]
+
+
+class TestTermination:
+    @given(even_sizes, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_spidergon_routes_terminate_minimally(self, n, data):
+        topology = SpidergonTopology(n)
+        routing = SpidergonAcrossFirstRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda d: d != src))
+        dist = topology.to_graph().bfs_distances(src)[dst]
+        assert routing.path_length(src, dst) == dist
+
+    @given(st.integers(min_value=3, max_value=40), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_ring_routes_terminate_minimally(self, n, data):
+        topology = RingTopology(n)
+        routing = RingShortestRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda d: d != src))
+        assert routing.path_length(src, dst) == topology.ring_distance(
+            src, dst
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mesh_routes_terminate_minimally(self, rows, cols, data):
+        if rows * cols < 2:
+            return
+        topology = MeshTopology(rows, cols)
+        routing = MeshXYRouting(topology)
+        n = topology.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda d: d != src))
+        r1, c1 = topology.coordinates(src)
+        r2, c2 = topology.coordinates(dst)
+        assert routing.path_length(src, dst) == abs(r1 - r2) + abs(
+            c1 - c2
+        )
+
+
+class TestVcMonotonicity:
+    """Dateline invariant: VC sequences are 0...0 1...1 (never drop)."""
+
+    @given(even_sizes, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_spidergon_vc_never_decreases(self, n, data):
+        topology = SpidergonTopology(n)
+        routing = SpidergonAcrossFirstRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda d: d != src))
+        vcs = walk_vcs(topology, routing, src, dst)
+        ring_vcs = vcs[1:] if len(vcs) > 1 and vcs[0] == 0 else vcs
+        assert all(a <= b for a, b in zip(vcs, vcs[1:])) or (
+            # the across hop is always VC0 and may precede promotion
+            vcs[0] == 0
+            and all(a <= b for a, b in zip(ring_vcs, ring_vcs[1:]))
+        )
+
+    @given(st.integers(min_value=3, max_value=40), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_ring_vc_never_decreases(self, n, data):
+        topology = RingTopology(n)
+        routing = RingShortestRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda d: d != src))
+        vcs = walk_vcs(topology, routing, src, dst)
+        assert all(a <= b for a, b in zip(vcs, vcs[1:]))
+        assert all(vc in (0, 1) for vc in vcs)
+
+
+class TestTableAgreesWithSpecialised:
+    @given(even_sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_spidergon_table_same_lengths(self, n):
+        topology = SpidergonTopology(n)
+        table = TableRouting(topology)
+        dist = all_pairs_distances(topology)
+        for src in range(0, n, max(1, n // 6)):
+            for dst in range(n):
+                if src != dst:
+                    assert table.path_length(src, dst) == dist[src][dst]

@@ -1,0 +1,117 @@
+"""Unit tests for ring shortest-direction routing and the dateline."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.routing import RingShortestRouting
+from repro.routing.base import LOCAL_PORT
+from repro.routing.ring import dateline_vc, shortest_ring_direction
+from repro.topology import RingTopology
+
+
+def packet(src, dst, size=6):
+    return Packet(src, dst, size, created_at=0)
+
+
+class TestDirectionChoice:
+    def test_clockwise_for_short_cw(self):
+        assert shortest_ring_direction(8, 0, 3) == "cw"
+
+    def test_counterclockwise_for_short_ccw(self):
+        assert shortest_ring_direction(8, 0, 6) == "ccw"
+
+    def test_tie_breaks_clockwise(self):
+        assert shortest_ring_direction(8, 0, 4) == "cw"
+
+    def test_wraps(self):
+        assert shortest_ring_direction(8, 7, 1) == "cw"
+
+
+class TestRouting:
+    def test_local_at_destination(self):
+        routing = RingShortestRouting(RingTopology(8))
+        decision = routing.decide(5, packet(0, 5))
+        assert decision.is_local
+
+    def test_paths_are_minimal_all_pairs(self):
+        topology = RingTopology(9)
+        routing = RingShortestRouting(topology)
+        for src in range(9):
+            for dst in range(9):
+                if src == dst:
+                    continue
+                assert routing.path_length(src, dst) == (
+                    topology.ring_distance(src, dst)
+                )
+
+    def test_direction_is_maintained(self):
+        # Paper: direction "is taken and maintained".
+        topology = RingTopology(8)
+        routing = RingShortestRouting(topology)
+        pkt = packet(0, 3)
+        ports = []
+        node = 0
+        while True:
+            decision = routing.decide(node, pkt)
+            if decision.is_local:
+                break
+            ports.append(decision.port)
+            node = topology.out_ports(node)[decision.port]
+        assert set(ports) == {"cw"}
+
+    def test_requires_two_vcs(self):
+        assert RingShortestRouting(RingTopology(8)).required_vcs == 2
+
+
+class TestDateline:
+    def test_promotes_on_cw_crossing(self):
+        pkt = packet(6, 1)
+        assert dateline_vc(8, 6, "cw", pkt) == 0
+        assert dateline_vc(8, 7, "cw", pkt) == 1  # hop 7 -> 0 crosses
+        assert pkt.vc == 1
+
+    def test_promotes_on_ccw_crossing(self):
+        pkt = packet(1, 6)
+        assert dateline_vc(8, 1, "ccw", pkt) == 0
+        assert dateline_vc(8, 0, "ccw", pkt) == 1  # hop 0 -> 7 crosses
+        assert pkt.vc == 1
+
+    def test_sticky_after_crossing(self):
+        pkt = packet(7, 3)
+        dateline_vc(8, 7, "cw", pkt)
+        assert dateline_vc(8, 0, "cw", pkt) == 1
+        assert dateline_vc(8, 1, "cw", pkt) == 1
+
+    def test_no_promotion_without_crossing(self):
+        pkt = packet(1, 4)
+        for node in (1, 2, 3):
+            assert dateline_vc(8, node, "cw", pkt) == 0
+        assert pkt.vc == 0
+
+    def test_decide_uses_vc1_on_crossing_hop(self):
+        routing = RingShortestRouting(RingTopology(8))
+        pkt = packet(7, 2)
+        decision = routing.decide(7, pkt)
+        assert decision.port == "cw"
+        assert decision.vc == 1
+
+    def test_cw_vc0_queue_never_requested_at_dateline_node(self):
+        # The deadlock-freedom argument: no packet asks for (cw, vc0)
+        # at node N-1.
+        topology = RingTopology(8)
+        routing = RingShortestRouting(topology)
+        for src in range(8):
+            for dst in range(8):
+                if src == dst:
+                    continue
+                pkt = packet(src, dst)
+                node = src
+                while True:
+                    decision = routing.decide(node, pkt)
+                    if decision.is_local:
+                        break
+                    if node == 7 and decision.port == "cw":
+                        assert decision.vc == 1
+                    if node == 0 and decision.port == "ccw":
+                        assert decision.vc == 1
+                    node = topology.out_ports(node)[decision.port]

@@ -1,0 +1,93 @@
+"""Tests for the source-routing adapter."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.routing import (
+    MeshXYRouting,
+    RingShortestRouting,
+    SourceRouting,
+    SpidergonAcrossFirstRouting,
+)
+from repro.topology import MeshTopology, RingTopology, SpidergonTopology
+from repro.traffic import TrafficSpec, UniformTraffic
+
+
+def packet(src, dst):
+    return Packet(src, dst, 6, created_at=0)
+
+
+class TestRouteEquivalence:
+    @pytest.mark.parametrize(
+        "topology,base_cls",
+        [
+            (RingTopology(8), RingShortestRouting),
+            (SpidergonTopology(12), SpidergonAcrossFirstRouting),
+            (MeshTopology(3, 4), MeshXYRouting),
+        ],
+        ids=lambda v: getattr(v, "name", getattr(v, "__name__", v)),
+    )
+    def test_same_paths_as_base(self, topology, base_cls):
+        base = base_cls(topology)
+        source = SourceRouting(base_cls(topology))
+        for src in range(topology.num_nodes):
+            for dst in range(topology.num_nodes):
+                if src != dst:
+                    assert source.path(src, dst) == base.path(src, dst)
+
+    def test_inherits_vc_requirement(self):
+        wrapped = SourceRouting(RingShortestRouting(RingTopology(8)))
+        assert wrapped.required_vcs == 2
+        wrapped_mesh = SourceRouting(MeshXYRouting(MeshTopology(2, 4)))
+        assert wrapped_mesh.required_vcs == 1
+
+
+class TestVcSequence:
+    def test_dateline_vcs_preserved(self):
+        topology = RingTopology(8)
+        source = SourceRouting(RingShortestRouting(topology))
+        pkt = packet(6, 1)  # crosses the cw dateline at node 7
+        vcs = []
+        node = 6
+        while node != 1:
+            decision = source.decide(node, pkt)
+            vcs.append(decision.vc)
+            node = topology.out_ports(node)[decision.port]
+        assert vcs == [0, 1, 1]
+
+
+class TestInNetwork:
+    def test_uniform_traffic_flows(self):
+        topology = SpidergonTopology(16)
+        net = Network(
+            topology,
+            routing=SourceRouting(
+                SpidergonAcrossFirstRouting(topology)
+            ),
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.5),
+            seed=3,
+        )
+        result = net.run(cycles=5_000, warmup=1_000)
+        assert result.throughput > 1.0
+
+    def test_same_results_as_per_hop_routing(self):
+        def run(routing_factory):
+            topology = SpidergonTopology(12)
+            net = Network(
+                topology,
+                routing=routing_factory(topology),
+                config=NocConfig(source_queue_packets=16),
+                traffic=TrafficSpec(UniformTraffic(topology), 0.2),
+                seed=5,
+            )
+            result = net.run(cycles=4_000, warmup=800)
+            return result.throughput, result.avg_latency, result.avg_hops
+
+        per_hop = run(SpidergonAcrossFirstRouting)
+        at_source = run(
+            lambda t: SourceRouting(SpidergonAcrossFirstRouting(t))
+        )
+        assert per_hop == at_source

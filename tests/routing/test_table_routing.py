@@ -1,0 +1,92 @@
+"""Unit tests for generic table-driven shortest-path routing."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.routing import TableRouting, routing_for
+from repro.routing.base import RoutingError
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    Topology,
+    all_pairs_distances,
+)
+
+
+def packet(src, dst):
+    return Packet(src, dst, 6, created_at=0)
+
+
+@pytest.mark.parametrize(
+    "topology",
+    [
+        RingTopology(7),
+        SpidergonTopology(10),
+        MeshTopology(3, 4),
+        MeshTopology.irregular(11),
+        MeshTopology.irregular(23),
+    ],
+    ids=lambda t: t.name,
+)
+class TestMinimalOnAnyTopology:
+    def test_paths_minimal(self, topology):
+        routing = TableRouting(topology)
+        dist = all_pairs_distances(topology)
+        for src in range(topology.num_nodes):
+            for dst in range(topology.num_nodes):
+                if src == dst:
+                    continue
+                assert routing.path_length(src, dst) == dist[src][dst]
+
+    def test_local_at_destination(self, topology):
+        routing = TableRouting(topology)
+        assert routing.decide(1, packet(0, 1)).is_local
+
+
+class TestDeterminism:
+    def test_same_route_every_time(self):
+        topology = SpidergonTopology(12)
+        a = TableRouting(topology)
+        b = TableRouting(topology)
+        for src in range(12):
+            for dst in range(12):
+                if src != dst:
+                    assert a.path(src, dst) == b.path(src, dst)
+
+    def test_disconnected_topology_rejected(self):
+        class TwoIslands(Topology):
+            def __init__(self):
+                super().__init__(4, "islands")
+
+            def out_ports(self, node):
+                peer = node ^ 1
+                return {"peer": peer}
+
+        with pytest.raises(RoutingError):
+            TableRouting(TwoIslands())
+
+
+class TestRoutingFor:
+    def test_paper_defaults(self):
+        from repro.routing import (
+            MeshXYRouting,
+            RingShortestRouting,
+            SpidergonAcrossFirstRouting,
+        )
+
+        assert isinstance(
+            routing_for(RingTopology(8)), RingShortestRouting
+        )
+        assert isinstance(
+            routing_for(SpidergonTopology(8)),
+            SpidergonAcrossFirstRouting,
+        )
+        assert isinstance(
+            routing_for(MeshTopology(2, 4)), MeshXYRouting
+        )
+
+    def test_irregular_mesh_falls_back_to_table(self):
+        assert isinstance(
+            routing_for(MeshTopology.irregular(11)), TableRouting
+        )

@@ -1,0 +1,83 @@
+"""Unit and property tests for the reproducible RNG streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_key_changes_seed(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    @given(st.integers(), st.text(max_size=50))
+    def test_seed_fits_in_64_bits(self, root, key):
+        assert 0 <= derive_seed(root, key) < 2**64
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(7, "x")
+        b = RngStream(7, "x")
+        assert [a.uniform() for _ in range(10)] == [
+            b.uniform() for _ in range(10)
+        ]
+
+    def test_streams_are_independent(self):
+        # Drawing from one stream must not perturb another.
+        a1 = RngStream(7, "a")
+        b1 = RngStream(7, "b")
+        _ = [b1.uniform() for _ in range(100)]
+        a2 = RngStream(7, "a")
+        assert [a1.uniform() for _ in range(5)] == [
+            a2.uniform() for _ in range(5)
+        ]
+
+    def test_exponential_positive(self):
+        rng = RngStream(1, "exp")
+        assert all(rng.exponential(10.0) > 0 for _ in range(100))
+
+    def test_exponential_mean_roughly_correct(self):
+        rng = RngStream(1, "exp-mean")
+        draws = [rng.exponential(20.0) for _ in range(20_000)]
+        assert 19.0 < sum(draws) / len(draws) < 21.0
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        rng = RngStream(1, "bad")
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_uniform_int_bounds_inclusive(self):
+        rng = RngStream(1, "ui")
+        draws = {rng.uniform_int(2, 4) for _ in range(200)}
+        assert draws == {2, 3, 4}
+
+    def test_bernoulli_extremes(self):
+        rng = RngStream(1, "bern")
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_bernoulli_rejects_out_of_range(self):
+        rng = RngStream(1, "bern2")
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+
+    def test_choice_draws_members(self):
+        rng = RngStream(1, "choice")
+        population = ["a", "b", "c"]
+        assert all(
+            rng.choice(population) in population for _ in range(50)
+        )
+
+    def test_shuffle_preserves_multiset(self):
+        rng = RngStream(1, "shuffle")
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

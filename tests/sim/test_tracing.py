@@ -1,0 +1,96 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.module import SimModule
+from repro.sim.tracing import EventTracer
+
+
+class Echo(SimModule):
+    def handle_message(self, message):
+        pass
+
+
+def schedule_burst(sim, module, times):
+    for t in times:
+        sim.schedule(t, module, Message(f"m{t}"))
+
+
+class TestTracer:
+    def test_records_deliveries_in_order(self):
+        sim = Simulator()
+        module = Echo(sim, "echo")
+        tracer = EventTracer(sim)
+        schedule_burst(sim, module, [5, 1, 3])
+        sim.run()
+        assert [r.time for r in tracer.records] == [1, 3, 5]
+        assert all(r.target == "echo" for r in tracer.records)
+        assert tracer.times_are_monotone()
+
+    def test_name_filter(self):
+        sim = Simulator()
+        a = Echo(sim, "router0")
+        b = Echo(sim, "ni0")
+        tracer = EventTracer(sim, name_filter="router")
+        sim.schedule(1, a, Message("to-router"))
+        sim.schedule(2, b, Message("to-ni"))
+        sim.run()
+        assert [r.message_name for r in tracer.records] == ["to-router"]
+
+    def test_limit_drops_oldest(self):
+        sim = Simulator()
+        module = Echo(sim, "echo")
+        tracer = EventTracer(sim, limit=3)
+        schedule_burst(sim, module, range(10))
+        sim.run()
+        assert len(tracer.records) == 3
+        assert tracer.dropped == 7
+        assert [r.time for r in tracer.records] == [7, 8, 9]
+
+    def test_detach_restores_plain_run(self):
+        sim = Simulator()
+        module = Echo(sim, "echo")
+        tracer = EventTracer(sim)
+        sim.schedule(1, module, Message("seen"))
+        sim.run()
+        tracer.detach()
+        sim.schedule(2, module, Message("unseen"))
+        sim.run()
+        assert [r.message_name for r in tracer.records] == ["seen"]
+
+    def test_respects_until(self):
+        sim = Simulator()
+        module = Echo(sim, "echo")
+        tracer = EventTracer(sim)
+        schedule_burst(sim, module, [1, 5, 9])
+        sim.run(until=5)
+        assert [r.time for r in tracer.records] == [1, 5]
+        assert sim.now == 5
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            EventTracer(Simulator(), limit=0)
+
+    def test_traces_full_noc_run(self):
+        # Kernel-ordering regression: in a real NoC run, deliveries
+        # at each cycle precede that cycle's phase messages.
+        from repro.noc.network import Network
+        from repro.noc.packet import Packet
+        from repro.topology import RingTopology
+
+        net = Network(RingTopology(4))
+        tracer = EventTracer(net.simulator)
+        net.interfaces[0].enqueue_packet(Packet(0, 2, 2, created_at=0))
+        net.simulator.run(until=100)
+        assert tracer.times_are_monotone()
+        by_time = {}
+        for record in tracer.records:
+            by_time.setdefault(record.time, []).append(record)
+        for time, records in by_time.items():
+            names = [r.message_name for r in records]
+            if "phase-advance" in names and "flit" in names:
+                assert names.index("flit") < names.index(
+                    "phase-advance"
+                )

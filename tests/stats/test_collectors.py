@@ -1,0 +1,66 @@
+"""Unit tests for the runtime statistics collector."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.stats import NetworkStats
+
+
+def packet(created_at=0):
+    pkt = Packet(0, 1, 6, created_at=created_at)
+    pkt.injected_at = created_at + 4
+    pkt.hops = 3
+    return pkt
+
+
+class TestWarmup:
+    def test_pre_warmup_flits_segregated(self):
+        stats = NetworkStats(warmup_cycles=100)
+        stats.record_consumed_flit(50)
+        stats.record_consumed_flit(100)
+        stats.record_consumed_flit(150)
+        assert stats.warmup_flits_consumed == 1
+        assert stats.flits_consumed == 2
+
+    def test_pre_warmup_packets_not_measured(self):
+        stats = NetworkStats(warmup_cycles=100)
+        stats.record_packet_delivered(packet(), 50)
+        assert stats.packets_consumed == 0
+        assert stats.latencies == []
+        assert stats.warmup_packets_consumed == 1
+
+    def test_post_warmup_packet_measured(self):
+        stats = NetworkStats(warmup_cycles=100)
+        stats.record_packet_delivered(packet(created_at=90), 130)
+        assert stats.packets_consumed == 1
+        assert stats.latencies == [40]
+        assert stats.hop_counts == [3]
+        assert stats.queueing_delays == [4]
+        assert stats.network_latencies == [36]
+
+    def test_never_injected_packet_rejected(self):
+        stats = NetworkStats()
+        pkt = Packet(0, 1, 6, created_at=0)
+        with pytest.raises(ValueError):
+            stats.record_packet_delivered(pkt, 10)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkStats(warmup_cycles=-1)
+
+    def test_boundary_cycle_is_measured(self):
+        stats = NetworkStats(warmup_cycles=100)
+        stats.record_consumed_flit(100)
+        assert stats.flits_consumed == 1
+
+
+class TestSourceCounters:
+    def test_generation_and_rejection(self):
+        stats = NetworkStats()
+        stats.record_generated(1)
+        stats.record_generated(2)
+        stats.record_rejected(2)
+        stats.record_injected_flit(3)
+        assert stats.packets_generated == 2
+        assert stats.packets_rejected == 1
+        assert stats.flits_injected == 1

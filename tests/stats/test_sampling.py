@@ -1,0 +1,86 @@
+"""Tests for occupancy sampling and batch means."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.stats import OccupancySampler, batch_means
+from repro.topology import SpidergonTopology
+from repro.traffic import TrafficSpec, UniformTraffic
+
+
+def sampled_network(rate, period=50, cycles=2_000):
+    topology = SpidergonTopology(8)
+    net = Network(
+        topology,
+        config=NocConfig(source_queue_packets=16),
+        traffic=TrafficSpec(UniformTraffic(topology), rate),
+        seed=4,
+    )
+    sampler = OccupancySampler(net, period=period)
+    net.run(cycles=cycles)
+    return net, sampler
+
+
+class TestOccupancySampler:
+    def test_samples_on_period(self):
+        _, sampler = sampled_network(0.2, period=100, cycles=1_000)
+        times = [t for t, _ in sampler.series]
+        assert times == list(range(100, 1_001, 100))
+
+    def test_idle_network_samples_zero(self):
+        net = Network(SpidergonTopology(8))
+        sampler = OccupancySampler(net, period=100)
+        net.run(cycles=500)
+        assert all(v == 0 for _, v in sampler.series)
+
+    def test_loaded_network_holds_flits(self):
+        _, sampler = sampled_network(0.8)
+        summary = sampler.summary(warmup=500)
+        assert summary.mean_total_flits > 0
+        assert summary.peak_total_flits >= summary.mean_total_flits
+        assert summary.peak_router.startswith("router")
+
+    def test_higher_load_higher_occupancy(self):
+        _, light = sampled_network(0.05)
+        _, heavy = sampled_network(0.8)
+        assert (
+            heavy.summary(500).mean_total_flits
+            > light.summary(500).mean_total_flits
+        )
+
+    def test_summary_requires_samples(self):
+        _, sampler = sampled_network(0.1, cycles=500)
+        with pytest.raises(ValueError):
+            sampler.summary(warmup=10_000)
+
+    def test_rejects_bad_period(self):
+        net = Network(SpidergonTopology(8))
+        with pytest.raises(ValueError):
+            OccupancySampler(net, period=0)
+
+
+class TestBatchMeans:
+    def test_matches_plain_mean(self):
+        values = [float(i % 7) for i in range(200)]
+        center, half = batch_means(values, num_batches=10)
+        assert center == pytest.approx(sum(values) / len(values))
+        assert half >= 0
+
+    def test_wider_than_iid_for_correlated_series(self):
+        # A strongly autocorrelated series (slow sine drift): the
+        # batch-means CI must be wider than the naive i.i.d. CI.
+        import math
+
+        from repro.stats import confidence_interval
+
+        values = [math.sin(i / 40) for i in range(400)]
+        _, naive = confidence_interval(values)
+        _, batched = batch_means(values, num_batches=10)
+        assert batched > naive
+
+    def test_requires_enough_data(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0, 2.0, 3.0], num_batches=10)
+        with pytest.raises(ValueError):
+            batch_means(list(range(100)), num_batches=1)

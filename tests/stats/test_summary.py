@@ -1,0 +1,211 @@
+"""Unit and property tests for statistical helpers and RunResult."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.packet import Packet
+from repro.stats import (
+    NetworkStats,
+    RunResult,
+    confidence_interval,
+    detect_saturation_point,
+    mean,
+    percentile,
+)
+
+floats = st.floats(
+    min_value=-1e6,
+    max_value=1e6,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_bounded_by_extremes(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(floats, min_size=2, max_size=50))
+    def test_monotone_in_q(self, values):
+        qs = [0, 25, 50, 75, 100]
+        results = [percentile(values, q) for q in qs]
+        assert results == sorted(results)
+
+
+class TestHistogram:
+    def test_buckets(self):
+        from repro.stats import histogram
+
+        counts = histogram([1, 2, 5, 11, 12, 19], 10)
+        assert counts == {0: 3, 10: 3}
+
+    def test_fractional_width(self):
+        from repro.stats import histogram
+
+        counts = histogram([0.1, 0.4, 0.6], 0.5)
+        assert counts == {0.0: 2, 0.5: 1}
+
+    def test_total_preserved(self):
+        from repro.stats import histogram
+
+        values = list(range(137))
+        assert sum(histogram(values, 7).values()) == 137
+
+    def test_validation(self):
+        from repro.stats import histogram
+
+        with pytest.raises(ValueError):
+            histogram([], 1)
+        with pytest.raises(ValueError):
+            histogram([1], 0)
+
+
+class TestConfidenceInterval:
+    def test_zero_variance(self):
+        center, half = confidence_interval([5.0, 5.0, 5.0])
+        assert center == 5.0
+        assert half == 0.0
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _, half95 = confidence_interval(values, 0.95)
+        _, half99 = confidence_interval(values, 0.99)
+        assert half99 > half95
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_unsupported_level_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], 0.9)
+
+    @given(st.lists(floats, min_size=2, max_size=40))
+    def test_center_is_mean(self, values):
+        center, _ = confidence_interval(values)
+        assert center == pytest.approx(mean(values))
+
+
+class TestSaturationDetection:
+    def test_finds_knee(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        latencies = [10, 11, 14, 80]
+        assert detect_saturation_point(rates, latencies) == 0.4
+
+    def test_none_when_flat(self):
+        assert detect_saturation_point([0.1, 0.2], [10, 11]) is None
+
+    def test_threshold_factor(self):
+        rates = [0.1, 0.2]
+        latencies = [10, 25]
+        assert detect_saturation_point(rates, latencies, 2.0) == 0.2
+        assert detect_saturation_point(rates, latencies, 3.0) is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            detect_saturation_point([0.1], [1, 2])
+
+
+class TestRunResult:
+    def _stats(self):
+        stats = NetworkStats(warmup_cycles=100)
+        for t in (150, 200, 250):
+            pkt = Packet(0, 1, 6, created_at=t - 20)
+            pkt.injected_at = t - 15
+            pkt.hops = 2
+            stats.record_packet_delivered(pkt, t)
+            for _ in range(6):
+                stats.record_consumed_flit(t)
+        stats.packets_generated = 5
+        return stats
+
+    def _result(self, cycles=1100):
+        return RunResult.from_stats(
+            self._stats(),
+            topology_name="ring8",
+            routing_name="ring-shortest/ring8",
+            pattern_name="uniform",
+            num_nodes=8,
+            num_sources=8,
+            injection_rate=0.25,
+            cycles=cycles,
+        )
+
+    def test_throughput_over_measured_window(self):
+        result = self._result()
+        assert result.throughput == pytest.approx(18 / 1000)
+
+    def test_latency_stats(self):
+        result = self._result()
+        assert result.avg_latency == 20
+        assert result.p95_latency == 20
+        assert result.avg_hops == 2
+
+    def test_latency_decomposition(self):
+        result = self._result()
+        assert result.avg_queueing_delay == 5
+        assert result.avg_network_latency == 15
+        assert (
+            result.avg_queueing_delay + result.avg_network_latency
+            == result.avg_latency
+        )
+
+    def test_offered_load(self):
+        assert self._result().offered_load == pytest.approx(2.0)
+
+    def test_delivery_ratio(self):
+        assert self._result().delivery_ratio == pytest.approx(3 / 5)
+
+    def test_no_window_rejected(self):
+        with pytest.raises(ValueError):
+            self._result(cycles=100)
+
+    def test_empty_run_has_none_latency(self):
+        stats = NetworkStats()
+        result = RunResult.from_stats(
+            stats,
+            topology_name="ring8",
+            routing_name="r",
+            pattern_name="uniform",
+            num_nodes=8,
+            num_sources=8,
+            injection_rate=0.0,
+            cycles=100,
+        )
+        assert result.avg_latency is None
+        assert result.p95_latency is None
+        assert result.avg_hops is None
+        assert result.delivery_ratio == 0.0

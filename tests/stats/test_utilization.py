@@ -1,0 +1,113 @@
+"""Tests for link-utilization reporting."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.stats import UtilizationReport
+from repro.topology import RingTopology, SpidergonTopology
+from repro.traffic import HotspotTraffic, TrafficSpec, UniformTraffic
+
+
+def run_network(topology, pattern, rate=0.2, cycles=3_000):
+    net = Network(
+        topology,
+        config=NocConfig(source_queue_packets=16),
+        traffic=TrafficSpec(pattern, rate),
+        seed=5,
+    )
+    net.run(cycles=cycles)
+    return net
+
+
+class TestReportConstruction:
+    def test_requires_completed_run(self):
+        net = Network(RingTopology(4))
+        with pytest.raises(ValueError):
+            UtilizationReport.from_network(net)
+
+    def test_counts_match_single_packet(self):
+        # One 6-flit packet over 2 hops: each traversed link carries
+        # 6 flits; all other links carry 0.
+        topology = RingTopology(8)
+        net = Network(topology, seed=0)
+        net.interfaces[0].enqueue_packet(Packet(0, 2, 6, created_at=0))
+        net.simulator.run(until=300)
+        net.cycles_run = 300
+        report = UtilizationReport.from_network(net)
+        by_link = {(l.node, l.port): l.flits for l in report.loads}
+        assert by_link[(0, "cw")] == 6
+        assert by_link[(1, "cw")] == 6
+        assert by_link[(2, "cw")] == 0
+        assert report.total_flit_hops == 12
+
+    def test_local_port_excluded_by_default(self):
+        topology = RingTopology(4)
+        net = run_network(topology, UniformTraffic(topology))
+        report = UtilizationReport.from_network(net)
+        assert all(l.port != "local" for l in report.loads)
+        with_local = UtilizationReport.from_network(
+            net, include_local=True
+        )
+        assert len(with_local.loads) == len(report.loads) + 4
+
+
+class TestAggregates:
+    def test_utilization_bounded_by_one(self):
+        topology = RingTopology(8)
+        net = run_network(topology, UniformTraffic(topology), rate=0.9)
+        report = UtilizationReport.from_network(net)
+        for load in report.loads:
+            assert 0.0 <= load.utilization <= 1.0
+
+    def test_hotspot_concentrates_load(self):
+        # Converging traffic loads the links around the target far
+        # more than the average link.
+        topology = SpidergonTopology(16)
+        net = run_network(
+            topology, HotspotTraffic(topology, [0]), rate=0.3
+        )
+        report = UtilizationReport.from_network(net)
+        assert report.imbalance > 2.0
+        # The busiest links feed the hot-spot node.
+        top_nodes = {l.node for l in report.busiest(3)}
+        neighbors = set(topology.neighbors(0)) | {0}
+        assert top_nodes & neighbors
+
+    def test_uniform_traffic_balanced_on_symmetric_topology(self):
+        topology = RingTopology(8)
+        net = run_network(
+            topology, UniformTraffic(topology), rate=0.3,
+            cycles=8_000,
+        )
+        report = UtilizationReport.from_network(net)
+        assert report.imbalance < 1.5
+
+    def test_total_flit_hops_equals_flits_times_hops(self):
+        # Energy proxy consistency: total link traversals equal
+        # sum(packet hops) * flits-per-packet for delivered traffic
+        # (plus in-flight remainder; use a drained burst).
+        topology = RingTopology(8)
+        net = Network(topology, seed=0)
+        for dst in (1, 2, 3, 4):
+            net.interfaces[0].enqueue_packet(
+                Packet(0, dst, 6, created_at=0)
+            )
+        net.simulator.run(until=500)
+        net.cycles_run = 500
+        report = UtilizationReport.from_network(net)
+        expected = 6 * sum(net.stats.hop_counts)
+        assert report.total_flit_hops == expected
+
+    def test_idle_network_reports_zero(self):
+        net = Network(RingTopology(4))
+        net.run(cycles=50)
+        report = UtilizationReport.from_network(net)
+        assert report.mean_utilization == 0.0
+        assert report.imbalance == 0.0
+
+    def test_empty_peak_raises(self):
+        report = UtilizationReport(loads=(), cycles=10)
+        with pytest.raises(ValueError):
+            report.peak

@@ -1,0 +1,78 @@
+"""Tests for the top-level CLI and package metadata."""
+
+import subprocess
+import sys
+
+import repro
+from repro.__main__ import main
+
+
+class TestMain:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "DATE 2006" in out
+        assert "fig10" in out
+
+    def test_no_args_prints_info(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_figures_dispatch(self, capsys):
+        assert main(["figures", "fig2"]) == 0
+        assert "spidergon" in capsys.readouterr().out
+
+    def test_ablations_dispatch(self, capsys):
+        assert main(["ablations", "mesh-policy"]) == 0
+        assert "irregular" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["bogus"]) == 2
+
+    def test_campaign_dispatch(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "name": "cli-smoke",
+            "cycles": 600,
+            "warmup": 100,
+            "topologies": ["ring8"],
+            "patterns": ["uniform"],
+            "rates": [0.1],
+            "source_queue_packets": 8,
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        csv_path = tmp_path / "out.csv"
+        assert main(["campaign", str(spec_path), str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "1 runs executed" in capsys.readouterr().out
+
+    def test_campaign_usage_error(self, capsys):
+        assert main(["campaign", "only-one-arg"]) == 2
+
+    def test_module_invocation(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "repro" in completed.stdout
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None
+
+    def test_star_import_clean(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        assert "Network" in namespace
+        assert "SpidergonTopology" in namespace

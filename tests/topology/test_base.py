@@ -1,0 +1,65 @@
+"""Unit tests for the Topology base class helpers."""
+
+import pytest
+
+from repro.topology import Link, RingTopology, Topology, TopologyError
+
+
+class Broken(Topology):
+    """A topology with an unpaired link, for validate() tests."""
+
+    def __init__(self):
+        super().__init__(3, "broken")
+
+    def out_ports(self, node):
+        self.check_node(node)
+        # 0 -> 1 -> 2 -> 0 one-way only: reverses missing.
+        return {"next": (node + 1) % 3}
+
+
+class SelfLinker(Topology):
+    def __init__(self):
+        super().__init__(2, "selfish")
+
+    def out_ports(self, node):
+        self.check_node(node)
+        return {"loop": node}
+
+
+class TestBase:
+    def test_minimum_nodes(self):
+        class Tiny(Topology):
+            def __init__(self):
+                super().__init__(1, "tiny")
+
+            def out_ports(self, node):
+                return {}
+
+        with pytest.raises(TopologyError):
+            Tiny()
+
+    def test_links_are_sorted_by_node_then_port(self):
+        ring = RingTopology(3)
+        links = ring.links()
+        assert links[0] == Link(0, 2, "ccw")
+        assert links[1] == Link(0, 1, "cw")
+        assert [l.src for l in links] == [0, 0, 1, 1, 2, 2]
+
+    def test_neighbors(self):
+        ring = RingTopology(5)
+        assert set(ring.neighbors(0)) == {1, 4}
+
+    def test_validate_detects_unpaired_links(self):
+        with pytest.raises(TopologyError, match="no reverse"):
+            Broken().validate()
+
+    def test_validate_detects_self_links(self):
+        with pytest.raises(TopologyError, match="links to itself"):
+            SelfLinker().validate()
+
+    def test_check_node_bounds(self):
+        ring = RingTopology(4)
+        ring.check_node(0)
+        ring.check_node(3)
+        with pytest.raises(TopologyError):
+            ring.check_node(4)

@@ -1,0 +1,41 @@
+"""Tests for topology export helpers."""
+
+from repro.topology import MeshTopology, RingTopology, SpidergonTopology
+from repro.topology.export import to_adjacency_text, to_dot
+
+
+class TestDot:
+    def test_undirected_edges_deduplicated(self):
+        dot = to_dot(RingTopology(6))
+        assert dot.count(" -- ") == 6  # 12 directed links -> 6 edges
+
+    def test_spidergon_edge_count(self):
+        dot = to_dot(SpidergonTopology(8))
+        # 8 ring edges + 4 across edges.
+        assert dot.count(" -- ") == 12
+
+    def test_mesh_gets_positions(self):
+        dot = to_dot(MeshTopology(2, 3))
+        assert 'pos="2,-1!"' in dot
+
+    def test_valid_structure(self):
+        dot = to_dot(SpidergonTopology(8))
+        assert dot.startswith("graph spidergon8 {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="across"' in dot
+
+    def test_custom_name_sanitised(self):
+        dot = to_dot(MeshTopology.irregular(11), name="my-floorplan")
+        assert dot.startswith("graph my_floorplan {")
+
+
+class TestAdjacencyText:
+    def test_lists_every_node(self):
+        text = to_adjacency_text(RingTopology(5))
+        lines = text.strip().splitlines()
+        assert len(lines) == 6  # header + 5 nodes
+        assert lines[1] == "0: ccw->4 cw->1"
+
+    def test_header_has_counts(self):
+        text = to_adjacency_text(SpidergonTopology(8))
+        assert "8 nodes, 24 links" in text

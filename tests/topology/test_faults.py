@@ -1,0 +1,134 @@
+"""Tests for link-fault injection."""
+
+import pytest
+
+from repro.routing import TableRouting, routing_for
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    TopologyError,
+    TorusTopology,
+    diameter,
+)
+from repro.topology.faults import FaultyTopology
+
+
+class TestConstruction:
+    def test_removes_both_directions(self):
+        mesh = MeshTopology(3, 3)
+        faulty = FaultyTopology(mesh, [(0, 1)])
+        assert 1 not in faulty.neighbors(0)
+        assert 0 not in faulty.neighbors(1)
+        assert faulty.num_links == mesh.num_links - 2
+
+    def test_pair_order_irrelevant(self):
+        mesh = MeshTopology(3, 3)
+        a = FaultyTopology(mesh, [(0, 1)])
+        b = FaultyTopology(mesh, [(1, 0)])
+        assert a.failed_links == b.failed_links
+
+    def test_rejects_nonexistent_link(self):
+        with pytest.raises(TopologyError, match="non-existent"):
+            FaultyTopology(MeshTopology(3, 3), [(0, 8)])
+
+    def test_rejects_disconnecting_faults(self):
+        # Cutting both links of ring node 1 isolates it.
+        ring = RingTopology(6)
+        with pytest.raises(TopologyError, match="disconnects"):
+            FaultyTopology(ring, [(0, 1), (1, 2)])
+
+    def test_still_validates_as_paired(self):
+        faulty = FaultyTopology(TorusTopology(3, 3), [(0, 1), (4, 5)])
+        faulty.validate()
+
+    def test_name_reports_fault_count(self):
+        faulty = FaultyTopology(SpidergonTopology(8), [(0, 4)])
+        assert faulty.name == "spidergon8-faulty1"
+
+
+class TestRandomFaults:
+    def test_requested_count(self):
+        faulty = FaultyTopology.with_random_faults(
+            TorusTopology(4, 4), 5, seed=3
+        )
+        assert len(faulty.failed_links) == 5
+        faulty.validate()
+
+    def test_deterministic_per_seed(self):
+        a = FaultyTopology.with_random_faults(
+            MeshTopology(4, 4), 4, seed=9
+        )
+        b = FaultyTopology.with_random_faults(
+            MeshTopology(4, 4), 4, seed=9
+        )
+        assert a.failed_links == b.failed_links
+
+    def test_zero_faults_is_base(self):
+        base = MeshTopology(3, 3)
+        faulty = FaultyTopology.with_random_faults(base, 0)
+        assert faulty.num_links == base.num_links
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(TopologyError):
+            FaultyTopology.with_random_faults(RingTopology(4), 5)
+
+
+class TestRoutingAndSimulation:
+    def test_routing_for_falls_back_to_table(self):
+        faulty = FaultyTopology(MeshTopology(4, 4), [(5, 6)])
+        assert isinstance(routing_for(faulty), TableRouting)
+
+    def test_diameter_grows_gracefully(self):
+        base = TorusTopology(4, 4)
+        faulty = FaultyTopology.with_random_faults(base, 6, seed=2)
+        assert diameter(faulty) >= diameter(base)
+        assert diameter(faulty) <= base.num_nodes
+
+    def test_degraded_network_still_delivers(self):
+        from repro.noc.config import NocConfig
+        from repro.noc.network import Network
+        from repro.traffic import TrafficSpec, UniformTraffic
+
+        base = TorusTopology(4, 4)
+        faulty = FaultyTopology.with_random_faults(base, 4, seed=7)
+        net = Network(
+            faulty,
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(faulty), 0.1),
+            seed=7,
+        )
+        result = net.run(cycles=4_000, warmup=1_000)
+        # Low load: the degraded network still accepts the offered
+        # traffic (16 x 0.1 = 1.6 flits/cycle).
+        assert result.throughput == pytest.approx(1.6, rel=0.15)
+
+    def test_paths_lengthen_with_faults(self):
+        # Below saturation the degraded network still delivers
+        # everything, but packets detour around the dead links: mean
+        # hop count (and with it latency) grows with the fault count.
+        from repro.noc.config import NocConfig
+        from repro.noc.network import Network
+        from repro.traffic import TrafficSpec, UniformTraffic
+
+        def mean_hops(fault_count):
+            base = TorusTopology(4, 4)
+            topology = (
+                base
+                if fault_count == 0
+                else FaultyTopology.with_random_faults(
+                    base, fault_count, seed=5
+                )
+            )
+            net = Network(
+                topology,
+                routing=TableRouting(topology),
+                config=NocConfig(source_queue_packets=16),
+                traffic=TrafficSpec(UniformTraffic(topology), 0.1),
+                seed=5,
+            )
+            return net.run(cycles=4_000, warmup=1_000).avg_hops
+
+        healthy = mean_hops(0)
+        degraded = mean_hops(8)
+        assert degraded > healthy

@@ -1,0 +1,122 @@
+"""Unit tests for the minimal directed graph."""
+
+import pytest
+
+from repro.topology.graph import Graph
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+    def test_add_edge_and_query(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.successors(0) == (1,)
+
+    def test_add_edge_idempotent(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            g.add_edge(-1, 0)
+
+    def test_edges_listing(self):
+        g = Graph(3)
+        g.add_edge(2, 0)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        assert set(g.edges()) == {(2, 0), (0, 1), (0, 2)}
+
+
+class TestBfs:
+    def _path_graph(self, n):
+        g = Graph(n)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+            g.add_edge(i + 1, i)
+        return g
+
+    def test_distances_on_path(self):
+        g = self._path_graph(5)
+        assert g.bfs_distances(0) == [0, 1, 2, 3, 4]
+        assert g.bfs_distances(2) == [2, 1, 0, 1, 2]
+
+    def test_unreachable_marked_minus_one(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        assert g.bfs_distances(0) == [0, 1, -1, -1]
+
+    def test_directed_asymmetry(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.bfs_distances(0) == [0, 1, 2]
+        assert g.bfs_distances(2) == [-1, -1, 0]
+
+
+class TestShortestPath:
+    def test_trivial_path(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        assert g.shortest_path(0, 0) == [0]
+        assert g.shortest_path(0, 1) == [0, 1]
+
+    def test_path_length_matches_bfs(self):
+        g = Graph(6)
+        edges = [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)]
+        for a, b in edges:
+            g.add_edge(a, b)
+            g.add_edge(b, a)
+        path = g.shortest_path(0, 5)
+        assert len(path) - 1 == g.bfs_distances(0)[5]
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_deterministic_tie_break(self):
+        # Two equal-length routes 0->1->3 and 0->2->3: BFS must pick
+        # the lowest-numbered first hop.
+        g = Graph(4)
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            g.add_edge(a, b)
+        assert g.shortest_path(0, 3) == [0, 1, 3]
+
+    def test_unreachable_target_raises(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.shortest_path(0, 2)
+
+
+class TestConnectivity:
+    def test_strongly_connected_cycle(self):
+        g = Graph(4)
+        for i in range(4):
+            g.add_edge(i, (i + 1) % 4)
+        assert g.is_strongly_connected()
+
+    def test_one_way_chain_not_strongly_connected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert not g.is_strongly_connected()
+
+    def test_disconnected_not_strongly_connected(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert not g.is_strongly_connected()

@@ -1,0 +1,79 @@
+"""Unit tests for the hypercube topology (extension)."""
+
+import pytest
+
+from repro.topology import (
+    HypercubeTopology,
+    TopologyError,
+    average_distance,
+    diameter,
+    per_node_distance_sum,
+)
+
+
+class TestStructure:
+    def test_node_count(self):
+        assert HypercubeTopology(3).num_nodes == 8
+        assert HypercubeTopology.with_nodes(16).dimension == 4
+
+    def test_with_nodes_requires_power_of_two(self):
+        with pytest.raises(TopologyError):
+            HypercubeTopology.with_nodes(12)
+
+    def test_dimension_bounds(self):
+        with pytest.raises(TopologyError):
+            HypercubeTopology(0)
+        with pytest.raises(TopologyError):
+            HypercubeTopology(17)
+
+    def test_ports_flip_one_bit(self):
+        cube = HypercubeTopology(3)
+        assert cube.out_ports(0) == {"dim0": 1, "dim1": 2, "dim2": 4}
+        assert cube.out_ports(5) == {"dim0": 4, "dim1": 7, "dim2": 1}
+
+    def test_degree_is_log_n(self):
+        cube = HypercubeTopology(4)
+        assert all(cube.degree(n) == 4 for n in range(16))
+
+    def test_link_count(self):
+        # d * 2^d unidirectional links.
+        assert HypercubeTopology(3).num_links == 24
+
+    def test_validates(self):
+        HypercubeTopology(4).validate()
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_diameter_is_dimension(self, d):
+        assert diameter(HypercubeTopology(d)) == d
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_average_distance_is_half_dimension(self, d):
+        # Sum over all nodes of Hamming distance = d * 2^(d-1);
+        # divided by N (self included) gives exactly d/2.
+        cube = HypercubeTopology(d)
+        assert average_distance(cube) == pytest.approx(d / 2)
+        assert per_node_distance_sum(cube, 0) == d * 2 ** (d - 1)
+
+    def test_shortest_paths_of_all_studied_topologies(self):
+        # The paper's complexity trade-off, in one assertion: at
+        # N=16 the hypercube beats every constant-degree topology on
+        # average distance.
+        from repro.topology import (
+            MeshTopology,
+            RingTopology,
+            SpidergonTopology,
+            TorusTopology,
+        )
+
+        cube = average_distance(HypercubeTopology(4))
+        for other in (
+            RingTopology(16),
+            SpidergonTopology(16),
+            MeshTopology(4, 4),
+        ):
+            assert cube < average_distance(other)
+        # The 4x4 torus is graph-isomorphic to Q4 (C4 = Q2, and
+        # C4 x C4 = Q2 x Q2 = Q4): identical distance structure.
+        assert cube == average_distance(TorusTopology(4, 4))

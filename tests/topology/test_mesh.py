@@ -1,0 +1,123 @@
+"""Unit tests for regular, factorized and irregular meshes."""
+
+import pytest
+
+from repro.topology import (
+    MeshTopology,
+    TopologyError,
+    best_factorization,
+    diameter,
+)
+
+
+class TestBestFactorization:
+    def test_perfect_square(self):
+        assert best_factorization(16) == (4, 4)
+
+    def test_rectangles(self):
+        assert best_factorization(24) == (4, 6)
+        assert best_factorization(8) == (2, 4)
+
+    def test_prime_degenerates_to_strip(self):
+        assert best_factorization(13) == (1, 13)
+
+    def test_two_times_prime(self):
+        assert best_factorization(22) == (2, 11)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TopologyError):
+            best_factorization(0)
+
+
+class TestRegularMesh:
+    def test_row_major_numbering(self):
+        mesh = MeshTopology(2, 4)
+        assert mesh.coordinates(0) == (0, 0)
+        assert mesh.coordinates(3) == (0, 3)
+        assert mesh.coordinates(4) == (1, 0)
+        assert mesh.node_at(1, 3) == 7
+
+    def test_corner_ports(self):
+        mesh = MeshTopology(3, 3)
+        assert mesh.out_ports(0) == {"south": 3, "east": 1}
+        assert mesh.out_ports(8) == {"north": 5, "west": 7}
+
+    def test_center_ports(self):
+        mesh = MeshTopology(3, 3)
+        assert mesh.out_ports(4) == {
+            "north": 1,
+            "south": 7,
+            "east": 5,
+            "west": 3,
+        }
+
+    def test_link_count_formula(self):
+        # Paper: 2(m-1)n + 2(n-1)m unidirectional links.
+        for rows, cols in ((2, 4), (3, 3), (4, 6), (1, 7)):
+            mesh = MeshTopology(rows, cols)
+            expected = 2 * (rows - 1) * cols + 2 * (cols - 1) * rows
+            assert mesh.num_links == expected
+
+    def test_diameter_formula(self):
+        for rows, cols in ((2, 4), (4, 6), (5, 5)):
+            assert diameter(MeshTopology(rows, cols)) == rows + cols - 2
+
+    def test_validates(self):
+        MeshTopology(4, 6).validate()
+
+    def test_is_regular(self):
+        assert MeshTopology(3, 4).is_regular
+
+    def test_ideal_requires_perfect_square(self):
+        assert MeshTopology.ideal(25).rows == 5
+        with pytest.raises(TopologyError):
+            MeshTopology.ideal(24)
+
+    def test_factorized_shape(self):
+        mesh = MeshTopology.factorized(24)
+        assert (mesh.rows, mesh.cols) == (4, 6)
+
+    def test_center_node(self):
+        assert MeshTopology(3, 3).center_node() == 4
+        # 2x4 mesh: paper's "middle" is node 5 (1-based) = node 4.
+        assert MeshTopology(2, 4).center_node() in (1, 2, 5, 6, 4)
+
+
+class TestIrregularMesh:
+    def test_node_count(self):
+        for n in (5, 7, 11, 23, 37):
+            assert MeshTopology.irregular(n).num_nodes == n
+
+    def test_partial_row_has_north_neighbor(self):
+        mesh = MeshTopology.irregular(11)
+        assert not mesh.is_regular
+        mesh.validate()  # connected with paired links
+
+    def test_square_count_is_regular(self):
+        assert MeshTopology.irregular(16).is_regular
+
+    def test_missing_cell_lookup_raises(self):
+        mesh = MeshTopology.irregular(11)  # 3x4 grid, 11 cells
+        with pytest.raises(TopologyError):
+            mesh.node_at(2, 3)
+
+    def test_has_cell(self):
+        mesh = MeshTopology.irregular(11)
+        assert mesh.has_cell(0, 0)
+        assert not mesh.has_cell(2, 3)
+
+    def test_explicit_cells_validation(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(2, 2, cells=[(0, 0), (5, 5)])
+
+    def test_name_distinguishes_irregular(self):
+        assert "irregular" in MeshTopology.irregular(11).name
+        assert "irregular" not in MeshTopology(3, 4).name
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.irregular(1)
+
+    def test_all_irregular_sizes_connected(self):
+        for n in range(2, 50):
+            MeshTopology.irregular(n).validate()

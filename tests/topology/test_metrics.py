@@ -1,0 +1,96 @@
+"""Unit tests for graph-based topology metrics, with networkx as an
+independent oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    all_pairs_distances,
+    average_distance,
+    diameter,
+    distance_histogram,
+    per_node_distance_sum,
+)
+
+
+def to_networkx(topology):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(topology.num_nodes))
+    for link in topology.links():
+        g.add_edge(link.src, link.dst)
+    return g
+
+
+TOPOLOGIES = [
+    RingTopology(5),
+    RingTopology(8),
+    SpidergonTopology(6),
+    SpidergonTopology(16),
+    MeshTopology(2, 4),
+    MeshTopology(4, 6),
+    MeshTopology.irregular(11),
+    MeshTopology.irregular(23),
+]
+
+
+@pytest.mark.parametrize(
+    "topology", TOPOLOGIES, ids=lambda t: t.name
+)
+class TestAgainstNetworkx:
+    def test_diameter_matches(self, topology):
+        oracle = nx.diameter(to_networkx(topology))
+        assert diameter(topology) == oracle
+
+    def test_average_distance_matches(self, topology):
+        g = to_networkx(topology)
+        n = topology.num_nodes
+        total = sum(
+            d
+            for lengths in dict(nx.all_pairs_shortest_path_length(g)).values()
+            for d in lengths.values()
+        )
+        assert average_distance(topology) == pytest.approx(total / n**2)
+        assert average_distance(
+            topology, include_self=False
+        ) == pytest.approx(total / (n * (n - 1)))
+
+    def test_all_pairs_matches(self, topology):
+        g = to_networkx(topology)
+        ours = all_pairs_distances(topology)
+        for src, lengths in nx.all_pairs_shortest_path_length(g):
+            for dst, d in lengths.items():
+                assert ours[src][dst] == d
+
+
+class TestHelpers:
+    def test_per_node_sum_on_ring(self):
+        # Even ring: sum of distances from any node is N^2/4.
+        ring = RingTopology(8)
+        for node in range(8):
+            assert per_node_distance_sum(ring, node) == 16
+
+    def test_distance_histogram_counts_pairs(self):
+        ring = RingTopology(4)
+        hist = distance_histogram(ring)
+        # 4 nodes: 8 ordered pairs at distance 1, 4 at distance 2.
+        assert hist == {1: 8, 2: 4}
+
+    def test_histogram_total_is_all_ordered_pairs(self):
+        topology = SpidergonTopology(10)
+        hist = distance_histogram(topology)
+        assert sum(hist.values()) == 10 * 9
+
+    def test_disconnected_raises(self):
+        mesh = MeshTopology(1, 2, cells=[(0, 0), (0, 1)])
+        # Break connectivity by constructing two isolated cells.
+        isolated = MeshTopology(3, 3, cells=[(0, 0), (2, 2)])
+        with pytest.raises(ValueError):
+            diameter(isolated)
+        with pytest.raises(ValueError):
+            average_distance(isolated)
+        with pytest.raises(ValueError):
+            per_node_distance_sum(isolated, 0)
+        assert diameter(mesh) == 1

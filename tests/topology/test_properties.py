@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) on topology invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    average_distance,
+    diameter,
+)
+
+ring_sizes = st.integers(min_value=3, max_value=64)
+even_sizes = st.integers(min_value=2, max_value=32).map(lambda x: 2 * x)
+mesh_dims = st.tuples(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=10),
+).filter(lambda rc: rc[0] * rc[1] >= 2)
+
+
+class TestStructuralInvariants:
+    @given(ring_sizes)
+    def test_ring_links_paired_and_connected(self, n):
+        RingTopology(n).validate()
+
+    @given(even_sizes)
+    def test_spidergon_links_paired_and_connected(self, n):
+        SpidergonTopology(n).validate()
+
+    @given(mesh_dims)
+    def test_mesh_links_paired_and_connected(self, dims):
+        MeshTopology(*dims).validate()
+
+    @given(st.integers(min_value=2, max_value=80))
+    def test_irregular_mesh_valid(self, n):
+        MeshTopology.irregular(n).validate()
+
+    @given(even_sizes)
+    def test_spidergon_degree_constant(self, n):
+        sp = SpidergonTopology(n)
+        assert all(sp.degree(v) == 3 for v in range(n))
+
+    @given(mesh_dims)
+    def test_mesh_degree_bounds(self, dims):
+        mesh = MeshTopology(*dims)
+        for node in range(mesh.num_nodes):
+            assert 1 <= mesh.degree(node) <= 4
+
+
+class TestMetricRelations:
+    @given(even_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_spidergon_no_worse_than_ring(self, n):
+        # Adding across links can only shrink distances.
+        ring_ed = average_distance(RingTopology(max(n, 3)))
+        spider_ed = average_distance(SpidergonTopology(max(n, 4)))
+        assert spider_ed <= ring_ed + 1e-9
+
+    @given(even_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_diameter_bounds_average(self, n):
+        topology = SpidergonTopology(max(n, 4))
+        assert average_distance(topology) <= diameter(topology)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_irregular_mesh_diameter_le_strip(self, n):
+        # The near-square irregular grid never does worse than the
+        # 1 x N strip.
+        assert diameter(MeshTopology.irregular(n)) <= n - 1
+
+    @given(mesh_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_mesh_diameter_exact(self, dims):
+        rows, cols = dims
+        assert diameter(MeshTopology(rows, cols)) == rows + cols - 2
+
+    @given(even_sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_links_formulas(self, n):
+        n = max(n, 4)
+        assert RingTopology(n).num_links == 2 * n
+        assert SpidergonTopology(n).num_links == 3 * n

@@ -1,0 +1,68 @@
+"""Unit tests for the Ring topology."""
+
+import pytest
+
+from repro.topology import RingTopology, TopologyError, diameter
+
+
+class TestStructure:
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            RingTopology(2)
+
+    def test_ports(self):
+        ring = RingTopology(6)
+        assert ring.out_ports(0) == {"cw": 1, "ccw": 5}
+        assert ring.out_ports(5) == {"cw": 0, "ccw": 4}
+
+    def test_constant_degree_two(self):
+        ring = RingTopology(9)
+        assert all(ring.degree(n) == 2 for n in range(9))
+
+    def test_link_count_is_2n(self):
+        for n in (3, 4, 8, 17):
+            assert RingTopology(n).num_links == 2 * n
+
+    def test_validates(self):
+        RingTopology(8).validate()
+
+    def test_port_to(self):
+        ring = RingTopology(5)
+        assert ring.port_to(0, 1) == "cw"
+        assert ring.port_to(0, 4) == "ccw"
+        with pytest.raises(TopologyError):
+            ring.port_to(0, 2)
+
+    def test_name(self):
+        assert RingTopology(12).name == "ring12"
+
+
+class TestDistances:
+    def test_ring_distance_symmetry(self):
+        ring = RingTopology(10)
+        for a in range(10):
+            for b in range(10):
+                assert ring.ring_distance(a, b) == ring.ring_distance(b, a)
+
+    def test_ring_distance_values(self):
+        ring = RingTopology(8)
+        assert ring.ring_distance(0, 0) == 0
+        assert ring.ring_distance(0, 1) == 1
+        assert ring.ring_distance(0, 4) == 4
+        assert ring.ring_distance(0, 7) == 1
+
+    def test_clockwise_distance(self):
+        ring = RingTopology(8)
+        assert ring.clockwise_distance(6, 1) == 3
+        assert ring.clockwise_distance(1, 6) == 5
+
+    def test_diameter_matches_formula(self):
+        for n in (4, 5, 8, 11, 16):
+            assert diameter(RingTopology(n)) == n // 2
+
+    def test_out_of_range_node(self):
+        ring = RingTopology(4)
+        with pytest.raises(TopologyError):
+            ring.out_ports(4)
+        with pytest.raises(TopologyError):
+            ring.ring_distance(0, -1)

@@ -1,0 +1,58 @@
+"""Unit tests for the Spidergon topology."""
+
+import pytest
+
+from repro.topology import SpidergonTopology, TopologyError, diameter
+
+
+class TestStructure:
+    def test_requires_even_size(self):
+        with pytest.raises(TopologyError):
+            SpidergonTopology(7)
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            SpidergonTopology(2)
+
+    def test_ports(self):
+        sp = SpidergonTopology(8)
+        assert sp.out_ports(0) == {"cw": 1, "ccw": 7, "across": 4}
+        assert sp.out_ports(5) == {"cw": 6, "ccw": 4, "across": 1}
+
+    def test_constant_degree_three(self):
+        # Paper: "constant node degree (equal to 3)".
+        sp = SpidergonTopology(12)
+        assert all(sp.degree(n) == 3 for n in range(12))
+
+    def test_link_count_is_3n(self):
+        for n in (4, 8, 16, 30):
+            assert SpidergonTopology(n).num_links == 3 * n
+
+    def test_across_is_involution(self):
+        sp = SpidergonTopology(10)
+        for node in range(10):
+            assert sp.opposite(sp.opposite(node)) == node
+
+    def test_validates(self):
+        SpidergonTopology(16).validate()
+
+
+class TestVertexSymmetry:
+    def test_degree_sequence_identical_from_every_node(self):
+        # Paper: "vertex symmetry (same topology appears from any
+        # node)" — check that distance multisets agree across nodes.
+        sp = SpidergonTopology(12)
+        graph = sp.to_graph()
+        reference = sorted(graph.bfs_distances(0))
+        for node in range(1, 12):
+            assert sorted(graph.bfs_distances(node)) == reference
+
+
+class TestDiameter:
+    def test_matches_ceiling_formula(self):
+        for n in range(4, 40, 2):
+            assert diameter(SpidergonTopology(n)) == -(-n // 4)
+
+    def test_small_spidergon_is_complete(self):
+        # N=4: ring plus both diagonals = K4.
+        assert diameter(SpidergonTopology(4)) == 1

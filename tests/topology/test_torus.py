@@ -1,0 +1,61 @@
+"""Unit tests for the torus topology (extension)."""
+
+import pytest
+
+from repro.topology import (
+    TopologyError,
+    TorusTopology,
+    average_distance,
+    diameter,
+)
+
+
+class TestStructure:
+    def test_requires_min_dims(self):
+        with pytest.raises(TopologyError):
+            TorusTopology(2, 4)
+        with pytest.raises(TopologyError):
+            TorusTopology(4, 2)
+
+    def test_constant_degree_four(self):
+        torus = TorusTopology(3, 5)
+        assert all(torus.degree(n) == 4 for n in range(15))
+
+    def test_link_count_is_4n(self):
+        torus = TorusTopology(4, 4)
+        assert torus.num_links == 4 * 16
+
+    def test_wraparound_ports(self):
+        torus = TorusTopology(3, 4)
+        corner = torus.node_at(0, 0)
+        ports = torus.out_ports(corner)
+        assert ports["north"] == torus.node_at(2, 0)
+        assert ports["west"] == torus.node_at(0, 3)
+        assert ports["south"] == torus.node_at(1, 0)
+        assert ports["east"] == torus.node_at(0, 1)
+
+    def test_validates(self):
+        TorusTopology(4, 5).validate()
+
+    def test_vertex_symmetry(self):
+        torus = TorusTopology(4, 4)
+        graph = torus.to_graph()
+        reference = sorted(graph.bfs_distances(0))
+        for node in range(1, 16):
+            assert sorted(graph.bfs_distances(node)) == reference
+
+
+class TestMetrics:
+    def test_diameter_formula(self):
+        # Torus diameter is floor(m/2) + floor(n/2).
+        for rows, cols in ((3, 3), (4, 4), (4, 6), (5, 7)):
+            torus = TorusTopology(rows, cols)
+            assert diameter(torus) == rows // 2 + cols // 2
+
+    def test_beats_same_size_mesh(self):
+        from repro.topology import MeshTopology
+
+        torus = TorusTopology(4, 6)
+        mesh = MeshTopology(4, 6)
+        assert diameter(torus) < diameter(mesh)
+        assert average_distance(torus) < average_distance(mesh)

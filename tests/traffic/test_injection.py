@@ -1,0 +1,83 @@
+"""Unit tests for injection processes and the traffic spec."""
+
+import pytest
+
+from repro.sim.rng import RngStream
+from repro.topology import RingTopology
+from repro.traffic import (
+    BernoulliInjection,
+    PeriodicInjection,
+    PoissonInjection,
+    TrafficSpec,
+    UniformTraffic,
+)
+
+
+def rng():
+    return RngStream(1, "inj")
+
+
+class TestPoisson:
+    def test_mean_matches(self):
+        process = PoissonInjection()
+        r = rng()
+        draws = [process.next_interarrival(30.0, r) for _ in range(20_000)]
+        assert 29.0 < sum(draws) / len(draws) < 31.0
+
+    def test_draws_positive(self):
+        process = PoissonInjection()
+        r = rng()
+        assert all(
+            process.next_interarrival(5.0, r) > 0 for _ in range(100)
+        )
+
+
+class TestPeriodic:
+    def test_constant(self):
+        process = PeriodicInjection()
+        r = rng()
+        assert [process.next_interarrival(12.5, r) for _ in range(5)] == [
+            12.5
+        ] * 5
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            PeriodicInjection().next_interarrival(0, rng())
+
+
+class TestBernoulli:
+    def test_mean_matches(self):
+        process = BernoulliInjection()
+        r = rng()
+        draws = [process.next_interarrival(20.0, r) for _ in range(20_000)]
+        assert 19.0 < sum(draws) / len(draws) < 21.0
+
+    def test_draws_are_positive_integers(self):
+        process = BernoulliInjection()
+        r = rng()
+        for _ in range(200)        :
+            draw = process.next_interarrival(7.0, r)
+            assert draw >= 1 and draw == int(draw)
+
+    def test_rejects_sub_cycle_mean(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection().next_interarrival(0.5, rng())
+
+
+class TestTrafficSpec:
+    def test_mean_interarrival(self):
+        spec = TrafficSpec(UniformTraffic(RingTopology(8)), 0.3)
+        assert spec.mean_interarrival(6) == pytest.approx(20.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(UniformTraffic(RingTopology(8)), -0.1)
+
+    def test_zero_rate_has_no_interarrival(self):
+        spec = TrafficSpec(UniformTraffic(RingTopology(8)), 0.0)
+        with pytest.raises(ValueError):
+            spec.mean_interarrival(6)
+
+    def test_default_process_is_poisson(self):
+        spec = TrafficSpec(UniformTraffic(RingTopology(8)), 0.1)
+        assert isinstance(spec.process, PoissonInjection)

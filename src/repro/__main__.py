@@ -29,28 +29,69 @@ def _info() -> int:
     print()
     print(
         "usage: python -m repro "
-        "{info|figures|ablations|campaign SPEC.json OUT.csv} [args...]"
+        "{info|figures|ablations|campaign SPEC.json OUT.csv} [args...]\n"
+        "       (figures and campaign accept --workers N; campaign "
+        "also --no-cache, --cache-dir DIR)"
     )
     return 0
 
 
 def _campaign(rest: list[str]) -> int:
+    import argparse
     import pathlib
 
     from repro.experiments.campaign import Campaign
+    from repro.experiments.report import format_execution_summary
 
-    if len(rest) != 2:
-        print("usage: python -m repro campaign SPEC.json OUT.csv")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Run a sweep campaign described by a JSON spec.",
+    )
+    parser.add_argument("spec", help="campaign spec (JSON file)")
+    parser.add_argument("csv", help="output CSV (appended, resumable)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1); any value produces "
+        "identical rows because seeds derive from sweep coordinates",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not consult or fill the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache location (default: .repro-cache next to "
+        "the CSV)",
+    )
+    try:
+        args = parser.parse_args(rest)
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    campaign = Campaign.from_json(pathlib.Path(args.spec).read_text())
+    try:
+        campaign.validate()
+    except ValueError as exc:
+        print(f"error: {exc}")
         return 2
-    spec_path, csv_path = rest
-    campaign = Campaign.from_json(pathlib.Path(spec_path).read_text())
     results = campaign.execute(
-        csv_path,
+        args.csv,
         progress=lambda done, total, key: print(
             f"[{done}/{total}] {key}"
         ),
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
-    print(f"{len(results)} runs executed; results in {csv_path}")
+    print(f"{len(results)} runs executed; results in {args.csv}")
+    if campaign.last_stats is not None:
+        print(format_execution_summary(campaign.last_stats))
     return 0
 
 

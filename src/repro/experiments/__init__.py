@@ -7,18 +7,41 @@ point (``python -m repro.experiments.figures <fig>``) prints it as an
 aligned table and optionally writes CSV.
 """
 
+from repro.experiments.parallel import (
+    ExecutionStats,
+    ResultCache,
+    derive_seed,
+    execute_points,
+    run_sweep_point,
+)
+from repro.experiments.report import (
+    FigureData,
+    format_execution_summary,
+    format_table,
+    to_csv,
+)
 from repro.experiments.runner import (
     SimulationSettings,
+    SweepPoint,
     run_simulation,
     sweep_injection_rates,
 )
-from repro.experiments.report import FigureData, format_table, to_csv
+from repro.experiments.specs import parse_pattern, parse_topology
 
 __all__ = [
+    "ExecutionStats",
     "FigureData",
+    "ResultCache",
     "SimulationSettings",
+    "SweepPoint",
+    "derive_seed",
+    "execute_points",
+    "format_execution_summary",
     "format_table",
+    "parse_pattern",
+    "parse_topology",
     "run_simulation",
+    "run_sweep_point",
     "sweep_injection_rates",
     "to_csv",
 ]

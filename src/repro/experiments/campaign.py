@@ -1,10 +1,14 @@
 """Campaign runner: declarative sweeps with incremental persistence.
 
 A *campaign* is the cross product of topologies, traffic patterns and
-injection rates, described as plain data (JSON-compatible dict), run
-one simulation at a time with results appended to a CSV file as they
-complete.  Re-running a partially finished campaign skips every run
-already present in the CSV — long sweeps survive interruption.
+injection rates, described as plain data (JSON-compatible dict), with
+results appended to a CSV file as they complete.  Re-running a
+partially finished campaign skips every run already present in the
+CSV — long sweeps survive interruption.  Execution can fan out over
+worker processes (``workers=N``) and consult a result cache; both are
+bit-transparent because every sweep point derives its seed from its
+own coordinates (see :mod:`repro.experiments.parallel`), so serial,
+parallel and resumed runs all produce identical rows.
 
 Spec format::
 
@@ -29,27 +33,25 @@ from __future__ import annotations
 
 import json
 import pathlib
-import re
+from dataclasses import replace
 
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.parallel import (
+    ExecutionStats,
+    ResultCache,
+    derive_seed,
+    execute_points,
+)
+from repro.experiments.runner import SimulationSettings, SweepPoint
+from repro.experiments.specs import parse_pattern, parse_topology
 from repro.noc.config import NocConfig
 from repro.stats.summary import RunResult
-from repro.topology import (
-    MeshTopology,
-    RingTopology,
-    SpidergonTopology,
-    Topology,
-    TorusTopology,
-)
-from repro.traffic import (
-    BitComplementTraffic,
-    HotspotTraffic,
-    NearestNeighborTraffic,
-    TornadoTraffic,
-    TrafficPattern,
-    TransposeTraffic,
-    UniformTraffic,
-)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "Campaign",
+    "parse_pattern",
+    "parse_topology",
+]
 
 CSV_COLUMNS = [
     "topology",
@@ -64,47 +66,6 @@ CSV_COLUMNS = [
     "packets_generated",
     "packets_rejected",
 ]
-
-
-def parse_topology(spec: str) -> Topology:
-    """Build a topology from its campaign string."""
-    if match := re.fullmatch(r"ring(\d+)", spec):
-        return RingTopology(int(match.group(1)))
-    if match := re.fullmatch(r"spidergon(\d+)", spec):
-        return SpidergonTopology(int(match.group(1)))
-    if match := re.fullmatch(r"mesh(\d+)x(\d+)", spec):
-        return MeshTopology(int(match.group(1)), int(match.group(2)))
-    if match := re.fullmatch(r"mesh-irregular(\d+)", spec):
-        return MeshTopology.irregular(int(match.group(1)))
-    if match := re.fullmatch(r"mesh(\d+)", spec):
-        return MeshTopology.factorized(int(match.group(1)))
-    if match := re.fullmatch(r"torus(\d+)x(\d+)", spec):
-        return TorusTopology(int(match.group(1)), int(match.group(2)))
-    if match := re.fullmatch(r"hypercube(\d+)", spec):
-        from repro.topology import HypercubeTopology
-
-        return HypercubeTopology.with_nodes(int(match.group(1)))
-    raise ValueError(f"unknown topology spec {spec!r}")
-
-
-def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:
-    """Build a traffic pattern from its campaign string."""
-    if spec == "uniform":
-        return UniformTraffic(topology)
-    if spec.startswith("hotspot:"):
-        targets = [int(t) for t in spec.split(":", 1)[1].split(",")]
-        return HotspotTraffic(topology, targets)
-    if spec == "tornado":
-        return TornadoTraffic(topology)
-    if spec == "bit-complement":
-        return BitComplementTraffic(topology)
-    if spec == "nearest-neighbor":
-        return NearestNeighborTraffic(topology)
-    if spec == "transpose":
-        if not isinstance(topology, MeshTopology):
-            raise ValueError("transpose needs a mesh topology")
-        return TransposeTraffic(topology)
-    raise ValueError(f"unknown pattern spec {spec!r}")
 
 
 class Campaign:
@@ -126,10 +87,31 @@ class Campaign:
             ),
             seed=int(spec.get("seed", 1)),
         )
+        #: Filled by :meth:`execute` for reporting.
+        self.last_stats: ExecutionStats | None = None
 
     @classmethod
     def from_json(cls, text: str) -> "Campaign":
         return cls(json.loads(text))
+
+    def validate(self) -> None:
+        """Parse every topology and pattern spec, failing fast.
+
+        Raises:
+            ValueError: naming the offending spec — so a typo aborts
+                the campaign before any simulation runs (and before
+                any CSV row is written), not mid-sweep.
+        """
+        for topo_spec in self.spec["topologies"]:
+            topology = parse_topology(topo_spec)
+            for pattern_spec in self.spec["patterns"]:
+                try:
+                    parse_pattern(pattern_spec, topology)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"pattern {pattern_spec!r} is invalid for "
+                        f"topology {topo_spec!r}: {exc}"
+                    ) from exc
 
     def runs(self) -> list[tuple[str, str, float]]:
         """Every (topology, pattern, rate) cell of the sweep."""
@@ -138,6 +120,23 @@ class Campaign:
             for topo in self.spec["topologies"]
             for pattern in self.spec["patterns"]
             for rate in self.spec["rates"]
+        ]
+
+    def sweep_points(self) -> list[SweepPoint]:
+        """Every cell as a :class:`SweepPoint` with its derived seed."""
+        return [
+            SweepPoint(
+                topology=topo,
+                pattern=pattern,
+                rate=rate,
+                settings=replace(
+                    self.settings,
+                    seed=derive_seed(
+                        self.settings.seed, topo, pattern, rate
+                    ),
+                ),
+            )
+            for topo, pattern, rate in self.runs()
         ]
 
     @staticmethod
@@ -161,6 +160,10 @@ class Campaign:
         self,
         csv_path: str | pathlib.Path,
         progress=None,
+        *,
+        workers: int = 1,
+        cache: bool = True,
+        cache_dir: str | pathlib.Path | None = None,
     ) -> list[RunResult]:
         """Run every outstanding cell, appending rows to *csv_path*.
 
@@ -168,45 +171,77 @@ class Campaign:
             csv_path: Output CSV (created with a header if absent).
             progress: Optional callable invoked as
                 ``progress(done, total, key)`` after each run.
+            workers: Worker processes; 1 runs serially in-process.
+                Any value yields identical rows (order aside) because
+                each cell's seed comes from its coordinates.
+            cache: Consult/fill the result cache so overlapping
+                campaigns and re-runs skip completed simulations.
+            cache_dir: Cache location; defaults to ``.repro-cache``
+                next to the CSV.
 
         Returns:
-            The :class:`RunResult` objects produced by *this* call
-            (resumed cells are not re-run and not returned).
+            The :class:`RunResult` objects produced by *this* call,
+            in sweep order (cells already in the CSV are not re-run
+            and not returned; cache hits are returned).
         """
+        self.validate()
         path = pathlib.Path(csv_path)
         if not path.exists():
             path.write_text(",".join(CSV_COLUMNS) + "\n")
         done = self.completed_keys(path)
-        cells = self.runs()
-        results = []
-        for index, (topo_spec, pattern_spec, rate) in enumerate(cells):
-            key = self._key(topo_spec, pattern_spec, rate)
-            if key in done:
-                continue
-            topology = parse_topology(topo_spec)
-            pattern = parse_pattern(pattern_spec, topology)
-            result = run_simulation(
-                topology, pattern, rate, self.settings
+        total = len(self.runs())
+        outstanding = [
+            point
+            for point in self.sweep_points()
+            if self._key(point.topology, point.pattern, point.rate)
+            not in done
+        ]
+        result_cache = None
+        if cache:
+            directory = (
+                pathlib.Path(cache_dir)
+                if cache_dir is not None
+                else path.parent / ".repro-cache"
             )
-            results.append(result)
-            row = [
-                topo_spec,
-                pattern_spec,
-                f"{rate:.6g}",
-                str(self.settings.seed),
-                f"{result.throughput:.6g}",
-                _cell(result.avg_latency),
-                _cell(result.p95_latency),
-                _cell(result.avg_hops),
-                str(result.packets_delivered),
-                str(result.packets_generated),
-                str(result.packets_rejected),
-            ]
+            result_cache = ResultCache(directory)
+        finished = total - len(outstanding)
+
+        def persist(index, point, result, cached):
+            nonlocal finished
             with path.open("a") as handle:
-                handle.write(",".join(row) + "\n")
+                handle.write(",".join(_row(point, result)) + "\n")
+            finished += 1
             if progress is not None:
-                progress(index + 1, len(cells), key)
+                progress(
+                    finished,
+                    total,
+                    self._key(point.topology, point.pattern, point.rate),
+                )
+
+        results, stats = execute_points(
+            outstanding,
+            workers=workers,
+            cache=result_cache,
+            on_result=persist,
+        )
+        self.last_stats = stats
         return results
+
+
+def _row(point: SweepPoint, result: RunResult) -> list[str]:
+    return [
+        point.topology,
+        point.pattern,
+        f"{point.rate:.6g}",
+        str(point.settings.seed),
+        f"{result.throughput:.6g}",
+        _cell(result.avg_latency),
+        _cell(result.p95_latency),
+        _cell(result.avg_hops),
+        str(result.packets_delivered),
+        str(result.packets_generated),
+        str(result.packets_rejected),
+    ]
 
 
 def _cell(value: float | None) -> str:

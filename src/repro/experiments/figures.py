@@ -21,24 +21,16 @@ import pathlib
 import sys
 
 from repro.analysis import figures as analytical
+from repro.experiments.parallel import execute_points
 from repro.experiments.report import FigureData, format_table, to_csv
-from repro.experiments.runner import (
-    SimulationSettings,
-    run_simulation,
-    sweep_injection_rates,
-)
+from repro.experiments.runner import SimulationSettings, SweepPoint
+from repro.experiments.specs import parse_topology
 from repro.topology import (
     MeshTopology,
-    RingTopology,
-    SpidergonTopology,
     Topology,
     average_distance,
 )
-from repro.traffic import (
-    HotspotTraffic,
-    UniformTraffic,
-    double_hotspot_targets,
-)
+from repro.traffic import double_hotspot_targets
 
 #: Injection-rate grid (flits/cycle/source) for hot-spot scenarios —
 #: with a single consuming destination the interesting range ends
@@ -56,13 +48,43 @@ VALIDATION_NODE_COUNTS = (8, 12, 16, 24, 32)
 UNIFORM_NODE_COUNTS = (8, 16, 24, 32)
 
 
+def _paper_topology_specs(num_nodes: int) -> list[str]:
+    """Ring, Spidergon and the factorized ("real") mesh at size N,
+    as spec strings (``mesh<N>`` parses to the factorized mesh)."""
+    return [
+        f"ring{num_nodes}",
+        f"spidergon{num_nodes}",
+        f"mesh{num_nodes}",
+    ]
+
+
 def _paper_topologies(num_nodes: int) -> list[Topology]:
     """Ring, Spidergon and the factorized ("real") mesh at size N."""
     return [
-        RingTopology(num_nodes),
-        SpidergonTopology(num_nodes),
-        MeshTopology.factorized(num_nodes),
+        parse_topology(spec)
+        for spec in _paper_topology_specs(num_nodes)
     ]
+
+
+def _sweep_series(
+    series: list[tuple[str, str, str]],
+    rates,
+    settings: SimulationSettings,
+    workers: int,
+) -> dict[str, list]:
+    """Run every (label, topology spec, pattern spec) series over
+    *rates* in one fan-out, returning results grouped by label."""
+    rates = [float(rate) for rate in rates]
+    points = [
+        SweepPoint(topo_spec, pattern_spec, rate, settings)
+        for _, topo_spec, pattern_spec in series
+        for rate in rates
+    ]
+    results, _ = execute_points(points, workers=workers)
+    return {
+        label: results[i * len(rates):(i + 1) * len(rates)]
+        for i, (label, _, _) in enumerate(series)
+    }
 
 
 def _from_series(
@@ -121,6 +143,7 @@ def figure5(
     settings: SimulationSettings | None = None,
     node_counts=VALIDATION_NODE_COUNTS,
     injection_rate: float = 0.05,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 5: analytical vs simulation-based average distance.
 
@@ -139,18 +162,22 @@ def figure5(
     labels = ("ring", "spidergon", "mesh")
     analytic: dict[str, list[float | None]] = {k: [] for k in labels}
     simulated: dict[str, list[float | None]] = {k: [] for k in labels}
+    points = []
     for n in node_counts:
-        for label, topology in zip(labels, _paper_topologies(n)):
+        for label, spec in zip(labels, _paper_topology_specs(n)):
             analytic[label].append(
-                average_distance(topology, include_self=False)
+                average_distance(
+                    parse_topology(spec), include_self=False
+                )
             )
-            result = run_simulation(
-                topology,
-                UniformTraffic(topology),
-                injection_rate,
-                settings,
+            points.append(
+                SweepPoint(
+                    spec, "uniform", float(injection_rate), settings
+                )
             )
-            simulated[label].append(result.avg_hops)
+    results, _ = execute_points(points, workers=workers)
+    for index, result in enumerate(results):
+        simulated[labels[index % len(labels)]].append(result.avg_hops)
     for label in labels:
         figure.add_series(f"{label}-analytic", analytic[label])
         figure.add_series(f"{label}-sim", simulated[label])
@@ -169,6 +196,7 @@ def _hotspot_figure(
     rates,
     num_hotspots: int,
     scenarios: dict[str, str] | None = None,
+    workers: int = 1,
 ) -> FigureData:
     """Shared machinery of figures 6-9.
 
@@ -190,8 +218,10 @@ def _hotspot_figure(
         "lambda",
         list(rates),
     )
+    series: list[tuple[str, str, str]] = []
     for n in node_counts:
-        for topology in _paper_topologies(n):
+        for topo_spec in _paper_topology_specs(n):
+            topology = parse_topology(topo_spec)
             is_mesh = isinstance(topology, MeshTopology)
             if num_hotspots == 1:
                 placements = {"": [0]}
@@ -203,19 +233,19 @@ def _hotspot_figure(
                     for label in scenarios[kind]
                 }
             for suffix, targets in placements.items():
-                pattern = HotspotTraffic(topology, targets)
-                results = sweep_injection_rates(
-                    topology, pattern, list(rates), settings
+                pattern_spec = "hotspot:" + ",".join(
+                    str(t) for t in targets
                 )
-                values = [
-                    r.throughput
-                    if metric == "throughput"
-                    else r.avg_latency
-                    for r in results
-                ]
-                figure.add_series(
-                    f"{topology.name}{suffix}", values
+                series.append(
+                    (f"{topology.name}{suffix}", topo_spec, pattern_spec)
                 )
+    by_label = _sweep_series(series, rates, settings, workers)
+    for label, _, _ in series:
+        values = [
+            r.throughput if metric == "throughput" else r.avg_latency
+            for r in by_label[label]
+        ]
+        figure.add_series(label, values)
     figure.notes.append(
         "lambda = injection rate per source (flits/cycle); hot-spot "
         "targets are pure sinks"
@@ -227,6 +257,7 @@ def figure6(
     settings: SimulationSettings | None = None,
     node_counts=SIM_NODE_COUNTS,
     rates=HOTSPOT_RATES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 6: throughput vs injection rate, one hot-spot target."""
     return _hotspot_figure(
@@ -236,6 +267,7 @@ def figure6(
         node_counts,
         rates,
         num_hotspots=1,
+        workers=workers,
     )
 
 
@@ -243,6 +275,7 @@ def figure7(
     settings: SimulationSettings | None = None,
     node_counts=SIM_NODE_COUNTS,
     rates=HOTSPOT_RATES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 7: latency vs injection rate, one hot-spot target."""
     return _hotspot_figure(
@@ -252,6 +285,7 @@ def figure7(
         node_counts,
         rates,
         num_hotspots=1,
+        workers=workers,
     )
 
 
@@ -262,6 +296,7 @@ def figure8(
     settings: SimulationSettings | None = None,
     node_counts=SIM_NODE_COUNTS,
     rates=HOTSPOT_RATES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 8: throughput vs injection rate, two hot-spot targets.
 
@@ -277,6 +312,7 @@ def figure8(
         rates,
         num_hotspots=2,
         scenarios=_DOUBLE_SCENARIOS,
+        workers=workers,
     )
 
 
@@ -284,6 +320,7 @@ def figure9(
     settings: SimulationSettings | None = None,
     node_counts=SIM_NODE_COUNTS,
     rates=HOTSPOT_RATES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 9: latency vs injection rate, two hot-spot targets."""
     return _hotspot_figure(
@@ -294,6 +331,7 @@ def figure9(
         rates,
         num_hotspots=2,
         scenarios=_DOUBLE_SCENARIOS,
+        workers=workers,
     )
 
 
@@ -303,6 +341,7 @@ def _uniform_figure(
     settings: SimulationSettings,
     node_counts,
     rates,
+    workers: int = 1,
 ) -> FigureData:
     title_metric = (
         "throughput (flits/cycle)"
@@ -315,19 +354,18 @@ def _uniform_figure(
         "lambda",
         list(rates),
     )
-    for n in node_counts:
-        for topology in _paper_topologies(n):
-            results = sweep_injection_rates(
-                topology,
-                UniformTraffic(topology),
-                list(rates),
-                settings,
-            )
-            values = [
-                r.throughput if metric == "throughput" else r.avg_latency
-                for r in results
-            ]
-            figure.add_series(topology.name, values)
+    series = [
+        (parse_topology(topo_spec).name, topo_spec, "uniform")
+        for n in node_counts
+        for topo_spec in _paper_topology_specs(n)
+    ]
+    by_label = _sweep_series(series, rates, settings, workers)
+    for label, _, _ in series:
+        values = [
+            r.throughput if metric == "throughput" else r.avg_latency
+            for r in by_label[label]
+        ]
+        figure.add_series(label, values)
     figure.notes.append(
         "all nodes are sources; destinations uniform over the other "
         "nodes"
@@ -339,6 +377,7 @@ def figure10(
     settings: SimulationSettings | None = None,
     node_counts=UNIFORM_NODE_COUNTS,
     rates=UNIFORM_RATES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 10: throughput vs injection rate, homogeneous traffic."""
     return _uniform_figure(
@@ -347,6 +386,7 @@ def figure10(
         settings or SimulationSettings(),
         node_counts,
         rates,
+        workers=workers,
     )
 
 
@@ -354,6 +394,7 @@ def figure11(
     settings: SimulationSettings | None = None,
     node_counts=UNIFORM_NODE_COUNTS,
     rates=UNIFORM_RATES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 11: latency vs injection rate, homogeneous traffic."""
     return _uniform_figure(
@@ -362,6 +403,7 @@ def figure11(
         settings or SimulationSettings(),
         node_counts,
         rates,
+        workers=workers,
     )
 
 
@@ -405,7 +447,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also draw each figure as an ASCII chart",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation sweeps (default 1); "
+        "results are identical for any value",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     settings = SimulationSettings()
     if args.quick:
@@ -415,7 +467,7 @@ def main(argv: list[str] | None = None) -> int:
         if name in _ANALYTICAL:
             figure = generator()
         else:
-            figure = generator(settings=settings)
+            figure = generator(settings=settings, workers=args.workers)
         sys.stdout.write(format_table(figure))
         sys.stdout.write("\n")
         if args.chart:

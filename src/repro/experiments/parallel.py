@@ -1,0 +1,205 @@
+"""Parallel sweep execution: process-pool fan-out and result caching.
+
+Every sweep point of a campaign or figure is independent of every
+other, so the cross product can fan out across worker processes.  Two
+rules keep the output bit-identical to a serial run:
+
+* **Seeds belong to coordinates.**  A point's RNG seed is part of its
+  :class:`~repro.experiments.runner.SweepPoint` (derived from the
+  root seed and the point's own (topology, pattern, rate) by
+  :func:`derive_seed`), never from the order points happen to run in.
+* **Workers rebuild from plain data.**  A point carries spec strings
+  and a settings dataclass; :func:`run_sweep_point` re-parses them in
+  the worker, so no live simulator state crosses a process boundary.
+
+The optional :class:`ResultCache` stores finished
+:class:`~repro.stats.summary.RunResult` objects as JSON keyed by a
+stable hash of (topology, pattern, rate, seed, settings); re-runs and
+overlapping campaigns skip points that are already computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence
+
+from repro.experiments.runner import SweepPoint, run_simulation
+from repro.experiments.specs import parse_pattern, parse_topology
+from repro.stats.summary import RunResult
+
+#: Signature of the incremental-result callback:
+#: ``on_result(index, point, result, cached)``.
+ResultCallback = Callable[[int, SweepPoint, RunResult, bool], None]
+
+
+def derive_seed(
+    root_seed: int, topology: str, pattern: str, rate: float
+) -> int:
+    """Seed for one sweep point, a pure function of its coordinates.
+
+    Hashing (root seed, topology, pattern, rate) gives every point an
+    independent stream while keeping the whole sweep reproducible from
+    the single root seed — and, crucially, makes the seed independent
+    of the order in which points execute.
+    """
+    text = f"{root_seed}|{topology}|{pattern}|{rate:.6g}"
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable cache key: sha256 over the point's canonical JSON form.
+
+    Includes every model parameter (the full settings dataclass, and
+    with it the seed), so two points collide only if they would run
+    the exact same simulation.
+    """
+    payload = {
+        "topology": point.topology,
+        "pattern": point.pattern,
+        "rate": repr(float(point.rate)),
+        "settings": dataclasses.asdict(point.settings),
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of finished results, one JSON file per point key."""
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def _path(self, point: SweepPoint) -> pathlib.Path:
+        return self.directory / f"{point_key(point)}.json"
+
+    def get(self, point: SweepPoint) -> RunResult | None:
+        """The cached result for *point*, or None on a miss.
+
+        A torn or unreadable entry counts as a miss: the point simply
+        re-runs and overwrites it.
+        """
+        path = self._path(point)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return RunResult.from_dict(data)
+
+    def put(self, point: SweepPoint, result: RunResult) -> None:
+        """Store *result*; atomic rename so readers never see a torn file."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(point)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(result.to_dict()))
+        tmp.replace(path)
+
+
+@dataclasses.dataclass(slots=True)
+class ExecutionStats:
+    """What one :func:`execute_points` call did, for reporting.
+
+    Attributes:
+        workers: Worker processes requested (1 = in-process serial).
+        total_points: Points handed in.
+        executed: Points actually simulated (cache misses).
+        cache_hits / cache_misses: Cache outcomes; both stay 0 when no
+            cache was configured.
+        wall_seconds: Wall-clock time of the whole call.
+    """
+
+    workers: int
+    total_points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+
+
+def run_sweep_point(point: SweepPoint) -> RunResult:
+    """Rebuild the model objects from *point* and run the simulation.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor`
+    workers can import it by qualified name.
+    """
+    topology = parse_topology(point.topology)
+    pattern = parse_pattern(point.pattern, topology)
+    return run_simulation(topology, pattern, point.rate, point.settings)
+
+
+def execute_points(
+    points: Sequence[SweepPoint],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    on_result: ResultCallback | None = None,
+) -> tuple[list[RunResult], ExecutionStats]:
+    """Run every point, fanning out across *workers* processes.
+
+    ``workers=1`` runs serially in-process (no pool, no pickling);
+    higher counts use a :class:`ProcessPoolExecutor`.  Results are
+    returned in input order regardless of completion order, and are
+    identical either way because each point carries its own seed.
+
+    Args:
+        points: The sweep cells to run.
+        workers: Process count; must be >= 1.
+        cache: Optional result cache consulted before running and
+            filled after; hits are never re-simulated.
+        on_result: Optional callback invoked as each point finishes
+            (in completion order under parallel execution) — the hook
+            campaigns use for incremental CSV persistence.
+
+    Returns:
+        ``(results, stats)`` with ``results[i]`` belonging to
+        ``points[i]``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    start = time.perf_counter()
+    stats = ExecutionStats(workers=workers, total_points=len(points))
+    results: list[RunResult | None] = [None] * len(points)
+
+    def finish(
+        index: int, point: SweepPoint, result: RunResult, cached: bool
+    ) -> None:
+        results[index] = result
+        if not cached:
+            stats.executed += 1
+            if cache is not None:
+                cache.put(point, result)
+        if on_result is not None:
+            on_result(index, point, result, cached)
+
+    pending: list[tuple[int, SweepPoint]] = []
+    for index, point in enumerate(points):
+        hit = cache.get(point) if cache is not None else None
+        if hit is not None:
+            stats.cache_hits += 1
+            finish(index, point, hit, True)
+        else:
+            if cache is not None:
+                stats.cache_misses += 1
+            pending.append((index, point))
+
+    if workers == 1 or len(pending) <= 1:
+        for index, point in pending:
+            finish(index, point, run_sweep_point(point), False)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run_sweep_point, point): (index, point)
+                for index, point in pending
+            }
+            for future in as_completed(futures):
+                index, point = futures[future]
+                finish(index, point, future.result(), False)
+
+    stats.wall_seconds = time.perf_counter() - start
+    return results, stats  # type: ignore[return-value]

@@ -90,6 +90,29 @@ def format_table(figure: FigureData, precision: int = 3) -> str:
     return out.getvalue()
 
 
+def format_execution_summary(stats) -> str:
+    """One-line report of a sweep execution.
+
+    *stats* is an :class:`~repro.experiments.parallel.ExecutionStats`
+    (duck-typed to keep this module import-light): wall clock, worker
+    count, how many points were simulated vs served from cache.
+    """
+    parts = [
+        f"{stats.total_points} points",
+        f"{stats.executed} simulated",
+        f"workers {stats.workers}",
+        f"wall {stats.wall_seconds:.2f}s",
+    ]
+    if stats.cache_hits or stats.cache_misses:
+        parts.append(
+            f"cache {stats.cache_hits} hit"
+            f"{'' if stats.cache_hits == 1 else 's'} / "
+            f"{stats.cache_misses} miss"
+            f"{'' if stats.cache_misses == 1 else 'es'}"
+        )
+    return ", ".join(parts)
+
+
 def to_csv(figure: FigureData) -> str:
     """Render *figure* as CSV (header row + one row per x value)."""
     headers = [figure.x_label] + list(figure.series)

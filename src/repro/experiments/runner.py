@@ -44,6 +44,30 @@ class SimulationSettings:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One cell of a sweep, as plain picklable data.
+
+    Workers rebuild the actual topology / pattern objects from the
+    spec strings (see :mod:`repro.experiments.specs`), so a point can
+    cross a process boundary and be hashed for the result cache.  The
+    seed travels *inside* ``settings`` — it belongs to the point's
+    coordinates, never to execution order, which is what makes serial
+    and parallel sweeps produce identical results.
+
+    Attributes:
+        topology: Topology spec string, e.g. ``"spidergon16"``.
+        pattern: Traffic spec string, e.g. ``"hotspot:0,8"``.
+        rate: Injection rate (flits/cycle/source).
+        settings: Full run parameters, including the point's seed.
+    """
+
+    topology: str
+    pattern: str
+    rate: float
+    settings: SimulationSettings
+
+
 def run_simulation(
     topology: Topology,
     pattern: TrafficPattern,

@@ -1,0 +1,94 @@
+"""Spec-string parsing: plain strings -> topology / traffic objects.
+
+Campaigns, figure sweeps and the parallel execution layer all
+describe a sweep point as plain data (strings and numbers) so that it
+can be hashed for the result cache and pickled to worker processes;
+these parsers rebuild the model objects on the other side.
+
+Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
+``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``,
+``hypercube<N>``.
+
+Pattern strings: ``uniform``, ``hotspot:<n>[,<n>...]``, ``tornado``,
+``bit-complement``, ``nearest-neighbor``, ``transpose``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+    Topology,
+    TorusTopology,
+)
+from repro.traffic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    TornadoTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+
+def parse_topology(spec: str) -> Topology:
+    """Build a topology from its campaign string.
+
+    Raises:
+        ValueError: for an unrecognized spec, or (via
+            :class:`~repro.topology.base.TopologyError`, a ValueError
+            subclass) for a recognized spec with impossible
+            parameters, e.g. ``spidergon7`` or ``ring2``.
+    """
+    if match := re.fullmatch(r"ring(\d+)", spec):
+        return RingTopology(int(match.group(1)))
+    if match := re.fullmatch(r"spidergon(\d+)", spec):
+        return SpidergonTopology(int(match.group(1)))
+    if match := re.fullmatch(r"mesh(\d+)x(\d+)", spec):
+        return MeshTopology(int(match.group(1)), int(match.group(2)))
+    if match := re.fullmatch(r"mesh-irregular(\d+)", spec):
+        return MeshTopology.irregular(int(match.group(1)))
+    if match := re.fullmatch(r"mesh(\d+)", spec):
+        return MeshTopology.factorized(int(match.group(1)))
+    if match := re.fullmatch(r"torus(\d+)x(\d+)", spec):
+        return TorusTopology(int(match.group(1)), int(match.group(2)))
+    if match := re.fullmatch(r"hypercube(\d+)", spec):
+        from repro.topology import HypercubeTopology
+
+        return HypercubeTopology.with_nodes(int(match.group(1)))
+    raise ValueError(f"unknown topology spec {spec!r}")
+
+
+def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:
+    """Build a traffic pattern from its campaign string.
+
+    Raises:
+        ValueError: for an unrecognized spec or one that does not fit
+            *topology* (e.g. ``transpose`` on a non-mesh).
+    """
+    if spec == "uniform":
+        return UniformTraffic(topology)
+    if spec.startswith("hotspot:"):
+        body = spec.split(":", 1)[1]
+        try:
+            targets = [int(t) for t in body.split(",")]
+        except ValueError:
+            raise ValueError(
+                f"hotspot targets must be integers, got {body!r}"
+            ) from None
+        return HotspotTraffic(topology, targets)
+    if spec == "tornado":
+        return TornadoTraffic(topology)
+    if spec == "bit-complement":
+        return BitComplementTraffic(topology)
+    if spec == "nearest-neighbor":
+        return NearestNeighborTraffic(topology)
+    if spec == "transpose":
+        if not isinstance(topology, MeshTopology):
+            raise ValueError("transpose needs a mesh topology")
+        return TransposeTraffic(topology)
+    raise ValueError(f"unknown pattern spec {spec!r}")

@@ -128,10 +128,9 @@ class Simulator:
         Returns:
             The number of events processed by this call.
 
-        Raises:
-            SimulationError: if neither stop condition is given and
-                the event queue drains forever is impossible — i.e.
-                this is allowed; an empty queue always stops the run.
+        Calling ``run()`` with neither stop condition is allowed: the
+        loop keeps going until the event queue drains, so it
+        terminates for any workload that stops scheduling new events.
         """
         self._ensure_initialized()
         processed = 0

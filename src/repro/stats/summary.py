@@ -8,7 +8,7 @@ confidence intervals, knee detection on latency curves).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.stats.collectors import NetworkStats
 
@@ -201,6 +201,20 @@ class RunResult:
             return 0.0
         total_delivered = self.packets_delivered
         return total_delivered / self.packets_generated
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of every field.
+
+        Floats survive a JSON round trip exactly, so a result loaded
+        back with :meth:`from_dict` is bit-identical to the original —
+        the property the sweep result cache relies on.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
     @classmethod
     def from_stats(

@@ -1,0 +1,120 @@
+"""Determinism regressions: same seed, same results — always.
+
+These tests pin the property the parallel execution engine depends
+on: a simulation is a pure function of (topology, pattern, rate,
+settings), so seeds derived from sweep coordinates make execution
+order irrelevant.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.specs import parse_pattern, parse_topology
+from repro.noc.config import NocConfig
+from repro.stats.summary import RunResult
+
+
+def quick_settings():
+    return SimulationSettings(
+        cycles=600,
+        warmup=100,
+        config=NocConfig(source_queue_packets=8),
+        seed=99,
+    )
+
+
+def small_spec():
+    return {
+        "name": "determinism",
+        "cycles": 600,
+        "warmup": 100,
+        "seed": 7,
+        "source_queue_packets": 8,
+        "topologies": ["ring8", "spidergon8"],
+        "patterns": ["uniform", "hotspot:0"],
+        "rates": [0.1],
+    }
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize(
+        "topo_spec,pattern_spec",
+        [
+            ("ring8", "uniform"),
+            ("spidergon8", "hotspot:0"),
+            ("mesh3x3", "transpose"),
+        ],
+    )
+    def test_same_seed_same_result(self, topo_spec, pattern_spec):
+        def one_run():
+            topology = parse_topology(topo_spec)
+            pattern = parse_pattern(pattern_spec, topology)
+            return run_simulation(
+                topology, pattern, 0.1, quick_settings()
+            )
+
+        first, second = one_run(), one_run()
+        assert first == second
+
+    def test_result_survives_dict_round_trip(self):
+        topology = parse_topology("ring8")
+        result = run_simulation(
+            topology,
+            parse_pattern("uniform", topology),
+            0.1,
+            quick_settings(),
+        )
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone == result
+        # Field-by-field too, so a future non-comparable field type
+        # fails loudly here rather than silently weakening ==.
+        assert dataclasses.asdict(clone) == dataclasses.asdict(result)
+
+
+class TestCampaignResumeDeterminism:
+    @pytest.mark.parametrize("cache", [True, False])
+    def test_resume_reproduces_missing_rows(self, tmp_path, cache):
+        """Deleting half the CSV rows and resuming regenerates
+        exactly the deleted rows — via the cache when enabled, via
+        re-simulation when not."""
+        csv_path = tmp_path / "out.csv"
+        campaign = Campaign(small_spec())
+        campaign.execute(csv_path, cache=cache)
+        lines = csv_path.read_text().strip().splitlines()
+        header, rows = lines[0], lines[1:]
+        assert len(rows) == 4
+        kept, deleted = rows[:2], rows[2:]
+        csv_path.write_text("\n".join([header] + kept) + "\n")
+
+        resumed = Campaign(small_spec())
+        results = resumed.execute(csv_path, cache=cache)
+        assert len(results) == 2
+        if cache:
+            assert resumed.last_stats.cache_hits == 2
+            assert resumed.last_stats.executed == 0
+        else:
+            assert resumed.last_stats.executed == 2
+        after = csv_path.read_text().strip().splitlines()
+        assert after[0] == header
+        assert sorted(after[1:]) == sorted(rows)
+        # The regenerated rows are byte-identical to the deleted ones.
+        assert sorted(set(after[1:]) - set(kept)) == sorted(deleted)
+
+    def test_parallel_resume_matches_serial_resume(self, tmp_path):
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        for path, workers in ((serial_csv, 1), (parallel_csv, 2)):
+            campaign = Campaign(small_spec())
+            campaign.execute(path, workers=workers, cache=False)
+            lines = path.read_text().strip().splitlines()
+            path.write_text("\n".join(lines[:3]) + "\n")
+            Campaign(small_spec()).execute(
+                path, workers=workers, cache=False
+            )
+        serial = serial_csv.read_text().strip().splitlines()
+        parallel = parallel_csv.read_text().strip().splitlines()
+        assert serial[0] == parallel[0]
+        assert sorted(serial[1:]) == sorted(parallel[1:])

@@ -1,0 +1,282 @@
+"""Tests for the parallel execution engine and result cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.parallel import (
+    ExecutionStats,
+    ResultCache,
+    derive_seed,
+    execute_points,
+    point_key,
+    run_sweep_point,
+)
+from repro.experiments.report import format_execution_summary
+from repro.experiments.runner import SimulationSettings, SweepPoint
+from repro.noc.config import NocConfig
+
+
+def quick_settings(seed=1):
+    return SimulationSettings(
+        cycles=600,
+        warmup=100,
+        config=NocConfig(source_queue_packets=8),
+        seed=seed,
+    )
+
+
+def small_spec(**overrides):
+    spec = {
+        "name": "parallel-smoke",
+        "cycles": 600,
+        "warmup": 100,
+        "seed": 4,
+        "source_queue_packets": 8,
+        "topologies": ["ring8", "spidergon8"],
+        "patterns": ["uniform", "hotspot:0"],
+        "rates": [0.05, 0.1],
+    }
+    spec.update(overrides)
+    return spec
+
+
+def sorted_rows(csv_path):
+    lines = csv_path.read_text().strip().splitlines()
+    return lines[0], sorted(lines[1:])
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "ring8", "uniform", 0.1) == derive_seed(
+            1, "ring8", "uniform", 0.1
+        )
+
+    def test_distinct_coordinates_distinct_seeds(self):
+        seeds = {
+            derive_seed(1, topo, pattern, rate)
+            for topo in ("ring8", "spidergon8")
+            for pattern in ("uniform", "hotspot:0")
+            for rate in (0.05, 0.1)
+        }
+        assert len(seeds) == 8
+
+    def test_root_seed_changes_streams(self):
+        assert derive_seed(1, "ring8", "uniform", 0.1) != derive_seed(
+            2, "ring8", "uniform", 0.1
+        )
+
+
+class TestSweepPoint:
+    def test_picklable(self):
+        point = SweepPoint("ring8", "uniform", 0.1, quick_settings())
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+
+    def test_key_depends_on_every_coordinate(self):
+        base = SweepPoint("ring8", "uniform", 0.1, quick_settings())
+        variants = [
+            SweepPoint("ring16", "uniform", 0.1, quick_settings()),
+            SweepPoint("ring8", "tornado", 0.1, quick_settings()),
+            SweepPoint("ring8", "uniform", 0.2, quick_settings()),
+            SweepPoint("ring8", "uniform", 0.1, quick_settings(seed=2)),
+        ]
+        keys = {point_key(p) for p in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_run_sweep_point_matches_direct_run(self):
+        from repro.experiments.runner import run_simulation
+        from repro.experiments.specs import parse_pattern, parse_topology
+
+        point = SweepPoint("spidergon8", "hotspot:0", 0.1,
+                           quick_settings())
+        via_point = run_sweep_point(point)
+        topology = parse_topology(point.topology)
+        direct = run_simulation(
+            topology,
+            parse_pattern(point.pattern, topology),
+            point.rate,
+            point.settings,
+        )
+        assert via_point == direct
+
+
+class TestExecutePoints:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            execute_points([], workers=0)
+
+    def test_results_in_input_order(self):
+        points = [
+            SweepPoint("ring8", "uniform", rate, quick_settings())
+            for rate in (0.1, 0.05)
+        ]
+        results, stats = execute_points(points, workers=1)
+        assert [r.injection_rate for r in results] == [0.1, 0.05]
+        assert stats.executed == 2
+        assert stats.total_points == 2
+
+    def test_parallel_results_match_serial(self):
+        points = [
+            SweepPoint(topo, "uniform", rate, quick_settings())
+            for topo in ("ring8", "spidergon8")
+            for rate in (0.05, 0.1)
+        ]
+        serial, _ = execute_points(points, workers=1)
+        parallel, stats = execute_points(points, workers=2)
+        assert parallel == serial
+        assert stats.workers == 2
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        points = [
+            SweepPoint("ring8", "uniform", 0.1, quick_settings())
+        ]
+        first, stats1 = execute_points(points, cache=cache)
+        assert (stats1.cache_hits, stats1.cache_misses) == (0, 1)
+        assert stats1.executed == 1
+        second, stats2 = execute_points(points, cache=cache)
+        assert (stats2.cache_hits, stats2.cache_misses) == (1, 0)
+        assert stats2.executed == 0
+        assert second == first
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = SweepPoint("ring8", "uniform", 0.1, quick_settings())
+        execute_points([point], cache=cache)
+        entry = cache._path(point)
+        entry.write_text("{not json")
+        results, stats = execute_points([point], cache=cache)
+        assert stats.executed == 1
+        assert results[0].packets_generated > 0
+
+    def test_on_result_callback(self):
+        seen = []
+        points = [
+            SweepPoint("ring8", "uniform", rate, quick_settings())
+            for rate in (0.05, 0.1)
+        ]
+        execute_points(
+            points,
+            workers=1,
+            on_result=lambda i, p, r, cached: seen.append(
+                (i, p.rate, cached)
+            ),
+        )
+        assert seen == [(0, 0.05, False), (1, 0.1, False)]
+
+
+class TestCampaignParallel:
+    def test_serial_parallel_csv_equivalence(self, tmp_path):
+        """The acceptance criterion: workers=1 and workers>1 produce
+        byte-identical CSVs after sorting the data rows."""
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        Campaign(small_spec()).execute(
+            serial_csv, workers=1, cache=False
+        )
+        Campaign(small_spec()).execute(
+            parallel_csv, workers=2, cache=False
+        )
+        assert sorted_rows(serial_csv) == sorted_rows(parallel_csv)
+
+    def test_cache_shared_across_campaigns(self, tmp_path):
+        """Overlapping campaigns skip points the cache already holds."""
+        first = Campaign(small_spec())
+        first.execute(tmp_path / "a.csv", cache_dir=tmp_path / "cache")
+        assert first.last_stats.executed == 8
+        overlapping = Campaign(small_spec(name="other"))
+        overlapping.execute(
+            tmp_path / "b.csv", cache_dir=tmp_path / "cache"
+        )
+        assert overlapping.last_stats.executed == 0
+        assert overlapping.last_stats.cache_hits == 8
+        assert sorted_rows(tmp_path / "a.csv") == sorted_rows(
+            tmp_path / "b.csv"
+        )
+
+    def test_no_cache_disables_cache(self, tmp_path):
+        campaign = Campaign(small_spec())
+        campaign.execute(tmp_path / "a.csv", cache=False)
+        assert campaign.last_stats.cache_hits == 0
+        assert campaign.last_stats.cache_misses == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_progress_counts_monotonic(self, tmp_path):
+        events = []
+        Campaign(small_spec()).execute(
+            tmp_path / "out.csv",
+            progress=lambda done, total, key: events.append(
+                (done, total)
+            ),
+            workers=2,
+        )
+        assert [done for done, _ in events] == list(range(1, 9))
+        assert all(total == 8 for _, total in events)
+
+
+class TestFailFastValidation:
+    def test_bad_topology_aborts_before_any_run(self, tmp_path):
+        campaign = Campaign(
+            small_spec(topologies=["ring8", "butterfly9"])
+        )
+        csv_path = tmp_path / "out.csv"
+        with pytest.raises(ValueError, match="butterfly9"):
+            campaign.execute(csv_path, workers=2)
+        assert not csv_path.exists()  # no rows, not even a header
+
+    def test_pattern_topology_mismatch_names_both(self, tmp_path):
+        campaign = Campaign(small_spec(patterns=["transpose"]))
+        with pytest.raises(ValueError, match="transpose.*ring8"):
+            campaign.execute(tmp_path / "out.csv")
+
+    def test_cli_rejects_bad_specs_cleanly(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(small_spec(topologies=["butterfly9"]))
+        )
+        code = main(
+            ["campaign", str(spec_path), str(tmp_path / "out.csv")]
+        )
+        assert code == 2
+        assert "butterfly9" in capsys.readouterr().out
+
+    def test_cli_rejects_zero_workers(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(small_spec()))
+        code = main(
+            [
+                "campaign",
+                str(spec_path),
+                str(tmp_path / "out.csv"),
+                "--workers",
+                "0",
+            ]
+        )
+        assert code == 2
+
+
+class TestExecutionSummary:
+    def test_format_execution_summary(self):
+        stats = ExecutionStats(
+            workers=4,
+            total_points=10,
+            executed=3,
+            cache_hits=7,
+            cache_misses=3,
+            wall_seconds=1.5,
+        )
+        text = format_execution_summary(stats)
+        assert "10 points" in text
+        assert "3 simulated" in text
+        assert "workers 4" in text
+        assert "7 hits / 3 misses" in text

@@ -1,0 +1,142 @@
+"""Property-based tests for campaign spec-string parsing.
+
+A malformed topology string must fail fast with a ValueError when the
+campaign is being set up — never crash mid-sweep with something a
+caller would not think to catch.  Uses hypothesis when installed,
+with a parametrized fallback otherwise.
+"""
+
+import pytest
+
+from repro.experiments.specs import parse_pattern, parse_topology
+from repro.topology import MeshTopology, TorusTopology
+
+try:
+    from hypothesis import assume, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without dep
+    HAVE_HYPOTHESIS = False
+
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+
+@needs_hypothesis
+class TestRoundTripProperties:
+    @given(st.integers(min_value=3, max_value=200))
+    def test_ring_node_count(self, n):
+        assert parse_topology(f"ring{n}").num_nodes == n
+
+    @given(st.integers(min_value=2, max_value=100))
+    def test_spidergon_node_count(self, half):
+        n = 2 * half  # spidergon needs an even node count >= 4
+        topology = parse_topology(f"spidergon{n}")
+        assert topology.num_nodes == n
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_mesh_node_count(self, rows, cols):
+        assume(rows * cols >= 2)  # a NoC needs at least 2 nodes
+        topology = parse_topology(f"mesh{rows}x{cols}")
+        assert isinstance(topology, MeshTopology)
+        assert topology.num_nodes == rows * cols
+        assert (topology.rows, topology.cols) == (rows, cols)
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_irregular_mesh_node_count(self, n):
+        topology = parse_topology(f"mesh-irregular{n}")
+        assert topology.num_nodes == n
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_factorized_mesh_node_count(self, n):
+        assert parse_topology(f"mesh{n}").num_nodes == n
+
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=3, max_value=12),
+    )
+    def test_torus_node_count(self, rows, cols):
+        topology = parse_topology(f"torus{rows}x{cols}")
+        assert isinstance(topology, TorusTopology)
+        assert topology.num_nodes == rows * cols
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=200)
+    def test_arbitrary_text_raises_value_error_or_parses(self, text):
+        """Whatever the input, parse_topology either returns a
+        topology or raises ValueError — nothing else escapes."""
+        try:
+            topology = parse_topology(text)
+        except ValueError:
+            return
+        assert topology.num_nodes >= 1
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_valid_grammar_bad_parameters_still_value_error(self, n):
+        """Specs that match the grammar but name an impossible
+        network (ring2, spidergon7, hypercube12, ...) raise
+        ValueError subclasses, not arbitrary exceptions."""
+        for template in ("ring{}", "spidergon{}", "hypercube{}",
+                         "mesh-irregular{}", "torus{}x{}"):
+            spec = template.format(n, n)
+            try:
+                topology = parse_topology(spec)
+            except ValueError:
+                continue
+            assert topology.num_nodes >= 1
+
+
+class TestMalformedSpecs:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "butterfly8",
+            "ring",
+            "ring-8",
+            "ring8x8",
+            "mesh4x",
+            "meshx4",
+            "mesh4x4x4",
+            "torus4",
+            "spidergon 8",
+            "RING8",
+            "ring8 ",
+            "mesh-irregular",
+            "hypercube",
+            "8ring",
+        ],
+    )
+    def test_malformed_topology_raises_value_error(self, spec):
+        with pytest.raises(ValueError):
+            parse_topology(spec)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["ring2", "spidergon7", "spidergon2", "torus2x4",
+         "hypercube12", "mesh-irregular1", "mesh0x4"],
+    )
+    def test_impossible_parameters_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            parse_topology(spec)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["randomly", "hotspot:", "hotspot:a,b", "hotspot:0;1",
+         "transpose"],
+    )
+    def test_malformed_pattern_raises_value_error(self, spec):
+        topology = parse_topology("ring8")
+        with pytest.raises(ValueError):
+            parse_pattern(spec, topology)
+
+    def test_error_messages_name_the_spec(self):
+        with pytest.raises(ValueError, match="butterfly8"):
+            parse_topology("butterfly8")
+        with pytest.raises(ValueError, match="randomly"):
+            parse_pattern("randomly", parse_topology("ring8"))

@@ -136,6 +136,32 @@ class TestRunControl:
         Recorder(sim)
         assert sim.run() == 0
 
+    def test_run_without_stop_condition_terminates_on_drain(self):
+        # run() with neither `until` nor `max_events` is legal: the
+        # loop ends when the queue drains, even for event chains that
+        # reschedule a bounded number of follow-ups.
+        sim = Simulator()
+        recorder = Recorder(sim)
+
+        class Chain(SimModule):
+            def handle_message(self, message):
+                hops_left = int(message.name)
+                if hops_left > 0:
+                    self.simulator.schedule(
+                        self.now + 2, self, Message(str(hops_left - 1))
+                    )
+                else:
+                    self.simulator.schedule(
+                        self.now, recorder, Message("done")
+                    )
+
+        chain = Chain(sim, "chain")
+        sim.schedule(1, chain, Message("5"))
+        processed = sim.run()
+        assert processed == 7  # 6 chain hops + the final delivery
+        assert recorder.deliveries == [(11, "done")]
+        assert sim.pending_events == 0
+
 
 class TestLifecycle:
     def test_initialize_called_once_before_first_event(self):

@@ -48,6 +48,44 @@ class TestMain:
         assert csv_path.exists()
         assert "1 runs executed" in capsys.readouterr().out
 
+    def test_campaign_parallel_flags(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "name": "cli-parallel",
+            "cycles": 600,
+            "warmup": 100,
+            "topologies": ["ring8"],
+            "patterns": ["uniform"],
+            "rates": [0.05, 0.1],
+            "source_queue_packets": 8,
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        assert main(
+            ["campaign", str(spec_path), str(serial_csv), "--no-cache"]
+        ) == 0
+        assert main(
+            [
+                "campaign",
+                str(spec_path),
+                str(parallel_csv),
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workers 2" in out
+        serial = sorted(serial_csv.read_text().strip().splitlines())
+        parallel = sorted(parallel_csv.read_text().strip().splitlines())
+        assert serial == parallel
+        assert (tmp_path / "cache").is_dir()
+        assert not (tmp_path / ".repro-cache").exists()
+
     def test_campaign_usage_error(self, capsys):
         assert main(["campaign", "only-one-arg"]) == 2
 

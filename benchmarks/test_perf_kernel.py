@@ -43,6 +43,54 @@ def test_kernel_event_throughput(benchmark):
     assert events == 20_000
 
 
+def _run_pingpong(observer=None):
+    sim = Simulator()
+    a = PingPong(sim, "a")
+    b = PingPong(sim, "b")
+    a.gate("out").connect(b.add_gate("in"), delay=1)
+    b.gate("out").connect(a.add_gate("in"), delay=1)
+    if observer is not None:
+        sim.add_observer(observer)
+    sim.schedule(0, a, Message("serve"))
+    sim.run(max_events=20_000)
+    return sim.events_processed
+
+
+def test_kernel_event_throughput_noop_observer(benchmark):
+    """Ping-pong with one no-op observer attached: the full price of
+    observing (two snapshot tuples + two calls per event).  Compare
+    against ``test_kernel_event_throughput`` — the gap is what
+    detaching buys back.  The *unobserved* loop's cost is guarded
+    separately and absolutely by ``perf_guard.py``: with zero
+    observers the only addition to the historical loop is one
+    list-truthiness check per event."""
+    from repro.sim.observers import Observer
+
+    events = benchmark(_run_pingpong, Observer())
+    assert events == 20_000
+
+
+def test_kernel_event_throughput_detached_observer(benchmark):
+    """Ping-pong after attach + detach: must sit with the bare-kernel
+    benchmark, not the observed one — detaching restores the fast
+    path exactly (empty list, falsy, no snapshots)."""
+    from repro.sim.tracing import EventTracer
+
+    def run_detached():
+        sim = Simulator()
+        a = PingPong(sim, "a")
+        b = PingPong(sim, "b")
+        a.gate("out").connect(b.add_gate("in"), delay=1)
+        b.gate("out").connect(a.add_gate("in"), delay=1)
+        EventTracer(sim).detach()
+        sim.schedule(0, a, Message("serve"))
+        sim.run(max_events=20_000)
+        return sim.events_processed
+
+    events = benchmark(run_detached)
+    assert events == 20_000
+
+
 def test_event_queue_push_pop(benchmark):
     """Raw heap operation cost at realistic queue depths."""
     from repro.sim.events import Event, EventQueue

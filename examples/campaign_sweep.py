@@ -14,7 +14,7 @@ Run::
 import pathlib
 import sys
 
-from repro.experiments.campaign import Campaign
+from repro import Campaign
 
 SPEC = {
     "name": "demo-sweep",

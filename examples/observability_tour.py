@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Observability tour: watch a hot-spot saturate, link by link.
+
+Runs a 16-node ring with every source firing at node 0 and attaches
+the :mod:`repro.obs` instrumentation: a windowed per-link utilization
+timeline, a bounded flit-lifecycle trace, and a kernel profile.  The
+heat table printed at the end shows the congestion concentrating on
+the hot-spot's two incoming links — the mechanism behind the paper's
+Fig. 6 hot-spot results — without touching any router internals:
+everything is observed through the kernel's observer protocol.
+
+Run::
+
+    python examples/observability_tour.py
+"""
+
+import json
+
+from repro import (
+    FlitTracer,
+    KernelProfiler,
+    Network,
+    NocConfig,
+    RingTopology,
+    TimelineObserver,
+    TraceSink,
+    TrafficSpec,
+)
+from repro.traffic import HotspotTraffic
+
+CYCLES = 4_000
+WINDOW = 200
+
+
+def main() -> None:
+    topology = RingTopology(16)
+    traffic = TrafficSpec(
+        HotspotTraffic(topology, targets=[0]), injection_rate=0.1
+    )
+    network = Network(
+        topology,
+        config=NocConfig(source_queue_packets=64),
+        traffic=traffic,
+        seed=1,
+    )
+
+    # Attach the instrumentation before running.  Each observer
+    # registers itself with the network's simulator.
+    sink = TraceSink.in_memory(limit=200)
+    tracer = FlitTracer(network, sink)
+    timeline_observer = TimelineObserver(network, window=WINDOW)
+    profiler = KernelProfiler(network.simulator)
+
+    print(f"Simulating {CYCLES} cycles of hotspot:0 on ring16...")
+    result = network.run(cycles=CYCLES, warmup=0)
+    tracer.detach()
+
+    print()
+    print(f"Throughput:        {result.throughput:.3f} flits/cycle")
+    print(f"Packets delivered: {result.packets_delivered}")
+    print(f"Kernel events:     {result.events_processed}")
+    print()
+
+    timeline = timeline_observer.timeline()
+    print("Per-link utilization heat table (busiest first):")
+    print(timeline.heat_table(max_links=8))
+    node, port, dst, utilization = timeline.busiest_links(1)[0]
+    print(
+        f"Busiest link: {node} -> {dst} via {port!r} at "
+        f"{utilization:.1%} — an incoming link of hot-spot node 0."
+    )
+    print()
+
+    # The first few lifecycle records of the bounded trace: one
+    # JSONL line per flit event (generate/inject/hop/consume).
+    lines = sink.text().splitlines()
+    print(f"Flit trace: {sink.records_written} records kept, "
+          f"{sink.records_dropped} dropped (limit {200}).")
+    for line in lines[:4]:
+        record = json.loads(line)
+        print(f"  {record['ev']:>8} t={record['t']:<4} "
+              f"pkt={record['pkt']} flit={record['flit']}")
+    print()
+
+    summary = profiler.summary()
+    print(f"Kernel profile: {summary['events']} events, "
+          f"{summary['events_per_second']:,.0f}/s, "
+          f"max heap depth {summary['max_heap_depth']}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,8 @@ from repro import (
     SpidergonTopology,
     TrafficSpec,
     UniformTraffic,
+    detect_saturation_point,
 )
-from repro.stats import detect_saturation_point
 from repro.traffic import (
     BitComplementTraffic,
     NearestNeighborTraffic,

@@ -21,9 +21,42 @@ Quickstart::
         cycles=20_000, warmup=5_000
     )
     print(result.throughput, result.avg_latency)
+
+Or drive it from spec strings, the way the sweep machinery does::
+
+    from repro import (
+        SimulationSettings, parse_pattern, parse_topology,
+        run_simulation,
+    )
+
+    topology = parse_topology("spidergon16")
+    pattern = parse_pattern("hotspot:0", topology)
+    result = run_simulation(
+        topology, pattern, 0.2, SimulationSettings(cycles=20_000)
+    )
+
+Observability — per-link utilization timelines, flit-lifecycle traces
+and kernel profiles — lives in :mod:`repro.obs`, built on the kernel
+observer protocol (:class:`Observer`); the key entry points are
+re-exported here (:class:`TimelineObserver`, :class:`FlitTracer`,
+:class:`KernelProfiler`, :class:`TraceSink`).
 """
 
+from repro.experiments.campaign import Campaign
+from repro.experiments.runner import (
+    SimulationSettings,
+    run_simulation,
+    sweep_injection_rates,
+)
+from repro.experiments.specs import parse_pattern, parse_topology
 from repro.noc import Network, NocConfig, Packet
+from repro.obs import (
+    FlitTracer,
+    KernelProfiler,
+    TimelineObserver,
+    TraceSink,
+    UtilizationTimeline,
+)
 from repro.routing import (
     MeshXYRouting,
     RingShortestRouting,
@@ -31,7 +64,8 @@ from repro.routing import (
     TableRouting,
     routing_for,
 )
-from repro.stats import RunResult
+from repro.sim import EventTracer, Observer, Simulator
+from repro.stats import RunResult, detect_saturation_point
 from repro.topology import (
     MeshTopology,
     RingTopology,
@@ -50,24 +84,39 @@ from repro.traffic import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Campaign",
+    "EventTracer",
+    "FlitTracer",
     "HotspotTraffic",
+    "KernelProfiler",
     "MeshTopology",
     "MeshXYRouting",
     "Network",
     "NocConfig",
+    "Observer",
     "Packet",
     "RingShortestRouting",
     "RingTopology",
     "RunResult",
+    "SimulationSettings",
+    "Simulator",
     "SpidergonAcrossFirstRouting",
     "SpidergonTopology",
     "TableRouting",
+    "TimelineObserver",
     "Topology",
+    "TraceSink",
     "TrafficSpec",
     "UniformTraffic",
+    "UtilizationTimeline",
     "average_distance",
+    "detect_saturation_point",
     "diameter",
     "double_hotspot_targets",
+    "parse_pattern",
+    "parse_topology",
     "routing_for",
+    "run_simulation",
+    "sweep_injection_rates",
     "__version__",
 ]

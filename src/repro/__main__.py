@@ -5,6 +5,8 @@
     python -m repro info                 # library and paper summary
     python -m repro figures fig10 ...    # == repro.experiments.figures
     python -m repro ablations vcs ...    # == repro.experiments.ablations
+    python -m repro campaign SPEC CSV    # declarative sweep
+    python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
 """
 
 from __future__ import annotations
@@ -29,9 +31,12 @@ def _info() -> int:
     print()
     print(
         "usage: python -m repro "
-        "{info|figures|ablations|campaign SPEC.json OUT.csv} [args...]\n"
+        "{info|figures|ablations|campaign SPEC.json OUT.csv"
+        "|trace TOPOLOGY PATTERN RATE} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
-        "also --no-cache, --cache-dir DIR)"
+        "also --no-cache, --cache-dir DIR;\n"
+        "        trace accepts --cycles, --warmup, --seed, --window, "
+        "--out, --limit, --no-flits)"
     )
     return 0
 
@@ -95,6 +100,190 @@ def _campaign(rest: list[str]) -> int:
     return 0
 
 
+def _trace(rest: list[str]) -> int:
+    import argparse
+    import contextlib
+    import sys as _sys
+
+    from repro.experiments.specs import parse_pattern, parse_topology
+    from repro.noc.config import NocConfig
+    from repro.noc.network import Network
+    from repro.obs import (
+        FlitTracer,
+        KernelProfiler,
+        TimelineObserver,
+        TraceSink,
+    )
+    from repro.traffic.base import TrafficSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one simulation with the observability layer "
+        "attached and stream it as JSONL: flit lifecycle records, "
+        "per-link utilization, the windowed timeline, and a kernel "
+        "profile.",
+    )
+    parser.add_argument("topology", help="topology spec, e.g. ring16")
+    parser.add_argument(
+        "pattern", help="traffic spec, e.g. uniform or hotspot:0"
+    )
+    parser.add_argument(
+        "rate", type=float, help="injection rate (flits/cycle/source)"
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=2_000, help="run length"
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        help="cycles excluded from the summary metrics",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=100,
+        metavar="W",
+        help="utilization-timeline window width in cycles",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the JSONL here instead of stdout",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap flit-lifecycle records (dropped ones are counted "
+        "in the summary)",
+    )
+    parser.add_argument(
+        "--no-flits",
+        action="store_true",
+        help="skip per-flit lifecycle records (timeline and summary "
+        "only)",
+    )
+    parser.add_argument(
+        "--source-queue",
+        type=int,
+        default=64,
+        metavar="PKTS",
+        help="IP memory bound in packets",
+    )
+    try:
+        args = parser.parse_args(rest)
+        if args.cycles < 1:
+            parser.error(f"--cycles must be >= 1, got {args.cycles}")
+        if not 0 <= args.warmup < args.cycles:
+            parser.error(
+                f"--warmup must be in [0, cycles), got {args.warmup}"
+            )
+        if args.window < 1:
+            parser.error(f"--window must be >= 1, got {args.window}")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    try:
+        topology = parse_topology(args.topology)
+        pattern = parse_pattern(args.pattern, topology)
+    except ValueError as exc:
+        print(f"error: {exc}", file=_sys.stderr)
+        return 2
+
+    network = Network(
+        topology,
+        config=NocConfig(source_queue_packets=args.source_queue),
+        traffic=TrafficSpec(pattern, args.rate),
+        seed=args.seed,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.out is not None:
+            sink = stack.enter_context(
+                TraceSink.to_path(args.out, limit=args.limit)
+            )
+        else:
+            sink = TraceSink(_sys.stdout, limit=args.limit)
+        sink.write(
+            {
+                "type": "meta",
+                "topology": args.topology,
+                "pattern": args.pattern,
+                "rate": args.rate,
+                "cycles": args.cycles,
+                "warmup": args.warmup,
+                "seed": args.seed,
+                "window": args.window,
+                "num_nodes": topology.num_nodes,
+            }
+        )
+        tracer = None
+        if not args.no_flits:
+            tracer = FlitTracer(network, sink)
+        timeline_observer = TimelineObserver(
+            network, window=args.window
+        )
+        profiler = KernelProfiler(network.simulator)
+        result = network.run(cycles=args.cycles, warmup=args.warmup)
+        if tracer is not None:
+            tracer.detach()
+        # --limit bounds the flit-lifecycle stream; the trailing
+        # link/timeline/summary records always go out.
+        flit_records_dropped = sink.records_dropped
+        sink.limit = None
+        timeline = timeline_observer.timeline()
+        for node, port, dst, utilization in timeline.busiest_links(
+            count=len(timeline.links)
+        ):
+            sink.write(
+                {
+                    "type": "link",
+                    "node": node,
+                    "port": port,
+                    "dst": dst,
+                    "flits": timeline.link_totals()[(node, port)],
+                    "utilization": round(utilization, 6),
+                }
+            )
+        sink.write({"type": "timeline", **timeline.to_dict()})
+        sink.write(
+            {
+                "type": "summary",
+                "kernel": profiler.summary(),
+                "result": {
+                    "throughput": result.throughput,
+                    "avg_latency": result.avg_latency,
+                    "packets_delivered": result.packets_delivered,
+                    "packets_generated": result.packets_generated,
+                    "events_processed": result.events_processed,
+                },
+                "peak_buffer_occupancy": {
+                    str(router.node): router.peak_buffer_occupancy()
+                    for router in network.routers
+                },
+                "peak_ip_backlog": {
+                    str(ni.node): ni.peak_backlog
+                    for ni in network.interfaces
+                },
+                "flit_records_dropped": flit_records_dropped,
+            }
+        )
+    if args.out is not None:
+        busiest = timeline.busiest_links(3)
+        print(
+            f"{sink.records_written} records -> {args.out}; "
+            "busiest links: "
+            + ", ".join(
+                f"{node}->{dst} ({port}) {utilization:.3f}"
+                for node, port, dst, utilization in busiest
+            ),
+            file=_sys.stderr,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("info", "-h", "--help"):
@@ -110,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
         return ablations_main(rest)
     if command == "campaign":
         return _campaign(rest)
+    if command == "trace":
+        return _trace(rest)
     print(f"unknown command {command!r}; try: python -m repro info")
     return 2
 

@@ -22,8 +22,16 @@ Spec format::
                      "mesh-irregular13", "torus4x4"],
       "patterns": ["uniform", "hotspot:0", "hotspot:0,8",
                    "tornado", "bit-complement", "nearest-neighbor"],
-      "rates": [0.05, 0.1, 0.2, 0.4]
+      "rates": [0.05, 0.1, 0.2, 0.4],
+      "timeline_window": 500
     }
+
+The optional ``timeline_window`` key makes every run export a
+per-link utilization timeline (see
+:class:`~repro.stats.utilization.UtilizationTimeline`) into
+``result.extra["timeline"]`` — cached results and worker processes
+included; the export is deterministic, so it never perturbs resume
+or serial/parallel equivalence.
 
 Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
 ``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``.
@@ -77,6 +85,7 @@ class Campaign:
                 raise ValueError(f"campaign spec missing {key!r}")
         self.spec = spec
         self.name = spec["name"]
+        timeline_window = spec.get("timeline_window")
         self.settings = SimulationSettings(
             cycles=int(spec.get("cycles", 20_000)),
             warmup=int(spec.get("warmup", 4_000)),
@@ -86,6 +95,11 @@ class Campaign:
                 )
             ),
             seed=int(spec.get("seed", 1)),
+            timeline_window=(
+                int(timeline_window)
+                if timeline_window is not None
+                else None
+            ),
         )
         #: Filled by :meth:`execute` for reporting.
         self.last_stats: ExecutionStats | None = None

@@ -112,6 +112,10 @@ class ExecutionStats:
         cache_hits / cache_misses: Cache outcomes; both stay 0 when no
             cache was configured.
         wall_seconds: Wall-clock time of the whole call.
+        events_processed: Kernel events delivered by the points that
+            were actually simulated (cache hits excluded) — with
+            ``wall_seconds`` this gives the campaign-level events/sec
+            the execution summary reports.
     """
 
     workers: int
@@ -120,6 +124,14 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulated events per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
 
 
 def run_sweep_point(point: SweepPoint) -> RunResult:
@@ -172,6 +184,7 @@ def execute_points(
         results[index] = result
         if not cached:
             stats.executed += 1
+            stats.events_processed += result.events_processed
             if cache is not None:
                 cache.put(point, result)
         if on_result is not None:

@@ -103,6 +103,12 @@ def format_execution_summary(stats) -> str:
         f"workers {stats.workers}",
         f"wall {stats.wall_seconds:.2f}s",
     ]
+    events = getattr(stats, "events_processed", 0)
+    if events and stats.wall_seconds > 0:
+        parts.append(
+            f"{events} events "
+            f"({events / stats.wall_seconds:,.0f}/s)"
+        )
     if stats.cache_hits or stats.cache_misses:
         parts.append(
             f"cache {stats.cache_hits} hit"

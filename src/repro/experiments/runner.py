@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.noc.config import NocConfig
 from repro.noc.network import Network
@@ -26,12 +27,19 @@ class SimulationSettings:
         warmup: Cycles excluded from measurement.
         config: NoC model parameters.
         seed: Root seed; each source derives its own stream.
+        timeline_window: When set, every run collects a per-link
+            utilization timeline with this window width (cycles) and
+            exports it as ``result.extra["timeline"]``.  Part of the
+            settings — rather than an execution flag — so the sweep
+            cache key covers it and worker processes produce the
+            identical export a serial run would.
     """
 
     cycles: int = 20_000
     warmup: int = 4_000
     config: NocConfig = NocConfig(source_queue_packets=64)
     seed: int = 1
+    timeline_window: int | None = None
 
     def scaled(self, factor: float) -> "SimulationSettings":
         """A copy with run length scaled by *factor* (for quick tests)."""
@@ -74,8 +82,30 @@ def run_simulation(
     injection_rate: float,
     settings: SimulationSettings,
     routing: RoutingAlgorithm | None = None,
+    observers: Sequence[Callable[[Network], object]] = (),
+    profile: bool = False,
 ) -> RunResult:
-    """Build, run and summarise one simulation."""
+    """Build, run and summarise one simulation.
+
+    Args:
+        topology / pattern / injection_rate / settings / routing: The
+            model, as before.
+        observers: Factories called with the built :class:`Network`
+            before the run — each typically constructs a
+            :class:`repro.obs` observer (they self-register with the
+            network's simulator).  Return values are ignored; hold
+            your own reference to read the observer afterwards.
+        profile: Attach a :class:`~repro.obs.KernelProfiler` and
+            store its summary in ``result.extra["kernel"]``.  The
+            summary contains wall-clock-derived numbers, so profiled
+            results are *not* bit-comparable across machines — leave
+            this off for determinism-sensitive sweeps.
+
+    When ``settings.timeline_window`` is set, the exported
+    :class:`~repro.stats.utilization.UtilizationTimeline` dict is
+    stored in ``result.extra["timeline"]`` (deterministic, and
+    identical under serial or parallel execution).
+    """
     traffic = TrafficSpec(pattern, injection_rate)
     network = Network(
         topology,
@@ -84,7 +114,30 @@ def run_simulation(
         traffic=traffic,
         seed=settings.seed,
     )
-    return network.run(cycles=settings.cycles, warmup=settings.warmup)
+    timeline_observer = None
+    if settings.timeline_window is not None:
+        from repro.obs import TimelineObserver
+
+        timeline_observer = TimelineObserver(
+            network, window=settings.timeline_window
+        )
+    profiler = None
+    if profile:
+        from repro.obs import KernelProfiler
+
+        profiler = KernelProfiler(network.simulator)
+    for factory in observers:
+        factory(network)
+    result = network.run(
+        cycles=settings.cycles, warmup=settings.warmup
+    )
+    if timeline_observer is not None:
+        result.extra["timeline"] = (
+            timeline_observer.timeline().to_dict()
+        )
+    if profiler is not None:
+        result.extra["kernel"] = profiler.summary()
+    return result
 
 
 def sweep_injection_rates(

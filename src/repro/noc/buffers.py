@@ -14,14 +14,20 @@ class BufferError(RuntimeError):
 
 
 class FlitFifo:
-    """A bounded FIFO of flits."""
+    """A bounded FIFO of flits.
 
-    __slots__ = ("capacity", "_flits")
+    Tracks its high-water mark (:attr:`peak`) — the occupancy
+    evidence buffer-sizing analyses and the observability layer's
+    congestion diagnostics read after a run.
+    """
+
+    __slots__ = ("capacity", "_flits", "peak")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.peak = 0
         self._flits: deque[Flit] = deque()
 
     def __len__(self) -> int:
@@ -46,6 +52,8 @@ class FlitFifo:
                 "flow control violated"
             )
         self._flits.append(flit)
+        if len(self._flits) > self.peak:
+            self.peak = len(self._flits)
 
     def pop(self) -> Flit:
         if not self._flits:

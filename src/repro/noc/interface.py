@@ -64,6 +64,7 @@ class NetworkInterface(SimModule):
         self.credit_out = self.add_gate("credit_out")
         self._credits = 0
         self._backlog: deque[Packet] = deque()
+        self._peak_backlog = 0
         self._next_flit_index = 0
         self._traffic: TrafficSpec | None = None
         self._rng: RngStream | None = None
@@ -106,6 +107,8 @@ class NetworkInterface(SimModule):
         if limit is not None and len(self._backlog) >= limit:
             raise ValueError(f"{self.name}: IP memory full")
         self._backlog.append(packet)
+        if len(self._backlog) > self._peak_backlog:
+            self._peak_backlog = len(self._backlog)
         self.scheduler.activate(self)
 
     def initialize(self) -> None:
@@ -138,6 +141,8 @@ class NetworkInterface(SimModule):
                 created_at=now,
             )
             self._backlog.append(packet)
+            if len(self._backlog) > self._peak_backlog:
+                self._peak_backlog = len(self._backlog)
             self.scheduler.activate(self)
         self._schedule_next_generation()
 
@@ -204,3 +209,9 @@ class NetworkInterface(SimModule):
     def backlog_packets(self) -> int:
         """Packets waiting in IP memory (including the one injecting)."""
         return len(self._backlog)
+
+    @property
+    def peak_backlog(self) -> int:
+        """Deepest the IP memory got so far (packets) — the source
+        side congestion signal the trace summary reports."""
+        return self._peak_backlog

@@ -167,6 +167,31 @@ class Network:
             self.config.packet_size_flits,
         )
 
+    def link_arrival_gates(
+        self, include_local: bool = False
+    ) -> list[tuple[int, str, int, "object"]]:
+        """Every data link as ``(src, port, dst, arrival_gate)``.
+
+        The arrival gate is the input :class:`~repro.sim.module.Gate`
+        a :class:`~repro.noc.signals.FlitMessage` crossing the link is
+        delivered to — the key kernel observers (:mod:`repro.obs`) use
+        to attribute deliveries to links without instrumenting the
+        routers themselves.  Ejection links (router -> NI, port
+        ``"local"``) are included only when *include_local* is True.
+        """
+        links = []
+        for router in self.routers:
+            for port_name, data_gate in router.output_data_gates():
+                if port_name == LOCAL_PORT and not include_local:
+                    continue
+                peer = data_gate.peer
+                if peer is None:
+                    continue
+                links.append(
+                    (router.node, port_name, peer.module.node, peer)
+                )
+        return links
+
     def link_flit_counts(self) -> dict[tuple[int, str], int]:
         """Flits forwarded per (node, output port) over the whole run.
 
@@ -209,6 +234,7 @@ class Network:
         self.cycles_run = cycles
         return RunResult.from_stats(
             self.stats,
+            events_processed=self.simulator.events_processed,
             topology_name=self.topology.name,
             routing_name=self.routing.name,
             pattern_name=(

@@ -95,6 +95,7 @@ class _OutputPort:
         "data_gate",
         "rr_next_vc",
         "flits_sent",
+        "flits_sent_by_vc",
     )
 
     def __init__(
@@ -113,6 +114,7 @@ class _OutputPort:
         self.data_gate = data_gate
         self.rr_next_vc = 0
         self.flits_sent = 0
+        self.flits_sent_by_vc = [0] * num_vcs
 
     def occupancy(self) -> int:
         return sum(len(queue) for queue in self.queues)
@@ -319,6 +321,7 @@ class Router(SimModule):
                 port.credits[queue.vc] -= 1
                 port.rr_next_vc = (queue.vc + 1) % count
                 port.flits_sent += 1
+                port.flits_sent_by_vc[queue.vc] += 1
                 if flit.is_head and port.name != LOCAL_PORT:
                     flit.packet.hops += 1
                 flit.wire_vc = queue.vc
@@ -354,12 +357,56 @@ class Router(SimModule):
     def credits_for(self, name: str, vc: int = 0) -> int:
         return self._outputs[name].credits[vc]
 
-    def flits_sent_on(self, name: str) -> int:
-        """Total flits this router forwarded on output port *name*."""
-        return self._outputs[name].flits_sent
+    def flits_sent_on(self, name: str, vc: int | None = None) -> int:
+        """Flits forwarded on output port *name* (one VC, or all)."""
+        port = self._outputs[name]
+        if vc is None:
+            return port.flits_sent
+        return port.flits_sent_by_vc[vc]
+
+    def output_data_gates(self) -> list[tuple[str, Gate]]:
+        """Every output port as ``(name, data gate)`` — the public
+        wiring view observers use to map links without reaching into
+        the router's internals."""
+        return [
+            (port.name, port.data_gate) for port in self._output_order
+        ]
+
+    def occupancy_snapshot(self) -> dict[str, dict[str, list[int]]]:
+        """Per-port, per-VC buffer occupancy right now.
+
+        Returns:
+            ``{"inputs": {port: [flits per lane]},
+            "outputs": {port: [flits per queue]}}`` — the shape the
+            occupancy timeline and congestion diagnostics consume.
+        """
+        return {
+            "inputs": {
+                port.name: [len(lane) for lane in port.lanes]
+                for port in self._input_order
+            },
+            "outputs": {
+                port.name: [len(queue) for queue in port.queues]
+                for port in self._output_order
+            },
+        }
 
     def total_buffered_flits(self) -> int:
         """Every flit currently inside this router."""
         return sum(p.occupancy() for p in self._input_order) + sum(
             p.occupancy() for p in self._output_order
         )
+
+    def peak_buffer_occupancy(self) -> int:
+        """Deepest any single lane or queue got so far (flits)."""
+        peaks = [
+            lane.peak
+            for port in self._input_order
+            for lane in port.lanes
+        ]
+        peaks.extend(
+            queue.peak
+            for port in self._output_order
+            for queue in port.queues
+        )
+        return max(peaks, default=0)

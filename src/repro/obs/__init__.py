@@ -1,0 +1,46 @@
+"""Observability layer: tracing, timelines and profiling as observers.
+
+Everything in this package is a client of the kernel's observer
+protocol (:mod:`repro.sim.observers`): the kernel is never subclassed
+or patched, and with nothing attached it runs at full speed.
+
+* :class:`TimelineObserver` — per-link, per-VC utilization and
+  per-node buffer-occupancy **timelines** (windowed counters), the
+  evidence the paper's congestion analysis rests on: *where and when*
+  a hot link saturates, not just that it did.
+* :class:`FlitTracer` + :class:`TraceSink` — flit-lifecycle tracing
+  (generate → inject → per-hop → consume) streamed as bounded JSONL.
+* :class:`KernelProfiler` — events/sec, heap depth and per-module
+  event counts of the kernel itself.
+
+Quickstart::
+
+    from repro import Network
+    from repro.obs import TimelineObserver
+
+    network = Network(topology, traffic=traffic, seed=1)
+    timeline = TimelineObserver(network, window=100)
+    network.run(cycles=2_000)
+    print(timeline.timeline().heat_table())
+"""
+
+from repro.obs.profiling import KernelProfiler
+from repro.obs.timeline import TimelineObserver
+from repro.obs.trace import FlitTracer, TraceSink
+from repro.sim.observers import Observer
+from repro.stats.utilization import (
+    LinkWindowSeries,
+    OccupancySeries,
+    UtilizationTimeline,
+)
+
+__all__ = [
+    "FlitTracer",
+    "KernelProfiler",
+    "LinkWindowSeries",
+    "Observer",
+    "OccupancySeries",
+    "TimelineObserver",
+    "TraceSink",
+    "UtilizationTimeline",
+]

@@ -1,0 +1,90 @@
+"""Kernel profiling: what the event loop itself is doing.
+
+A :class:`KernelProfiler` measures the simulation substrate rather
+than the model: delivered events per wall-clock second, the deepest
+the pending-event heap got, and how deliveries distribute across
+modules.  Its :meth:`summary` is what the ``trace`` CLI reports and
+what :func:`repro.experiments.runner.run_simulation` stores in
+``RunResult.extra["kernel"]`` when profiling is requested.
+
+Wall-clock derived numbers (``wall_seconds``, ``events_per_second``)
+are inherently machine- and load-dependent; everything else in the
+summary is deterministic for a given simulation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.observers import Observer
+
+
+class KernelProfiler(Observer):
+    """Counts kernel-level activity of one simulator.
+
+    Args:
+        simulator: The simulator to profile; the profiler registers
+            itself immediately.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.events = 0
+        self.max_heap_depth = 0
+        self.per_module: Counter[str] = Counter()
+        self._wall_start: float | None = None
+        self._wall_stop: float | None = None
+        self._attached = True
+        simulator.add_observer(self)
+
+    def detach(self) -> None:
+        """Stop profiling (idempotent); counters stay readable."""
+        if self._attached:
+            self.simulator.remove_observer(self)
+            self._attached = False
+
+    def on_event_delivered(
+        self, simulator: Simulator, event: Event
+    ) -> None:
+        now = time.perf_counter()
+        if self._wall_start is None:
+            self._wall_start = now
+        self._wall_stop = now
+        self.events += 1
+        depth = simulator.pending_events
+        if depth > self.max_heap_depth:
+            self.max_heap_depth = depth
+        target = event.target
+        self.per_module[
+            target.name if target is not None else "<handler>"
+        ] += 1
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock span from the first to the last delivery."""
+        if self._wall_start is None or self._wall_stop is None:
+            return 0.0
+        return self._wall_stop - self._wall_start
+
+    @property
+    def events_per_second(self) -> float:
+        """Delivered events per wall-clock second (0 until 2 events)."""
+        wall = self.wall_seconds
+        if wall <= 0:
+            return 0.0
+        return self.events / wall
+
+    def summary(self, top_modules: int = 10) -> dict:
+        """JSON-ready profile: events, rate, heap depth, top modules."""
+        return {
+            "events": self.events,
+            "events_per_second": round(self.events_per_second, 1),
+            "max_heap_depth": self.max_heap_depth,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "per_module": dict(
+                self.per_module.most_common(top_modules)
+            ),
+        }

@@ -27,17 +27,22 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.kernel import Simulator
 from repro.sim.messages import Message
 from repro.sim.module import Gate, SimModule
+from repro.sim.observers import Observer
 from repro.sim.rng import RngStream
+from repro.sim.tracing import EventTracer, TraceRecord
 
 __all__ = [
     "Event",
     "EventQueue",
+    "EventTracer",
     "Gate",
     "GateConnectionError",
     "Message",
+    "Observer",
     "RngStream",
     "SchedulingError",
     "SimModule",
     "SimulationError",
     "Simulator",
+    "TraceRecord",
 ]

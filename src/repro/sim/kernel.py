@@ -8,6 +8,7 @@ from repro.sim.errors import SchedulingError, SimulationError
 from repro.sim.events import Event, EventQueue
 from repro.sim.messages import Message
 from repro.sim.module import SimModule
+from repro.sim.observers import Observer
 
 
 class Simulator:
@@ -22,6 +23,13 @@ class Simulator:
     The simulator may be run incrementally: successive :meth:`run`
     calls continue from the current time.  ``initialize`` hooks run
     exactly once, before the first event of the first ``run``.
+
+    The kernel can be watched through the observer protocol
+    (:mod:`repro.sim.observers`): :meth:`add_observer` registers an
+    :class:`~repro.sim.observers.Observer` whose hooks fire after
+    every delivery and on every time advancement, in registration
+    order.  With zero observers attached the event loop is the plain
+    fast path.
     """
 
     def __init__(self) -> None:
@@ -33,6 +41,7 @@ class Simulator:
         self._initialized = False
         self._finalized = False
         self._events_processed = 0
+        self._observers: list[Observer] = []
 
     # -- registry ----------------------------------------------------
 
@@ -58,6 +67,54 @@ class Simulator:
     @property
     def modules(self) -> tuple[SimModule, ...]:
         return tuple(self._modules)
+
+    # -- observers ----------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> Observer:
+        """Register *observer*; its hooks fire in registration order.
+
+        Observers may be added at any point.  Hooks fire after the
+        handler, so an observer added from a module handler already
+        sees the delivery that added it; one added from another
+        observer's callback starts at the next delivery (the current
+        notification round is a snapshot).
+
+        Returns:
+            The observer, for chaining.
+
+        Raises:
+            SimulationError: if *observer* is already registered
+                (double registration would double its callbacks).
+        """
+        if any(existing is observer for existing in self._observers):
+            raise SimulationError(
+                f"observer {observer!r} is already registered"
+            )
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Detach *observer*; it receives no further callbacks.
+
+        Safe to call mid-run — from a module handler or from any
+        observer's own callback; the detachment takes effect at the
+        next delivery.
+
+        Raises:
+            SimulationError: if *observer* is not registered.
+        """
+        for index, existing in enumerate(self._observers):
+            if existing is observer:
+                del self._observers[index]
+                return
+        raise SimulationError(
+            f"observer {observer!r} is not registered"
+        )
+
+    @property
+    def observers(self) -> tuple[Observer, ...]:
+        """Currently registered observers, in registration order."""
+        return tuple(self._observers)
 
     # -- time and scheduling ------------------------------------------
 
@@ -134,6 +191,11 @@ class Simulator:
         """
         self._ensure_initialized()
         processed = 0
+        # Bound to a local: the truthiness check per event is the
+        # entire cost of the observer feature on the unobserved fast
+        # path.  The list object itself is shared with add/remove, so
+        # attaching or detaching mid-run takes effect immediately.
+        observers = self._observers
         while self._queue:
             if max_events is not None and processed >= max_events:
                 break
@@ -142,7 +204,15 @@ class Simulator:
             if until is not None and next_time > until:
                 break
             event = self._queue.pop()
-            self._now = event.time
+            if observers and event.time > self._now:
+                previous = self._now
+                self._now = event.time
+                for observer in tuple(observers):
+                    observer.on_time_advanced(
+                        self, previous, event.time
+                    )
+            else:
+                self._now = event.time
             self._events_processed += 1
             processed += 1
             message = event.message
@@ -152,8 +222,14 @@ class Simulator:
             else:
                 assert event.target is not None
                 event.target.handle_message(message)
+            if observers:
+                for observer in tuple(observers):
+                    observer.on_event_delivered(self, event)
         if until is not None and self._now < until:
+            previous = self._now
             self._now = until
+            for observer in tuple(observers):
+                observer.on_time_advanced(self, previous, until)
         return processed
 
     def finalize(self) -> None:

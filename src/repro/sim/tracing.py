@@ -1,9 +1,19 @@
 """Event tracing: observe a simulation without modifying modules.
 
-An :class:`EventTracer` wraps a simulator's dispatch so every
-delivered message is recorded as a :class:`TraceRecord` — the standard
-way to debug timing questions ("did the credit arrive before the send
-phase?") and the basis of the kernel's ordering regression tests.
+.. deprecated::
+    :class:`EventTracer` predates the kernel's first-class observer
+    protocol (:mod:`repro.sim.observers`) and is kept as a thin
+    compatibility shim over it: new code should register an
+    :class:`~repro.sim.observers.Observer` directly, or use the
+    higher-level tools in :mod:`repro.obs` (flit-lifecycle tracing,
+    utilization timelines, kernel profiling).  The public surface —
+    ``records``, ``dropped``, ``detach``, ``times_are_monotone`` — is
+    unchanged.
+
+An :class:`EventTracer` records every delivered message as a
+:class:`TraceRecord` — the standard way to debug timing questions
+("did the credit arrive before the send phase?") and the basis of the
+kernel's ordering regression tests.
 
 Usage::
 
@@ -13,15 +23,20 @@ Usage::
     for record in tracer.records:
         print(record.time, record.target, record.message_name)
 
-Tracing costs one indirection per event; detach with
-:meth:`EventTracer.detach` to restore full speed.
+Tracing costs one callback per event; detach with
+:meth:`EventTracer.detach` to restore full speed.  Unlike the
+historical implementation, the tracer never reassigns
+``simulator.run`` — it is an ordinary kernel observer.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
+from repro.sim.events import Event
 from repro.sim.kernel import Simulator
+from repro.sim.observers import Observer
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,13 +51,14 @@ class TraceRecord:
     is_self_message: bool
 
 
-class EventTracer:
+class EventTracer(Observer):
     """Records every message delivery of a simulator.
 
     Args:
         simulator: The simulator to observe.
         limit: Maximum records kept (oldest dropped beyond it);
-            ``None`` keeps everything.
+            ``None`` keeps everything.  Dropping is O(1) — records
+            live in a ``deque(maxlen=limit)``.
         name_filter: When given, only deliveries whose target module
             name contains this substring are recorded.
     """
@@ -58,70 +74,61 @@ class EventTracer:
         self.simulator = simulator
         self.limit = limit
         self.name_filter = name_filter
-        self.records: list[TraceRecord] = []
         self.dropped = 0
+        self._records: deque[TraceRecord] = deque(maxlen=limit)
         self._count = 0
-        self._original_run = simulator.run
         self._attached = True
-        simulator.run = self._traced_run  # type: ignore[method-assign]
+        simulator.add_observer(self)
 
-    def _traced_run(self, until=None, max_events=None):
-        # Process one event at a time through the original run so the
-        # tracer sees every delivery boundary.
-        processed = 0
-        while True:
-            if max_events is not None and processed >= max_events:
-                break
-            next_time = self.simulator._queue.peek_time()
-            if next_time is None:
-                if until is not None:
-                    self._original_run(until=until, max_events=0)
-                break
-            if until is not None and next_time > until:
-                self._original_run(until=until, max_events=0)
-                break
-            # Peek at the event before it is consumed.
-            event = self.simulator._queue._heap[0]
-            message = event.message
-            target = event.target
-            self._original_run(max_events=1)
-            processed += 1
-            if message is None:
-                continue
-            target_name = target.name if target is not None else "?"
-            if (
-                self.name_filter is not None
-                and self.name_filter not in target_name
-            ):
-                continue
-            self._record(
-                TraceRecord(
-                    index=self._count,
-                    time=event.time,
-                    target=target_name,
-                    message_name=message.name,
-                    message_kind=message.kind,
-                    is_self_message=message.arrival_gate is None,
-                )
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records, oldest first (a fresh list)."""
+        return list(self._records)
+
+    # -- observer hooks -----------------------------------------------
+
+    def on_event_delivered(
+        self, simulator: Simulator, event: Event
+    ) -> None:
+        message = event.message
+        if message is None:
+            return
+        target = event.target
+        target_name = target.name if target is not None else "?"
+        if (
+            self.name_filter is not None
+            and self.name_filter not in target_name
+        ):
+            return
+        self._record(
+            TraceRecord(
+                index=self._count,
+                time=event.time,
+                target=target_name,
+                message_name=message.name,
+                message_kind=message.kind,
+                is_self_message=message.arrival_gate is None,
             )
-        return processed
+        )
 
     def _record(self, record: TraceRecord) -> None:
         self._count += 1
-        self.records.append(record)
-        if self.limit is not None and len(self.records) > self.limit:
-            self.records.pop(0)
+        if (
+            self.limit is not None
+            and len(self._records) == self.limit
+        ):
             self.dropped += 1
+        self._records.append(record)
 
     def detach(self) -> None:
-        """Restore the simulator's untraced run method."""
+        """Stop recording (idempotent); kept records stay readable."""
         if self._attached:
-            self.simulator.run = self._original_run  # type: ignore[method-assign]
+            self.simulator.remove_observer(self)
             self._attached = False
 
     def times_are_monotone(self) -> bool:
         """Kernel invariant: recorded delivery times never decrease."""
+        records = self._records
         return all(
-            a.time <= b.time
-            for a, b in zip(self.records, self.records[1:])
+            a.time <= b.time for a, b in zip(records, list(records)[1:])
         )

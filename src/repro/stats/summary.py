@@ -166,6 +166,15 @@ class RunResult:
         avg_hops: Mean head-flit hop count of delivered packets.
         packets_delivered / flits_delivered: Post-warmup counts.
         packets_generated / packets_rejected: Source-side totals.
+        events_processed: Kernel events delivered over the run — a
+            deterministic work measure (identical for serial and
+            parallel execution of the same point) that the campaign
+            report combines with wall time into events/sec.
+        extra: Free-form JSON-compatible extras — e.g. the exported
+            utilization timeline (``extra["timeline"]``) when
+            :attr:`SimulationSettings.timeline_window` is set, or the
+            kernel profile (``extra["kernel"]``) when profiling was
+            requested.
     """
 
     topology_name: str
@@ -187,6 +196,7 @@ class RunResult:
     packets_generated: int
     packets_rejected: int
     seed: int = 0
+    events_processed: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -229,6 +239,7 @@ class RunResult:
         injection_rate: float,
         cycles: int,
         seed: int = 0,
+        events_processed: int = 0,
     ) -> "RunResult":
         """Summarise *stats* for a run of *cycles* total cycles."""
         measured = cycles - stats.warmup_cycles
@@ -274,4 +285,5 @@ class RunResult:
             packets_generated=stats.packets_generated,
             packets_rejected=stats.packets_rejected,
             seed=seed,
+            events_processed=events_processed,
         )

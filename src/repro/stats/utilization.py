@@ -1,10 +1,23 @@
-"""Link-utilization analysis.
+"""Link-utilization analysis: end-of-run aggregates and timelines.
 
 The paper's introduction lists "the high correlation of the link
 traffic" and "severe energy ... constraints" among the on-chip
 realities.  Per-link flit counts are the standard first-order proxy
 for both: utilization imbalance reveals traffic hot links, and total
 link traversals scale with dynamic interconnect energy.
+
+Two granularities live here:
+
+* :class:`UtilizationReport` — whole-run aggregates, built from a
+  finished :class:`~repro.noc.network.Network` (sees saturation but
+  cannot localize it in time);
+* :class:`UtilizationTimeline` — per-link, per-VC flit counts bucketed
+  into fixed-size time *windows*, plus per-node buffer-occupancy
+  samples.  This is the plain-data half of the observability layer:
+  it is populated live by :class:`repro.obs.TimelineObserver`,
+  survives a JSON round trip bit-exactly (:meth:`to_dict` /
+  :meth:`from_dict`), and renders as an ASCII heat table
+  (:meth:`heat_table`) showing *where and when* congestion forms.
 
 Usage::
 
@@ -19,6 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.routing.base import LOCAL_PORT
+
+#: Shade characters for :meth:`UtilizationTimeline.heat_table`, lowest
+#: utilization first.  ASCII only, so tables paste into logs and docs.
+HEAT_CHARS = " .:-=+*#%@"
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,3 +128,217 @@ class UtilizationReport:
         return sorted(
             self.loads, key=lambda l: l.utilization, reverse=True
         )[:count]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkWindowSeries:
+    """Windowed flit counts of one (link, virtual channel).
+
+    Attributes:
+        node: Source router of the link.
+        port: Output-port name at the source router (matches
+            :attr:`LinkLoad.port` keying).
+        dst: Destination node of the link (redundant with the
+            topology, carried so exported timelines are
+            self-describing).
+        vc: Virtual channel the flits travelled on.
+        counts: Flits forwarded per window, window 0 first.
+    """
+
+    node: int
+    port: str
+    dst: int
+    vc: int
+    counts: tuple[int, ...]
+
+    @property
+    def total_flits(self) -> int:
+        return sum(self.counts)
+
+
+@dataclass(frozen=True, slots=True)
+class OccupancySeries:
+    """Buffer-occupancy samples of one node over time.
+
+    Attributes:
+        node: The sampled node.
+        samples: ``(window_index, flits)`` pairs — flits buffered
+            inside the node's router plus packets-worth of flits
+            waiting in its IP memory, sampled as each window closes.
+    """
+
+    node: int
+    samples: tuple[tuple[int, int], ...]
+
+    @property
+    def peak(self) -> int:
+        return max((flits for _, flits in self.samples), default=0)
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationTimeline:
+    """Per-link, per-VC utilization over fixed time windows.
+
+    The timeline is plain data: every field is built from ints,
+    strings and tuples, so two timelines of the same run compare equal
+    regardless of how (serially, in a worker process, reloaded from
+    JSON) they were produced — the property the serial-vs-parallel
+    equality tests pin.
+
+    Attributes:
+        window: Window width in cycles.
+        cycles: Total simulated cycles the timeline covers.
+        links: One series per (link, VC), sorted by (node, port, vc).
+        occupancy: Per-node buffer-occupancy samples.
+    """
+
+    window: int
+    cycles: int
+    links: tuple[LinkWindowSeries, ...]
+    occupancy: tuple[OccupancySeries, ...]
+
+    @property
+    def num_windows(self) -> int:
+        """Windows covering ``cycles`` (the last may be partial)."""
+        return -(-self.cycles // self.window)
+
+    def _window_cycles(self, index: int) -> int:
+        """Cycles actually covered by window *index*."""
+        if index < self.num_windows - 1:
+            return self.window
+        return self.cycles - index * self.window
+
+    def link_series(
+        self, node: int, port: str
+    ) -> tuple[LinkWindowSeries, ...]:
+        """Every VC series of the link at (*node*, *port*)."""
+        return tuple(
+            series
+            for series in self.links
+            if series.node == node and series.port == port
+        )
+
+    def link_totals(self) -> dict[tuple[int, str], int]:
+        """Whole-run flits per link, VCs summed — comparable to
+        :meth:`~repro.noc.network.Network.link_flit_counts`."""
+        totals: dict[tuple[int, str], int] = {}
+        for series in self.links:
+            key = (series.node, series.port)
+            totals[key] = totals.get(key, 0) + series.total_flits
+        return totals
+
+    def utilization_series(self, node: int, port: str) -> list[float]:
+        """Per-window utilization of one link (VCs summed)."""
+        sums = [0] * self.num_windows
+        for series in self.link_series(node, port):
+            for index, count in enumerate(series.counts):
+                sums[index] += count
+        return [
+            count / self._window_cycles(index)
+            for index, count in enumerate(sums)
+        ]
+
+    def busiest_links(
+        self, count: int = 5
+    ) -> list[tuple[int, str, int, float]]:
+        """The *count* most-loaded links as ``(node, port, dst,
+        utilization)``, busiest first, with VCs summed."""
+        dst_of = {
+            (series.node, series.port): series.dst
+            for series in self.links
+        }
+        ranked = sorted(
+            self.link_totals().items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return [
+            (node, port, dst_of[(node, port)], flits / self.cycles)
+            for (node, port), flits in ranked[:count]
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "window": self.window,
+            "cycles": self.cycles,
+            "links": [
+                {
+                    "node": series.node,
+                    "port": series.port,
+                    "dst": series.dst,
+                    "vc": series.vc,
+                    "counts": list(series.counts),
+                }
+                for series in self.links
+            ],
+            "occupancy": [
+                {
+                    "node": series.node,
+                    "samples": [list(pair) for pair in series.samples],
+                }
+                for series in self.occupancy
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UtilizationTimeline":
+        """Rebuild a timeline from :meth:`to_dict` output (or its
+        JSON round trip)."""
+        return cls(
+            window=data["window"],
+            cycles=data["cycles"],
+            links=tuple(
+                LinkWindowSeries(
+                    node=entry["node"],
+                    port=entry["port"],
+                    dst=entry["dst"],
+                    vc=entry["vc"],
+                    counts=tuple(entry["counts"]),
+                )
+                for entry in data["links"]
+            ),
+            occupancy=tuple(
+                OccupancySeries(
+                    node=entry["node"],
+                    samples=tuple(
+                        (window, flits)
+                        for window, flits in entry["samples"]
+                    ),
+                )
+                for entry in data["occupancy"]
+            ),
+        )
+
+    def heat_table(self, max_links: int = 12) -> str:
+        """ASCII heat table: one row per link (busiest first), one
+        column per window, cell shade proportional to utilization.
+
+        This is the textual equivalent of the per-link heat maps used
+        to localize the paper's hot-spot congestion (figure 6): the
+        hot-spot's incoming links show as the darkest rows.
+        """
+        ranked = self.busiest_links(max_links)
+        if not ranked:
+            return "(no link traffic recorded)\n"
+        lines = [
+            f"per-link utilization, {self.window}-cycle windows "
+            f"(shade: '{HEAT_CHARS[0]}'=idle .. "
+            f"'{HEAT_CHARS[-1]}'=saturated)"
+        ]
+        label_width = max(
+            len(f"{node}->{dst} ({port})")
+            for node, port, dst, _ in ranked
+        )
+        for node, port, dst, utilization in ranked:
+            label = f"{node}->{dst} ({port})".ljust(label_width)
+            cells = "".join(
+                HEAT_CHARS[
+                    min(
+                        int(value * len(HEAT_CHARS)),
+                        len(HEAT_CHARS) - 1,
+                    )
+                ]
+                for value in self.utilization_series(node, port)
+            )
+            lines.append(f"{label}  {utilization:5.3f}  |{cells}|")
+        return "\n".join(lines) + "\n"

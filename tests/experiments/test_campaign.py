@@ -131,3 +131,19 @@ class TestCampaign:
         assert len(
             csv_path.read_text().strip().splitlines()
         ) == 5
+
+
+class TestCampaignTimeline:
+    def test_spec_key_reaches_settings(self):
+        campaign = Campaign(small_spec(timeline_window=250))
+        assert campaign.settings.timeline_window == 250
+        assert Campaign(small_spec()).settings.timeline_window is None
+
+    def test_runs_export_timelines(self, tmp_path):
+        campaign = Campaign(
+            small_spec(timeline_window=200, rates=[0.1])
+        )
+        results = campaign.execute(tmp_path / "out.csv", cache=False)
+        assert results
+        for result in results:
+            assert result.extra["timeline"]["window"] == 200

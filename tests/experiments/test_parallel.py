@@ -280,3 +280,82 @@ class TestExecutionSummary:
         assert "3 simulated" in text
         assert "workers 4" in text
         assert "7 hits / 3 misses" in text
+
+    def test_summary_reports_event_rate(self):
+        stats = ExecutionStats(
+            workers=2,
+            total_points=4,
+            executed=4,
+            wall_seconds=2.0,
+            events_processed=50_000,
+        )
+        text = format_execution_summary(stats)
+        assert "50000 events" in text
+        assert "25,000/s" in text
+        assert stats.events_per_second == 25_000.0
+
+    def test_zero_events_omitted_from_summary(self):
+        stats = ExecutionStats(workers=1, total_points=1, executed=0)
+        assert "events" not in format_execution_summary(stats)
+
+
+class TestTimelineExport:
+    def points_with_timeline(self):
+        settings = quick_settings()
+        settings = SimulationSettings(
+            cycles=settings.cycles,
+            warmup=settings.warmup,
+            config=settings.config,
+            seed=settings.seed,
+            timeline_window=100,
+        )
+        return [
+            SweepPoint(topo, "hotspot:0", rate, settings)
+            for topo in ("ring8", "spidergon8")
+            for rate in (0.05, 0.1)
+        ]
+
+    def test_runner_exports_timeline_when_requested(self):
+        results, _ = execute_points(
+            self.points_with_timeline(), workers=1
+        )
+        for result in results:
+            timeline = result.extra["timeline"]
+            assert timeline["window"] == 100
+            assert timeline["cycles"] == 600
+            assert timeline["links"]
+
+    def test_serial_and_parallel_timelines_identical(self):
+        # The exported timeline is part of the result payload, so the
+        # serial/parallel equivalence guarantee covers it too.
+        points = self.points_with_timeline()
+        serial, _ = execute_points(points, workers=1)
+        parallel, _ = execute_points(points, workers=2)
+        assert [r.extra["timeline"] for r in parallel] == [
+            r.extra["timeline"] for r in serial
+        ]
+
+    def test_timeline_survives_cache_round_trip(self, tmp_path):
+        points = self.points_with_timeline()[:1]
+        cache = ResultCache(tmp_path / "cache")
+        first, stats1 = execute_points(points, cache=cache)
+        again, stats2 = execute_points(points, cache=cache)
+        assert stats1.cache_misses == 1
+        assert stats2.cache_hits == 1
+        assert again[0].extra["timeline"] == first[0].extra["timeline"]
+
+    def test_window_changes_cache_key(self):
+        base = self.points_with_timeline()[0]
+        other = SweepPoint(
+            base.topology,
+            base.pattern,
+            base.rate,
+            SimulationSettings(
+                cycles=base.settings.cycles,
+                warmup=base.settings.warmup,
+                config=base.settings.config,
+                seed=base.settings.seed,
+                timeline_window=200,
+            ),
+        )
+        assert point_key(base) != point_key(other)

@@ -87,3 +87,45 @@ class TestSweep:
         )
         throughputs = [r.throughput for r in results]
         assert throughputs[0] < throughputs[-1]
+
+
+class TestRunnerObservability:
+    def test_profile_stores_kernel_summary(self):
+        topology = SpidergonTopology(8)
+        result = run_simulation(
+            topology,
+            UniformTraffic(topology),
+            0.1,
+            SETTINGS,
+            profile=True,
+        )
+        kernel = result.extra["kernel"]
+        assert kernel["events"] == result.events_processed > 0
+        assert kernel["max_heap_depth"] > 0
+
+    def test_no_profile_keeps_extra_clean(self):
+        topology = SpidergonTopology(8)
+        result = run_simulation(
+            topology, UniformTraffic(topology), 0.1, SETTINGS
+        )
+        assert "kernel" not in result.extra
+        assert "timeline" not in result.extra
+
+    def test_observer_factories_see_the_network(self):
+        from repro.obs import KernelProfiler
+
+        captured = []
+
+        def attach(network):
+            captured.append(KernelProfiler(network.simulator))
+
+        topology = SpidergonTopology(8)
+        result = run_simulation(
+            topology,
+            UniformTraffic(topology),
+            0.1,
+            SETTINGS,
+            observers=[attach],
+        )
+        (profiler,) = captured
+        assert profiler.events == result.events_processed

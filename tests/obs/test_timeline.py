@@ -1,0 +1,172 @@
+"""Tests for utilization timelines (TimelineObserver + data model)."""
+
+import json
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.obs import TimelineObserver, UtilizationTimeline
+from repro.topology import MeshTopology, RingTopology
+from repro.traffic.base import TrafficSpec
+from repro.traffic.patterns import HotspotTraffic, UniformTraffic
+
+CYCLES = 2_000
+WINDOW = 100
+
+
+def run_with_timeline(topology, pattern, rate, *, window=WINDOW,
+                      cycles=CYCLES, seed=3):
+    network = Network(
+        topology,
+        config=NocConfig(source_queue_packets=32),
+        traffic=TrafficSpec(pattern, rate),
+        seed=seed,
+    )
+    observer = TimelineObserver(network, window=window)
+    network.run(cycles=cycles, warmup=0)
+    return network, observer.timeline()
+
+
+def non_local(counts):
+    return {key: n for key, n in counts.items() if key[1] != "local"}
+
+
+class TestObserverCounts:
+    def test_totals_match_router_counters_exactly_when_drained(self):
+        # The timeline is assembled purely from kernel deliveries; on
+        # a drained network (no flits in flight) it must agree exactly
+        # with the routers' own send counters.
+        from repro.noc.packet import Packet
+
+        topology = MeshTopology(3, 3)
+        network = Network(topology)
+        observer = TimelineObserver(network, window=10)
+        for src, dst in [(0, 8), (8, 0), (2, 6), (4, 5)]:
+            network.interfaces[src].enqueue_packet(
+                Packet(src, dst, 2, created_at=0)
+            )
+        network.simulator.run(until=200)
+        timeline = observer.timeline(cycles=200)
+        used = {
+            key: count
+            for key, count in non_local(
+                network.link_flit_counts()
+            ).items()
+            if count  # idle links have no timeline series
+        }
+        assert timeline.link_totals() == used
+        assert sum(used.values()) > 0
+
+    def test_totals_track_router_counters_under_load(self):
+        # With traffic still flowing, the only discrepancy allowed is
+        # the flits in flight on the wire when the horizon cuts off
+        # (sent counter incremented, delivery event past `until`).
+        topology = RingTopology(8)
+        network, timeline = run_with_timeline(
+            topology, UniformTraffic(topology), 0.15
+        )
+        sent = non_local(network.link_flit_counts())
+        observed = timeline.link_totals()
+        assert set(observed) <= set(sent)
+        for key, count in sent.items():
+            delivered = observed.get(key, 0)
+            in_flight = count - delivered
+            assert 0 <= in_flight <= 2 * network.config.link_delay
+
+    def test_hotspot_incoming_links_are_busiest(self):
+        # Paper Fig. 6 mechanism: hot-spot traffic saturates the
+        # target's incoming links first.
+        topology = RingTopology(16)
+        _, timeline = run_with_timeline(
+            topology, HotspotTraffic(topology, targets=[0]), 0.1
+        )
+        top_two = timeline.busiest_links(2)
+        assert {(node, dst) for node, _, dst, _ in top_two} == {
+            (15, 0),
+            (1, 0),
+        }
+
+    def test_detach_freezes_counters(self):
+        topology = RingTopology(8)
+        network = Network(
+            topology,
+            config=NocConfig(source_queue_packets=32),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.2),
+            seed=3,
+        )
+        observer = TimelineObserver(network, window=WINDOW)
+        network.simulator.run(until=500)
+        observer.detach()
+        frozen = observer.timeline(cycles=500)
+        network.simulator.run(until=CYCLES)
+        assert observer.timeline(cycles=500) == frozen
+        observer.detach()  # idempotent
+
+    def test_window_validation(self):
+        topology = RingTopology(4)
+        network = Network(topology)
+        with pytest.raises(ValueError):
+            TimelineObserver(network, window=0)
+
+    def test_timeline_of_unstarted_simulation_rejected(self):
+        topology = RingTopology(4)
+        network = Network(topology)
+        observer = TimelineObserver(network)
+        with pytest.raises(ValueError):
+            observer.timeline()
+
+    def test_occupancy_sampled_per_window(self):
+        topology = RingTopology(8)
+        _, timeline = run_with_timeline(
+            topology, UniformTraffic(topology), 0.2
+        )
+        assert len(timeline.occupancy) == topology.num_nodes
+        for series in timeline.occupancy:
+            indices = [index for index, _ in series.samples]
+            assert indices == sorted(set(indices))
+            assert all(
+                0 <= index < timeline.num_windows for index in indices
+            )
+        # Under sustained load the network holds flits in flight.
+        assert any(s.peak > 0 for s in timeline.occupancy)
+
+
+class TestDataModel:
+    def _timeline(self):
+        topology = RingTopology(8)
+        _, timeline = run_with_timeline(
+            topology, UniformTraffic(topology), 0.15
+        )
+        return timeline
+
+    def test_json_round_trip_is_exact(self):
+        timeline = self._timeline()
+        blob = json.dumps(timeline.to_dict())
+        assert UtilizationTimeline.from_dict(json.loads(blob)) == timeline
+
+    def test_num_windows_covers_partial_tail(self):
+        timeline = self._timeline()
+        assert timeline.num_windows == -(-CYCLES // WINDOW)
+        for series in timeline.links:
+            assert len(series.counts) == timeline.num_windows
+
+    def test_utilization_series_bounded_by_capacity(self):
+        timeline = self._timeline()
+        for series in timeline.links:
+            values = timeline.utilization_series(series.node, series.port)
+            assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_busiest_links_sorted_and_complete(self):
+        timeline = self._timeline()
+        ranked = timeline.busiest_links(count=len(timeline.links))
+        totals = timeline.link_totals()
+        assert len(ranked) == len(totals)
+        flits = [totals[(node, port)] for node, port, _, _ in ranked]
+        assert flits == sorted(flits, reverse=True)
+
+    def test_heat_table_mentions_busiest_link(self):
+        timeline = self._timeline()
+        table = timeline.heat_table(max_links=3)
+        node, _, dst, _ = timeline.busiest_links(1)[0]
+        assert f"{node}->{dst}" in table

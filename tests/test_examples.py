@@ -45,6 +45,15 @@ class TestFastExamples:
         assert "##" in completed.stdout  # the macro in the ASCII plan
         assert "mesh5x5-irregular21" in completed.stdout
 
+    def test_observability_tour(self):
+        completed = run_example("observability_tour.py")
+        assert completed.returncode == 0, completed.stderr
+        assert "heat table" in completed.stdout
+        # The hot-spot's incoming links dominate the utilization.
+        assert "Busiest link" in completed.stdout
+        assert "hot-spot node 0" in completed.stdout
+        assert "Kernel profile" in completed.stdout
+
 
 class TestAllExamplesCompile:
     @pytest.mark.parametrize(

@@ -40,9 +40,17 @@ and kernel profiles — lives in :mod:`repro.obs`, built on the kernel
 observer protocol (:class:`Observer`); the key entry points are
 re-exported here (:class:`TimelineObserver`, :class:`FlitTracer`,
 :class:`KernelProfiler`, :class:`TraceSink`).
+
+Resilience — runtime link-fault injection (:class:`FaultPlan`,
+:class:`FaultInjector`), stall detection (:class:`StallWatchdog`),
+periodic invariant audits (:class:`InvariantAuditor`) and the
+crash-tolerant campaign executor (:class:`FailedResult`,
+:class:`CampaignManifest`) — lives in :mod:`repro.resilience` and
+:mod:`repro.experiments.parallel`; see ``docs/resilience.md``.
 """
 
 from repro.experiments.campaign import Campaign
+from repro.experiments.parallel import CampaignManifest, FailedResult
 from repro.experiments.runner import (
     SimulationSettings,
     run_simulation,
@@ -56,6 +64,13 @@ from repro.obs import (
     TimelineObserver,
     TraceSink,
     UtilizationTimeline,
+)
+from repro.resilience import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InvariantAuditor,
+    StallWatchdog,
 )
 from repro.routing import (
     MeshXYRouting,
@@ -85,9 +100,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Campaign",
+    "CampaignManifest",
     "EventTracer",
+    "FailedResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "FlitTracer",
     "HotspotTraffic",
+    "InvariantAuditor",
     "KernelProfiler",
     "MeshTopology",
     "MeshXYRouting",
@@ -102,6 +123,7 @@ __all__ = [
     "Simulator",
     "SpidergonAcrossFirstRouting",
     "SpidergonTopology",
+    "StallWatchdog",
     "TableRouting",
     "TimelineObserver",
     "Topology",

@@ -7,6 +7,7 @@
     python -m repro ablations vcs ...    # == repro.experiments.ablations
     python -m repro campaign SPEC CSV    # declarative sweep
     python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
+    python -m repro chaos mesh4x4 uniform 0.1 --fail 5:6@2000
 """
 
 from __future__ import annotations
@@ -32,11 +33,16 @@ def _info() -> int:
     print(
         "usage: python -m repro "
         "{info|figures|ablations|campaign SPEC.json OUT.csv"
-        "|trace TOPOLOGY PATTERN RATE} [args...]\n"
+        "|trace TOPOLOGY PATTERN RATE"
+        "|chaos TOPOLOGY PATTERN RATE} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
-        "also --no-cache, --cache-dir DIR;\n"
-        "        trace accepts --cycles, --warmup, --seed, --window, "
-        "--out, --limit, --no-flits)"
+        "also --no-cache, --cache-dir DIR,\n"
+        "        --timeout S, --retries N, --resume; trace accepts "
+        "--cycles, --warmup, --seed,\n"
+        "        --window, --out, --limit, --no-flits; chaos accepts "
+        "--fail SRC:DST@T[:REPAIR_T],\n"
+        "        --random-faults N@T, --stall N, --audit N, --json "
+        "FILE)"
     )
     return 0
 
@@ -73,10 +79,36 @@ def _campaign(rest: list[str]) -> int:
         help="result cache location (default: .repro-cache next to "
         "the CSV)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock deadline in seconds; selects the "
+        "crash-tolerant executor",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per crashed / timed-out / failed point "
+        "(default 0)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="keep the outcome manifest from the previous run and "
+        "skip every point it already marks ok",
+    )
     try:
         args = parser.parse_args(rest)
         if args.workers < 1:
             parser.error(f"--workers must be >= 1, got {args.workers}")
+        if args.timeout is not None and args.timeout <= 0:
+            parser.error(f"--timeout must be > 0, got {args.timeout}")
+        if args.retries < 0:
+            parser.error(f"--retries must be >= 0, got {args.retries}")
     except SystemExit as exc:
         return int(exc.code or 0)
     campaign = Campaign.from_json(pathlib.Path(args.spec).read_text())
@@ -93,11 +125,238 @@ def _campaign(rest: list[str]) -> int:
         workers=args.workers,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
     )
+    failures = [r for r in results if not r.ok]
     print(f"{len(results)} runs executed; results in {args.csv}")
     if campaign.last_stats is not None:
         print(format_execution_summary(campaign.last_stats))
+    if failures:
+        for failure in failures:
+            print(
+                f"FAILED {failure.topology}|{failure.pattern}"
+                f"|{failure.rate:.6g}: {failure.error} "
+                f"after {failure.attempts} attempt(s)"
+            )
+        print(
+            f"{len(failures)} point(s) failed; re-run with --resume "
+            "to retry exactly those"
+        )
+        return 1
     return 0
+
+
+def _chaos(rest: list[str]) -> int:
+    import argparse
+    import json as _json
+    import pathlib
+    import re
+    import sys as _sys
+
+    from repro.experiments.runner import (
+        SimulationSettings,
+        run_simulation,
+    )
+    from repro.experiments.specs import parse_pattern, parse_topology
+    from repro.noc.config import NocConfig
+    from repro.resilience import FaultEvent, FaultPlan
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run one simulation under runtime link faults "
+        "with the stall watchdog and periodic invariant audits "
+        "attached, then print the resilience report.",
+    )
+    parser.add_argument("topology", help="topology spec, e.g. mesh4x4")
+    parser.add_argument(
+        "pattern", help="traffic spec, e.g. uniform or hotspot:0"
+    )
+    parser.add_argument(
+        "rate", type=float, help="injection rate (flits/cycle/source)"
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=20_000, help="run length"
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=4_000,
+        help="cycles excluded from the summary metrics",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--fail",
+        action="append",
+        default=[],
+        metavar="SRC:DST@T[:REPAIR_T]",
+        help="fail link SRC-DST at cycle T, optionally repairing it "
+        "at REPAIR_T; repeatable",
+    )
+    parser.add_argument(
+        "--random-faults",
+        metavar="N@T",
+        help="fail N random links at cycle T instead of --fail "
+        "(deterministic in topology, N, T and --fault-seed)",
+    )
+    parser.add_argument(
+        "--repair-after",
+        type=int,
+        default=None,
+        metavar="D",
+        help="with --random-faults: repair each link D cycles after "
+        "it failed",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="seed for --random-faults picks (default: --seed)",
+    )
+    parser.add_argument(
+        "--stall",
+        type=int,
+        default=2_000,
+        metavar="N",
+        help="stall-watchdog threshold in cycles without a consumed "
+        "flit (default 2000; 0 disables)",
+    )
+    parser.add_argument(
+        "--audit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the full invariant suite every N cycles (0 = off)",
+    )
+    parser.add_argument(
+        "--source-queue",
+        type=int,
+        default=64,
+        metavar="PKTS",
+        help="IP memory bound in packets",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also dump the full result dict as JSON here",
+    )
+    try:
+        args = parser.parse_args(rest)
+        if args.cycles < 1:
+            parser.error(f"--cycles must be >= 1, got {args.cycles}")
+        if not 0 <= args.warmup < args.cycles:
+            parser.error(
+                f"--warmup must be in [0, cycles), got {args.warmup}"
+            )
+        if args.fail and args.random_faults:
+            parser.error("--fail and --random-faults are exclusive")
+        if not args.fail and not args.random_faults:
+            parser.error("need at least one --fail or --random-faults")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    try:
+        topology = parse_topology(args.topology)
+        pattern = parse_pattern(args.pattern, topology)
+        if args.random_faults:
+            match = re.fullmatch(r"(\d+)@(\d+)", args.random_faults)
+            if match is None:
+                raise ValueError(
+                    f"--random-faults must look like N@T, got "
+                    f"{args.random_faults!r}"
+                )
+            plan = FaultPlan.random_faults(
+                topology,
+                count=int(match.group(1)),
+                at=int(match.group(2)),
+                repair_after=args.repair_after,
+                seed=(
+                    args.fault_seed
+                    if args.fault_seed is not None
+                    else args.seed
+                ),
+            )
+        else:
+            events = []
+            for spec in args.fail:
+                match = re.fullmatch(
+                    r"(\d+):(\d+)@(\d+)(?::(\d+))?", spec
+                )
+                if match is None:
+                    raise ValueError(
+                        f"--fail must look like SRC:DST@T[:REPAIR_T], "
+                        f"got {spec!r}"
+                    )
+                src, dst, at = (int(match.group(i)) for i in (1, 2, 3))
+                events.append(FaultEvent(at, src, dst, "fail"))
+                if match.group(4) is not None:
+                    events.append(
+                        FaultEvent(
+                            int(match.group(4)), src, dst, "repair"
+                        )
+                    )
+            plan = FaultPlan(tuple(events))
+        plan.validate_for(topology)
+    except ValueError as exc:
+        print(f"error: {exc}", file=_sys.stderr)
+        return 2
+
+    settings = SimulationSettings(
+        cycles=args.cycles,
+        warmup=args.warmup,
+        config=NocConfig(source_queue_packets=args.source_queue),
+        seed=args.seed,
+        fault_plan=plan,
+        stall_cycles=args.stall or None,
+        invariant_check_interval=args.audit,
+    )
+    result = run_simulation(topology, pattern, args.rate, settings)
+
+    for event in plan.events:
+        print(
+            f"plan: {event.action} {event.src}-{event.dst} "
+            f"at cycle {event.time}"
+        )
+    resilience = result.extra.get("resilience", {})
+    for record in resilience.get("fault_events", []):
+        residual = (
+            "connected"
+            if record.get("residual_connected", True)
+            else "PARTITIONED"
+        )
+        print(
+            f"cycle {record['time']}: {record['action']} "
+            f"{record['link']} — killed "
+            f"{record.get('packets_killed', 0)} packet(s), dropped "
+            f"{record.get('flits_dropped', 0)} flit(s), "
+            f"residual graph {residual}"
+        )
+    print(
+        f"degraded={result.degraded} "
+        f"flits_dropped={result.flits_dropped} "
+        f"packets_killed={result.packets_killed} "
+        f"rerouted={resilience.get('packets_rerouted', 0)} "
+        f"delivered={result.packets_delivered} "
+        f"throughput={result.throughput:.6g}"
+    )
+    if result.degraded and "stall" in result.extra:
+        stall = result.extra["stall"]
+        print(f"stall: {stall.get('reason', '?')}")
+        snapshot = {
+            k: v
+            for k, v in stall.items()
+            if k not in ("reason", "blocked_routers")
+        }
+        print(f"stall snapshot: {_json.dumps(snapshot, sort_keys=True)}")
+    if args.json is not None:
+        pathlib.Path(args.json).write_text(
+            _json.dumps(result.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"full result -> {args.json}")
+    return 1 if result.degraded else 0
 
 
 def _trace(rest: list[str]) -> int:
@@ -301,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
         return _campaign(rest)
     if command == "trace":
         return _trace(rest)
+    if command == "chaos":
+        return _chaos(rest)
     print(f"unknown command {command!r}; try: python -m repro info")
     return 2
 

@@ -33,6 +33,23 @@ per-link utilization timeline (see
 included; the export is deterministic, so it never perturbs resume
 or serial/parallel equivalence.
 
+Resilience keys (all optional)::
+
+    "stall_cycles": 3000,              # stall watchdog threshold
+    "invariant_check_interval": 5000,  # periodic invariant audits
+    "fault_plan": {"events": [         # explicit fault schedule
+        {"time": 5000, "src": 0, "dst": 1, "action": "fail"},
+        {"time": 9000, "src": 0, "dst": 1, "action": "repair"}]},
+    "random_faults": {"count": 2, "at": 5000,
+                      "repair_after": 4000, "seed": 9}
+
+``fault_plan`` applies the same schedule to every cell (the links
+must exist in every topology of the sweep); ``random_faults``
+resolves to a per-topology plan instead (picks are deterministic in
+the topology name, count, time and seed).  The two are mutually
+exclusive.  Like the seed, plans live inside the settings, so cache
+keys and serial/parallel/resumed equivalence cover them.
+
 Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
 ``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``.
 """
@@ -44,14 +61,19 @@ import pathlib
 from dataclasses import replace
 
 from repro.experiments.parallel import (
+    CampaignManifest,
     ExecutionStats,
+    FailedResult,
+    PointResult,
     ResultCache,
     derive_seed,
     execute_points,
+    point_key,
 )
 from repro.experiments.runner import SimulationSettings, SweepPoint
 from repro.experiments.specs import parse_pattern, parse_topology
 from repro.noc.config import NocConfig
+from repro.resilience.plan import FaultPlan
 from repro.stats.summary import RunResult
 
 __all__ = [
@@ -86,6 +108,8 @@ class Campaign:
         self.spec = spec
         self.name = spec["name"]
         timeline_window = spec.get("timeline_window")
+        stall_cycles = spec.get("stall_cycles")
+        fault_plan = spec.get("fault_plan")
         self.settings = SimulationSettings(
             cycles=int(spec.get("cycles", 20_000)),
             warmup=int(spec.get("warmup", 4_000)),
@@ -100,9 +124,30 @@ class Campaign:
                 if timeline_window is not None
                 else None
             ),
+            fault_plan=(
+                FaultPlan.from_dict(fault_plan)
+                if fault_plan is not None
+                else None
+            ),
+            stall_cycles=(
+                int(stall_cycles) if stall_cycles is not None else None
+            ),
+            invariant_check_interval=int(
+                spec.get("invariant_check_interval", 0)
+            ),
         )
+        # Per-topology random fault plans are resolved lazily in
+        # sweep_points (the picks depend on each topology's links):
+        # {"count": N, "at": T, "repair_after": T?, "seed": S?}.
+        self._random_faults: dict | None = spec.get("random_faults")
+        if self._random_faults is not None and fault_plan is not None:
+            raise ValueError(
+                "campaign spec sets both fault_plan and random_faults"
+            )
         #: Filled by :meth:`execute` for reporting.
         self.last_stats: ExecutionStats | None = None
+        #: Manifest of the last hardened :meth:`execute`, if any.
+        self.last_manifest: CampaignManifest | None = None
 
     @classmethod
     def from_json(cls, text: str) -> "Campaign":
@@ -136,22 +181,48 @@ class Campaign:
             for rate in self.spec["rates"]
         ]
 
+    def _fault_plan_for(self, topo_spec: str) -> FaultPlan | None:
+        """The (possibly per-topology) fault plan of cell *topo_spec*.
+
+        A ``random_faults`` spec resolves here, deterministically per
+        topology: the picks depend only on (topology name, count, at,
+        seed), never on execution order — so serial, parallel and
+        resumed campaigns inject the same faults.
+        """
+        if self._random_faults is None:
+            return self.settings.fault_plan
+        config = self._random_faults
+        return FaultPlan.random_faults(
+            parse_topology(topo_spec),
+            count=int(config["count"]),
+            at=int(config["at"]),
+            repair_after=(
+                int(config["repair_after"])
+                if config.get("repair_after") is not None
+                else None
+            ),
+            seed=int(config.get("seed", self.settings.seed)),
+        )
+
     def sweep_points(self) -> list[SweepPoint]:
         """Every cell as a :class:`SweepPoint` with its derived seed."""
-        return [
-            SweepPoint(
-                topology=topo,
-                pattern=pattern,
-                rate=rate,
-                settings=replace(
-                    self.settings,
-                    seed=derive_seed(
-                        self.settings.seed, topo, pattern, rate
+        points = []
+        for topo, pattern, rate in self.runs():
+            points.append(
+                SweepPoint(
+                    topology=topo,
+                    pattern=pattern,
+                    rate=rate,
+                    settings=replace(
+                        self.settings,
+                        seed=derive_seed(
+                            self.settings.seed, topo, pattern, rate
+                        ),
+                        fault_plan=self._fault_plan_for(topo),
                     ),
-                ),
+                )
             )
-            for topo, pattern, rate in self.runs()
-        ]
+        return points
 
     @staticmethod
     def _key(topology: str, pattern: str, rate: float) -> str:
@@ -170,6 +241,13 @@ class Campaign:
                 )
         return done
 
+    def manifest_path(
+        self, csv_path: str | pathlib.Path
+    ) -> pathlib.Path:
+        """Default manifest location: a sibling of the CSV."""
+        path = pathlib.Path(csv_path)
+        return path.with_name(path.stem + ".manifest.jsonl")
+
     def execute(
         self,
         csv_path: str | pathlib.Path,
@@ -178,7 +256,10 @@ class Campaign:
         workers: int = 1,
         cache: bool = True,
         cache_dir: str | pathlib.Path | None = None,
-    ) -> list[RunResult]:
+        timeout: float | None = None,
+        retries: int = 0,
+        resume: bool = False,
+    ) -> list[PointResult]:
         """Run every outstanding cell, appending rows to *csv_path*.
 
         Args:
@@ -192,23 +273,45 @@ class Campaign:
                 campaigns and re-runs skip completed simulations.
             cache_dir: Cache location; defaults to ``.repro-cache``
                 next to the CSV.
+            timeout: Per-point wall-clock deadline (seconds); selects
+                hardened execution (see
+                :func:`~repro.experiments.parallel.execute_points`).
+            retries: Extra attempts per failed point before it is
+                recorded as a :class:`FailedResult`.
+            resume: Keep the existing outcome manifest and skip
+                points it already marks ``ok`` (in addition to the
+                CSV-based skip); without it a hardened run starts a
+                fresh manifest.
 
         Returns:
-            The :class:`RunResult` objects produced by *this* call,
-            in sweep order (cells already in the CSV are not re-run
-            and not returned; cache hits are returned).
+            The results produced by *this* call, in sweep order —
+            :class:`RunResult` for successes (cache hits included),
+            :class:`FailedResult` for points that exhausted their
+            retries.  Failed points get **no CSV row**, so a resumed
+            campaign re-attempts exactly those.
         """
         self.validate()
         path = pathlib.Path(csv_path)
         if not path.exists():
             path.write_text(",".join(CSV_COLUMNS) + "\n")
+        hardened = timeout is not None or retries > 0 or resume
+        manifest = None
+        if hardened:
+            mpath = self.manifest_path(path)
+            if not resume and mpath.exists():
+                mpath.unlink()
+            manifest = CampaignManifest(mpath)
         done = self.completed_keys(path)
+        manifest_done = (
+            manifest.completed_keys() if resume and manifest else set()
+        )
         total = len(self.runs())
         outstanding = [
             point
             for point in self.sweep_points()
             if self._key(point.topology, point.pattern, point.rate)
             not in done
+            and point_key(point) not in manifest_done
         ]
         result_cache = None
         if cache:
@@ -222,23 +325,32 @@ class Campaign:
 
         def persist(index, point, result, cached):
             nonlocal finished
+            finished += 1
+            key = self._key(point.topology, point.pattern, point.rate)
+            if isinstance(result, FailedResult):
+                # No CSV row: the point stays outstanding for the
+                # next run; the manifest documents the casualty.
+                if progress is not None:
+                    progress(
+                        finished, total, f"{key} FAILED({result.error})"
+                    )
+                return
             with path.open("a") as handle:
                 handle.write(",".join(_row(point, result)) + "\n")
-            finished += 1
             if progress is not None:
-                progress(
-                    finished,
-                    total,
-                    self._key(point.topology, point.pattern, point.rate),
-                )
+                progress(finished, total, key)
 
         results, stats = execute_points(
             outstanding,
             workers=workers,
             cache=result_cache,
             on_result=persist,
+            timeout=timeout,
+            retries=retries,
+            manifest=manifest,
         )
         self.last_stats = stats
+        self.last_manifest = manifest
         return results
 
 

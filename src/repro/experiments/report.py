@@ -116,6 +116,18 @@ def format_execution_summary(stats) -> str:
             f"{stats.cache_misses} miss"
             f"{'' if stats.cache_misses == 1 else 'es'}"
         )
+    failed = getattr(stats, "failed", 0)
+    if failed:
+        parts.append(f"{failed} FAILED")
+    for attr, label in (
+        ("timeouts", "timeouts"),
+        ("crashes", "crashes"),
+        ("retried", "retried"),
+        ("pool_rebuilds", "pool rebuilds"),
+    ):
+        count = getattr(stats, attr, 0)
+        if count:
+            parts.append(f"{count} {label}")
     return ", ".join(parts)
 
 

@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 
 from repro.noc.config import NocConfig
 from repro.noc.network import Network
+from repro.resilience.plan import FaultPlan
 from repro.routing.base import RoutingAlgorithm
 from repro.stats.summary import RunResult
 from repro.topology.base import Topology
@@ -33,6 +34,20 @@ class SimulationSettings:
             settings — rather than an execution flag — so the sweep
             cache key covers it and worker processes produce the
             identical export a serial run would.
+        fault_plan: Optional schedule of runtime link failures and
+            repairs, executed by a
+            :class:`~repro.resilience.FaultInjector`.  Like the seed,
+            the plan is part of the point's identity: it is hashed
+            into the sweep cache key and replays identically under
+            serial, parallel, or resumed execution.
+        stall_cycles: When set, attach a
+            :class:`~repro.resilience.StallWatchdog` that aborts the
+            run (``degraded=True`` + ``extra["stall"]`` snapshot)
+            after this many cycles without a consumed flit.
+        invariant_check_interval: When non-zero, run the full
+            :class:`~repro.noc.invariants.InvariantChecker` suite
+            every this many cycles during the run (0 = off; audits
+            are O(model state) each).
     """
 
     cycles: int = 20_000
@@ -40,6 +55,9 @@ class SimulationSettings:
     config: NocConfig = NocConfig(source_queue_packets=64)
     seed: int = 1
     timeline_window: int | None = None
+    fault_plan: FaultPlan | None = None
+    stall_cycles: int | None = None
+    invariant_check_interval: int = 0
 
     def scaled(self, factor: float) -> "SimulationSettings":
         """A copy with run length scaled by *factor* (for quick tests)."""
@@ -126,6 +144,18 @@ def run_simulation(
         from repro.obs import KernelProfiler
 
         profiler = KernelProfiler(network.simulator)
+    if settings.fault_plan is not None and settings.fault_plan:
+        from repro.resilience.injector import FaultInjector
+
+        FaultInjector(network, settings.fault_plan)
+    if settings.stall_cycles is not None:
+        from repro.resilience.watchdog import StallWatchdog
+
+        StallWatchdog(network, settings.stall_cycles)
+    if settings.invariant_check_interval:
+        from repro.resilience.auditor import InvariantAuditor
+
+        InvariantAuditor(network, settings.invariant_check_interval)
     for factory in observers:
         factory(network)
     result = network.run(

@@ -7,7 +7,9 @@ these parsers rebuild the model objects on the other side.
 
 Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
 ``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``,
-``hypercube<N>``.
+``hypercube<N>``, and ``faulty:<base>:<count>@<seed>`` — any base
+spec degraded by *count* random build-time link faults picked with
+*seed* (see :class:`~repro.topology.faults.FaultyTopology`).
 
 Pattern strings: ``uniform``, ``hotspot:<n>[,<n>...]``, ``tornado``,
 ``bit-complement``, ``nearest-neighbor``, ``transpose``.
@@ -60,6 +62,14 @@ def parse_topology(spec: str) -> Topology:
         from repro.topology import HypercubeTopology
 
         return HypercubeTopology.with_nodes(int(match.group(1)))
+    if match := re.fullmatch(r"faulty:(.+):(\d+)@(\d+)", spec):
+        from repro.topology.faults import FaultyTopology
+
+        return FaultyTopology.with_random_faults(
+            parse_topology(match.group(1)),
+            int(match.group(2)),
+            seed=int(match.group(3)),
+        )
     raise ValueError(f"unknown topology spec {spec!r}")
 
 

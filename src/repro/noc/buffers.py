@@ -60,6 +60,24 @@ class FlitFifo:
             raise BufferError("pop from empty buffer")
         return self._flits.popleft()
 
+    def flits(self) -> tuple[Flit, ...]:
+        """Snapshot of the buffered flits, head first (read-only)."""
+        return tuple(self._flits)
+
+    def remove_packet(self, packet: Packet) -> list[Flit]:
+        """Remove every flit of *packet*, preserving the order of the
+        rest; returns the removed flits.
+
+        Fault handling only — normal operation never removes flits
+        out of FIFO order.  The high-water mark is not rewound.
+        """
+        removed = [f for f in self._flits if f.packet is packet]
+        if removed:
+            self._flits = deque(
+                f for f in self._flits if f.packet is not packet
+            )
+        return removed
+
 
 class OutputQueue(FlitFifo):
     """One virtual-channel output queue of a router port.
@@ -158,3 +176,21 @@ class SwitchingState:
 
     def has_route(self, wire_vc: int) -> bool:
         return wire_vc in self._state
+
+    def packets_via(self, port: str) -> list[Packet]:
+        """Packets whose established route uses output *port*."""
+        return [
+            entry[0]
+            for entry in self._state.values()
+            if entry[1] == port
+        ]
+
+    def clear_packet(self, packet: Packet) -> None:
+        """Drop any entry belonging to *packet* (fault handling)."""
+        stale = [
+            wire_vc
+            for wire_vc, entry in self._state.items()
+            if entry[0] is packet
+        ]
+        for wire_vc in stale:
+            del self._state[wire_vc]

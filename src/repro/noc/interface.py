@@ -70,6 +70,9 @@ class NetworkInterface(SimModule):
         self._rng: RngStream | None = None
         self._generate_msg = _GenerateMessage()
         self._gen_clock = 0.0
+        # Installed by the Network: per-flit drop accounting for
+        # runtime link failures (None on a fault-free run).
+        self.drop_sink = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -150,7 +153,16 @@ class NetworkInterface(SimModule):
 
     def handle_message(self, message: Message) -> None:
         if isinstance(message, FlitMessage):
-            self._consume(message.flit)
+            flit = message.flit
+            if flit.packet.killed:
+                # A runtime fault killed the packet while this flit
+                # was crossing the ejection link: return the credit
+                # and drop instead of consuming a partial packet.
+                self.send(CreditMessage(flit.wire_vc), self.credit_out)
+                if self.drop_sink is not None:
+                    self.drop_sink(flit)
+                return
+            self._consume(flit)
             return
         if isinstance(message, CreditMessage):
             self._credits += 1
@@ -181,6 +193,12 @@ class NetworkInterface(SimModule):
 
     def send_phase(self) -> None:
         """Inject at most one flit of the head-of-line packet."""
+        while self._backlog and self._backlog[0].killed:
+            # Killed mid-injection: abandon the rest of the packet.
+            # Flits never injected are not counted as dropped —
+            # conservation tracks injected flits only.
+            self._backlog.popleft()
+            self._next_flit_index = 0
         if not self._backlog or self._credits <= 0:
             return
         packet = self._backlog[0]

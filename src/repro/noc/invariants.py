@@ -4,7 +4,7 @@
 few thousand cycles in long soak runs, or once at the end of a test):
 
 * **conservation** — injected flits = consumed + buffered + in
-  flight, nothing lost or duplicated;
+  flight + dropped (runtime faults), nothing lost or duplicated;
 * **buffer bounds** — no FIFO above its capacity (flow control never
   overruns);
 * **credit consistency** — for every link, the sender's credit count
@@ -44,12 +44,14 @@ class InvariantChecker:
             router.total_buffered_flits() for router in net.routers
         )
         in_flight = self._in_flight_flits()
-        total = consumed + buffered + in_flight
+        dropped = net.stats.flits_dropped
+        total = consumed + buffered + in_flight + dropped
         if net.stats.flits_injected != total:
             raise InvariantViolation(
                 f"flit conservation broken: injected "
                 f"{net.stats.flits_injected} != consumed {consumed} "
-                f"+ buffered {buffered} + in-flight {in_flight}"
+                f"+ buffered {buffered} + in-flight {in_flight} "
+                f"+ dropped {dropped}"
             )
 
     def check_buffer_bounds(self) -> None:
@@ -123,17 +125,14 @@ class InvariantChecker:
     def _in_flight_flits(self) -> int:
         return sum(
             1
-            for event in self.network.simulator._queue._heap
-            if not event.cancelled
-            and isinstance(event.message, FlitMessage)
+            for event in self.network.simulator.pending_events()
+            if isinstance(event.message, FlitMessage)
         )
 
     def _in_flight_by_gate(self):
         flits: dict = {}
         credits: dict = {}
-        for event in self.network.simulator._queue._heap:
-            if event.cancelled:
-                continue
+        for event in self.network.simulator.pending_events():
             message = event.message
             if isinstance(message, FlitMessage):
                 key = (message.arrival_gate, message.wire_vc)

@@ -16,6 +16,8 @@ defaults to the paper's scheme for the given topology
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.noc.config import NocConfig
 from repro.noc.interface import NetworkInterface
 from repro.noc.router import Router
@@ -66,6 +68,19 @@ class Network:
         self._build()
         self._ran = False
         self.cycles_run = 0
+        # Runtime-fault state (all empty on a healthy run).
+        self._dead_links: set[tuple[int, int]] = set()
+        self._fault_events: list[dict] = []
+        self._flits_dropped_by_link: Counter[str] = Counter()
+        self._packets_killed_by_link: Counter[str] = Counter()
+        self._packets_rerouted = 0
+        self._rerouted_packet_seen: set[int] = set()
+        for router in self.routers:
+            router.drop_sink = self._record_dropped_flit
+            router.kill_sink = self._kill_unroutable
+            router.reroute_sink = self._record_reroute
+        for interface in self.interfaces:
+            interface.drop_sink = self._record_dropped_flit
 
     # -- construction -----------------------------------------------------
 
@@ -209,6 +224,187 @@ class Network:
                 )
         return counts
 
+    # -- runtime faults ----------------------------------------------------
+
+    @property
+    def dead_links(self) -> frozenset[tuple[int, int]]:
+        """Physical connections currently failed, as (low, high) pairs."""
+        return frozenset(self._dead_links)
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> str:
+        low, high = (a, b) if a <= b else (b, a)
+        return f"{low}-{high}"
+
+    def fail_link(self, a: int, b: int) -> dict:
+        """Sever the physical connection between *a* and *b* (both
+        directed channels), effective immediately.
+
+        Packets with an established wormhole route through the dead
+        link — or with flits already queued on it — cannot detour and
+        are killed (purged everywhere, with drop accounting); packets
+        that merely *planned* to use it re-decide and detour via the
+        residual shortest-path table where one exists.  Flits already
+        on the wire drain normally: a killed packet's flits are
+        dropped on arrival with their credit returned, so flow-control
+        bookkeeping stays exact.
+
+        Returns:
+            A JSON-ready event record (also kept in the resilience
+            report).
+
+        Raises:
+            ValueError: if the nodes are not adjacent or the link is
+                already failed.
+        """
+        from repro.resilience.fallback import (
+            FallbackTable,
+            normalise_link,
+        )
+
+        pair = normalise_link((a, b))
+        if pair in self._dead_links:
+            raise ValueError(f"link {pair} is already failed")
+        port_ab = self.topology.port_to(a, b)  # raises if not adjacent
+        port_ba = self.topology.port_to(b, a)
+        self._dead_links.add(pair)
+        self.routers[a].dead_ports.add(port_ab)
+        self.routers[b].dead_ports.add(port_ba)
+        fallback = FallbackTable(self.topology, self._dead_links)
+        self._install_fallback(fallback)
+        victims: dict[int, "object"] = {}
+        for packet in self.routers[a].invalidate_routes_via(port_ab):
+            victims[packet.packet_id] = packet
+        for packet in self.routers[b].invalidate_routes_via(port_ba):
+            victims[packet.packet_id] = packet
+        key = self._link_key(a, b)
+        killed = dropped = 0
+        for packet in victims.values():
+            flits = self.kill_packet(packet, key)
+            killed += 1
+            dropped += flits
+        record = {
+            "time": self.simulator.now,
+            "action": "fail",
+            "link": key,
+            "packets_killed": killed,
+            "flits_dropped": dropped,
+            "residual_connected": fallback.fully_connected,
+        }
+        self._fault_events.append(record)
+        return record
+
+    def repair_link(self, a: int, b: int) -> dict:
+        """Restore a previously failed connection (transient faults).
+
+        Raises:
+            ValueError: if the link is not currently failed.
+        """
+        from repro.resilience.fallback import (
+            FallbackTable,
+            normalise_link,
+        )
+
+        pair = normalise_link((a, b))
+        if pair not in self._dead_links:
+            raise ValueError(f"link {pair} is not failed")
+        self._dead_links.discard(pair)
+        self.routers[a].dead_ports.discard(self.topology.port_to(a, b))
+        self.routers[b].dead_ports.discard(self.topology.port_to(b, a))
+        if self._dead_links:
+            self._install_fallback(
+                FallbackTable(self.topology, self._dead_links)
+            )
+        else:
+            self._install_fallback(None)
+        record = {
+            "time": self.simulator.now,
+            "action": "repair",
+            "link": self._link_key(a, b),
+        }
+        self._fault_events.append(record)
+        return record
+
+    def _install_fallback(self, fallback) -> None:
+        for router in self.routers:
+            router.fallback = fallback
+        # Wake anything holding flits so parked head flits re-decide
+        # against the new table on the next cycle.
+        for router in self.routers:
+            if router.has_pending_work():
+                self.scheduler.activate(router)
+        for interface in self.interfaces:
+            if interface.has_pending_work():
+                self.scheduler.activate(interface)
+
+    def kill_packet(self, packet, link_key: str) -> int:
+        """Declare *packet* undeliverable because of *link_key*.
+
+        Purges its flits from every router (returning lane credits)
+        and marks it so flits still on the wire or at the source NI
+        are dropped when they surface.  Idempotent per packet.
+
+        Returns:
+            Flits dropped right now (more may drain later).
+        """
+        if packet.killed:
+            return 0
+        packet.killed = True
+        packet.route_state["killed_by"] = link_key
+        self.stats.record_packet_killed(self.simulator.now)
+        self._packets_killed_by_link[link_key] += 1
+        dropped = 0
+        for router in self.routers:
+            dropped += router.purge_packet(packet)
+        return dropped
+
+    def _kill_unroutable(
+        self, packet, node: int, port_name: str
+    ) -> None:
+        """Router callback: *node* found no residual route for
+        *packet* whose primary decision used dead *port_name*."""
+        peer = self.topology.out_ports(node).get(port_name)
+        key = (
+            self._link_key(node, peer)
+            if peer is not None
+            else f"{node}:{port_name}"
+        )
+        self.kill_packet(packet, key)
+
+    def _record_dropped_flit(self, flit) -> None:
+        self.stats.record_dropped_flit(self.simulator.now)
+        link = flit.packet.route_state.get("killed_by")
+        if link is not None:
+            self._flits_dropped_by_link[link] += 1
+
+    def _record_reroute(self, node: int, packet) -> None:
+        if packet.packet_id not in self._rerouted_packet_seen:
+            self._rerouted_packet_seen.add(packet.packet_id)
+            self._packets_rerouted += 1
+
+    @property
+    def packets_rerouted(self) -> int:
+        """Distinct packets that took at least one fallback detour."""
+        return self._packets_rerouted
+
+    def resilience_summary(self) -> dict:
+        """JSON-ready report of the run's fault activity."""
+        return {
+            "fault_events": list(self._fault_events),
+            "dead_links": sorted(
+                self._link_key(a, b) for a, b in self._dead_links
+            ),
+            "flits_dropped": self.stats.flits_dropped,
+            "packets_killed": self.stats.packets_killed,
+            "packets_rerouted": self._packets_rerouted,
+            "flits_dropped_by_link": dict(
+                sorted(self._flits_dropped_by_link.items())
+            ),
+            "packets_killed_by_link": dict(
+                sorted(self._packets_killed_by_link.items())
+            ),
+        }
+
     def run(self, cycles: int, warmup: int = 0) -> RunResult:
         """Simulate *cycles* cycles; measure after *warmup* cycles.
 
@@ -231,8 +427,11 @@ class Network:
         self.stats.warmup_cycles = warmup
         self.simulator.run(until=cycles)
         self.simulator.finalize()
-        self.cycles_run = cycles
-        return RunResult.from_stats(
+        stopped_early = self.simulator.stop_requested
+        self.cycles_run = (
+            self.simulator.now if stopped_early else cycles
+        )
+        result = RunResult.from_stats(
             self.stats,
             events_processed=self.simulator.events_processed,
             topology_name=self.topology.name,
@@ -245,6 +444,19 @@ class Network:
             injection_rate=(
                 self.traffic.injection_rate if self.traffic else 0.0
             ),
-            cycles=cycles,
+            # A degraded run's metrics cover the truncated horizon
+            # (clamped so a trip inside warmup still leaves a
+            # measurement window for the throughput division).
+            cycles=max(self.cycles_run, warmup + 1),
             seed=self.seed,
         )
+        if self._fault_events or self.stats.flits_dropped:
+            result.extra["resilience"] = self.resilience_summary()
+        if stopped_early:
+            result.degraded = True
+            details = self.simulator.stop_details or {}
+            result.extra["stall"] = {
+                "reason": self.simulator.stop_reason,
+                **details,
+            }
+        return result

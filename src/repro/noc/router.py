@@ -138,6 +138,16 @@ class Router(SimModule):
         self.config = config
         self.scheduler = scheduler
         self.num_vcs = num_vcs
+        # Runtime-fault state, managed by the owning Network: output
+        # ports currently severed by a link failure, the residual
+        # routing table that detours around them, and the callbacks
+        # (drop accounting, network-wide packet kill, reroute tally)
+        # the network installs after construction.
+        self.dead_ports: set[str] = set()
+        self.fallback = None
+        self.drop_sink = None
+        self.kill_sink = None
+        self.reroute_sink = None
         self._inputs: dict[str, _InputPort] = {}
         self._outputs: dict[str, _OutputPort] = {}
         self._input_order: list[_InputPort] = []
@@ -185,7 +195,18 @@ class Router(SimModule):
     def handle_message(self, message: Message) -> None:
         if isinstance(message, FlitMessage):
             port = self._input_of_gate[message.arrival_gate]
-            port.lanes[message.wire_vc].push(message.flit)
+            flit = message.flit
+            if flit.packet.killed:
+                # The packet was declared undeliverable while this
+                # flit was on the wire: drop it on arrival, returning
+                # the credit so upstream bookkeeping stays exact.
+                self.send(
+                    CreditMessage(message.wire_vc), port.credit_gate
+                )
+                if self.drop_sink is not None:
+                    self.drop_sink(flit)
+                return
+            port.lanes[message.wire_vc].push(flit)
             self.scheduler.activate(self)
             return
         if isinstance(message, CreditMessage):
@@ -274,6 +295,18 @@ class Router(SimModule):
                         decision.port,
                         min(decision.vc, self.num_vcs - 1),
                     )
+                    if pending[0] in self.dead_ports:
+                        pending = self._reroute(flit.packet)
+                        if pending is None:
+                            # No residual path: declare the packet
+                            # undeliverable (the network purges its
+                            # flits everywhere) and look at the next
+                            # lane.
+                            assert self.kill_sink is not None
+                            self.kill_sink(
+                                flit.packet, self.node, decision.port
+                            )
+                            continue
                     port.pending[wire_vc] = pending
                 out_port, out_vc = pending
                 queue = self._outputs[out_port].queues[out_vc]
@@ -305,6 +338,8 @@ class Router(SimModule):
         now = self.now
         pipeline = self.config.router_pipeline
         for port in self._output_order:
+            if port.name in self.dead_ports:
+                continue
             queues = port.queues
             count = len(queues)
             start = port.rr_next_vc % count
@@ -327,6 +362,79 @@ class Router(SimModule):
                 flit.wire_vc = queue.vc
                 self.send(FlitMessage(flit, queue.vc), port.data_gate)
                 break
+
+    # -- runtime faults --------------------------------------------------
+
+    def _reroute(self, packet) -> tuple[str, int] | None:
+        """Detour (port, vc) around a dead output, or None when the
+        residual graph offers no path to ``packet.dst``.
+
+        Detours always use VC 0: the fallback table is shortest-path
+        over an arbitrary residual graph, so no dateline argument
+        applies — acceptable for degraded operation, which the run
+        flags via the resilience report.
+        """
+        if self.fallback is None:
+            return None
+        out_port = self.fallback.next_port(self.node, packet.dst)
+        if out_port is None or out_port in self.dead_ports:
+            return None
+        if self.reroute_sink is not None:
+            self.reroute_sink(self.node, packet)
+        return out_port, 0
+
+    def invalidate_routes_via(self, port_name: str) -> list:
+        """React to output *port_name* dying: forget parked routing
+        decisions through it (their packets re-decide and detour) and
+        return the packets that cannot detour — those with an
+        established wormhole route through the port or with flits
+        already sitting in its queues — for the network to kill.
+        """
+        victims: list = []
+        for port in self._input_order:
+            stale = [
+                wire_vc
+                for wire_vc, (out_port, _) in port.pending.items()
+                if out_port == port_name
+            ]
+            for wire_vc in stale:
+                del port.pending[wire_vc]
+            victims.extend(port.switching.packets_via(port_name))
+        for queue in self._outputs[port_name].queues:
+            victims.extend({flit.packet for flit in queue.flits()})
+        return victims
+
+    def purge_packet(self, packet) -> int:
+        """Remove every flit of *packet* from this router (fault
+        handling), returning upstream credits for freed lane slots and
+        recording each removed flit through the drop sink.
+
+        Returns:
+            The number of flits removed here.
+        """
+        dropped = 0
+        for port in self._input_order:
+            for wire_vc, lane in enumerate(port.lanes):
+                removed = lane.remove_packet(packet)
+                if not removed:
+                    continue
+                dropped += len(removed)
+                port.pending.pop(wire_vc, None)
+                for flit in removed:
+                    self.send(CreditMessage(wire_vc), port.credit_gate)
+                    if self.drop_sink is not None:
+                        self.drop_sink(flit)
+            port.switching.clear_packet(packet)
+        for out_port in self._output_order:
+            for queue in out_port.queues:
+                removed = queue.remove_packet(packet)
+                dropped += len(removed)
+                for flit in removed:
+                    if self.drop_sink is not None:
+                        self.drop_sink(flit)
+                if queue.owner is packet:
+                    queue.owner = None
+        return dropped
 
     def has_pending_work(self) -> bool:
         """True while any lane or queue holds a flit."""

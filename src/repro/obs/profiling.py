@@ -54,7 +54,7 @@ class KernelProfiler(Observer):
             self._wall_start = now
         self._wall_stop = now
         self.events += 1
-        depth = simulator.pending_events
+        depth = simulator.pending_event_count
         if depth > self.max_heap_depth:
             self.max_heap_depth = depth
         target = event.target

@@ -1,0 +1,39 @@
+"""Resilience: runtime faults, stall detection, periodic auditing.
+
+Everything the robustness story needs on the *model* side:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — deterministic, seeded
+  schedules of link failures and repairs (data, cache-key friendly);
+* :class:`FaultInjector` — applies a plan to a running
+  :class:`~repro.noc.network.Network` through ordinary kernel timers;
+* :class:`FallbackTable` — residual-graph shortest-path detours
+  consulted only when a primary route hits a dead port;
+* :class:`StallWatchdog` — aborts wedged runs with a diagnostic
+  snapshot instead of spinning to the horizon;
+* :class:`InvariantAuditor` — periodic in-run execution of the full
+  invariant suite;
+* :func:`apply_chaos` — env-driven worker failure injection for the
+  crash-tolerant campaign executor's tests and CI smoke step.
+
+The *executor* side (timeouts, retries, pool rebuilds, resumable
+manifests) lives in :mod:`repro.experiments.parallel`.
+"""
+
+from repro.resilience.auditor import InvariantAuditor
+from repro.resilience.chaos import ChaosError, apply_chaos
+from repro.resilience.fallback import FallbackTable, normalise_link
+from repro.resilience.injector import FaultInjector
+from repro.resilience.plan import FaultEvent, FaultPlan
+from repro.resilience.watchdog import StallWatchdog
+
+__all__ = [
+    "ChaosError",
+    "FallbackTable",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantAuditor",
+    "StallWatchdog",
+    "apply_chaos",
+    "normalise_link",
+]

@@ -1,0 +1,59 @@
+"""Periodic invariant auditing of a live run.
+
+Soak tests and fault campaigns want the model's structural invariants
+(flit conservation, credit consistency, wormhole integrity — see
+:class:`~repro.noc.invariants.InvariantChecker`) verified *during* the
+run, not just at the end: a violation caught thousands of cycles after
+the fact is much harder to bisect.  :class:`InvariantAuditor` is an
+observer that runs the full check suite every *interval* simulated
+cycles; a violation propagates as the usual
+:class:`~repro.noc.invariants.InvariantViolation` and aborts the run
+at the cycle the corruption became visible.
+
+Wired up by :func:`repro.experiments.runner.run_simulation` when
+:attr:`SimulationSettings.invariant_check_interval` is non-zero.
+"""
+
+from __future__ import annotations
+
+from repro.noc.invariants import InvariantChecker
+from repro.noc.network import Network
+from repro.sim.observers import Observer
+
+
+class InvariantAuditor(Observer):
+    """Runs every invariant check each *interval* cycles.
+
+    Args:
+        network: The network to audit; the auditor registers itself
+            on its simulator immediately.
+        interval: Cycles between audits (>= 1).  Each audit is O(model
+            state), so small intervals slow long runs considerably.
+
+    Attributes:
+        audits: Number of completed (passing) audits.
+    """
+
+    __slots__ = ("network", "interval", "audits", "_checker", "_next")
+
+    def __init__(self, network: Network, interval: int) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.network = network
+        self.interval = interval
+        self.audits = 0
+        self._checker = InvariantChecker(network)
+        self._next = interval
+        network.simulator.add_observer(self)
+
+    def on_time_advanced(
+        self, simulator, old_time: int, new_time: int
+    ) -> None:
+        if new_time < self._next:
+            return
+        self._checker.check_all()
+        self.audits += 1
+        # Re-arm past new_time (a single jump may skip several
+        # intervals; one audit covers them all).
+        periods = new_time // self.interval + 1
+        self._next = periods * self.interval

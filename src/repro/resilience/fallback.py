@@ -1,0 +1,89 @@
+"""Residual-graph routing for degraded networks.
+
+When links fail mid-run the static routing algorithm keeps proposing
+its usual output ports; a :class:`FallbackTable` supplies the detour:
+shortest-path next hops computed by BFS over the *residual* topology
+(the original graph minus every failed physical connection).
+
+The table is rebuilt by :meth:`repro.noc.network.Network.fail_link` /
+``repair_link`` on each fault transition, and consulted by routers
+only when the primary decision points at a dead port — fault-free
+traffic never pays for it.  Detours ignore the dateline VC discipline
+(they run on VC 0), which is why runs with faults are reported as
+degraded rather than silently merged with healthy measurements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.topology.base import Topology
+
+
+def normalise_link(pair: tuple[int, int]) -> tuple[int, int]:
+    """Canonical (low, high) form of a physical connection.
+
+    Failures sever both directed channels of a connection, so fault
+    bookkeeping works on unordered node pairs.
+    """
+    a, b = pair
+    return (a, b) if a <= b else (b, a)
+
+
+class FallbackTable:
+    """Next-hop table over the residual graph of a faulty network.
+
+    Args:
+        topology: The healthy topology.
+        dead_links: Physical connections currently failed, as node
+            pairs (either orientation).
+    """
+
+    def __init__(
+        self, topology: Topology, dead_links: Iterable[tuple[int, int]]
+    ) -> None:
+        dead = {normalise_link(pair) for pair in dead_links}
+        self.topology = topology
+        self.dead_links = frozenset(dead)
+        num_nodes = topology.num_nodes
+        preds: list[list[tuple[int, str]]] = [
+            [] for _ in range(num_nodes)
+        ]
+        for node in range(num_nodes):
+            for port, peer in topology.out_ports(node).items():
+                if normalise_link((node, peer)) not in dead:
+                    preds[peer].append((node, port))
+        # _next[node][dst] = first output port of a shortest residual
+        # path node -> dst; absent key = unreachable.
+        self._next: list[dict[int, str]] = [
+            {} for _ in range(num_nodes)
+        ]
+        for dst in range(num_nodes):
+            frontier = deque([dst])
+            seen = {dst}
+            while frontier:
+                current = frontier.popleft()
+                for pred, port in preds[current]:
+                    if pred in seen:
+                        continue
+                    seen.add(pred)
+                    self._next[pred][dst] = port
+                    frontier.append(pred)
+
+    def next_port(self, node: int, dst: int) -> str | None:
+        """Output port of *node* toward *dst*, or None if *dst* is
+        unreachable in the residual graph."""
+        return self._next[node].get(dst)
+
+    def reachable(self, node: int, dst: int) -> bool:
+        return node == dst or dst in self._next[node]
+
+    @property
+    def fully_connected(self) -> bool:
+        """True when every node still reaches every other node."""
+        num_nodes = self.topology.num_nodes
+        return all(
+            len(self._next[node]) == num_nodes - 1
+            for node in range(num_nodes)
+        )

@@ -1,0 +1,216 @@
+"""Deterministic schedules of runtime link faults.
+
+A :class:`FaultPlan` is data, not behaviour: an ordered tuple of
+:class:`FaultEvent` records saying which physical connection fails or
+recovers at which cycle.  Keeping the plan a frozen, dict-round-trip
+friendly value type matters for the experiment harness — plans ride
+inside :class:`~repro.experiments.runner.SimulationSettings`, whose
+canonical JSON form is hashed into sweep cache keys, so two campaigns
+with the same plan share cache entries and serial/parallel execution
+see byte-identical inputs.
+
+Execution belongs to :class:`~repro.resilience.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RngStream
+from repro.topology.base import Topology, TopologyError
+
+_ACTIONS = ("fail", "repair")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault transition.
+
+    Attributes:
+        time: Cycle the transition takes effect (applied before that
+            cycle's router phases run).
+        src / dst: Endpoints of the physical connection; orientation
+            is irrelevant (both directed channels are affected).
+        action: ``"fail"`` or ``"repair"``.
+    """
+
+    time: int
+    src: int
+    dst: int
+    action: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"action must be one of {_ACTIONS}, got {self.action!r}"
+            )
+        if self.src == self.dst:
+            raise ValueError(f"link endpoints equal ({self.src})")
+
+    @property
+    def link(self) -> tuple[int, int]:
+        """Canonical (low, high) connection this event touches."""
+        return (
+            (self.src, self.dst)
+            if self.src <= self.dst
+            else (self.dst, self.src)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable, time-ordered schedule of fault transitions.
+
+    Attributes:
+        events: The transitions, sorted by (time, link, action).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(
+                self.events,
+                key=lambda e: (e.time, e.link, e.action),
+            )
+        )
+        object.__setattr__(self, "events", ordered)
+        # Replay the schedule: failing a dead link (or repairing a
+        # healthy one) would raise mid-run, so reject it up front.
+        down: set[tuple[int, int]] = set()
+        for event in ordered:
+            if event.action == "fail":
+                if event.link in down:
+                    raise ValueError(
+                        f"plan fails link {event.link} at t="
+                        f"{event.time} while it is already down"
+                    )
+                down.add(event.link)
+            else:
+                if event.link not in down:
+                    raise ValueError(
+                        f"plan repairs link {event.link} at t="
+                        f"{event.time} while it is up"
+                    )
+                down.discard(event.link)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def single(
+        cls,
+        src: int,
+        dst: int,
+        at: int,
+        repair_at: int | None = None,
+    ) -> "FaultPlan":
+        """One link failing at *at*, optionally healing at *repair_at*."""
+        events = [FaultEvent(at, src, dst, "fail")]
+        if repair_at is not None:
+            if repair_at <= at:
+                raise ValueError(
+                    f"repair_at ({repair_at}) must be after at ({at})"
+                )
+            events.append(FaultEvent(repair_at, src, dst, "repair"))
+        return cls(tuple(events))
+
+    @classmethod
+    def random_faults(
+        cls,
+        topology: Topology,
+        count: int,
+        at: int,
+        repair_after: int | None = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """*count* distinct random links all failing at cycle *at*.
+
+        Mirrors :meth:`FaultyTopology.with_random_faults
+        <repro.topology.faults.FaultyTopology.with_random_faults>` but
+        at runtime: picks are drawn from a dedicated
+        :class:`~repro.sim.rng.RngStream`, so the plan depends only on
+        ``(topology.name, count, at, seed)``.  With *repair_after*
+        every fault is transient, healing at ``at + repair_after``.
+
+        Unlike the build-time variant, picks are *not* filtered for
+        connectivity — partitioning the network is a legitimate
+        resilience scenario (it is what trips the stall watchdog).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = RngStream(
+            seed, f"faultplan:{topology.name}:{count}@{at}"
+        )
+        candidates = sorted(
+            {
+                (min(link.src, link.dst), max(link.src, link.dst))
+                for link in topology.links()
+            }
+        )
+        if count > len(candidates):
+            raise TopologyError(
+                f"{topology.name} has only {len(candidates)} links; "
+                f"cannot fail {count}"
+            )
+        rng.shuffle(candidates)
+        events = []
+        for src, dst in candidates[:count]:
+            events.append(FaultEvent(at, src, dst, "fail"))
+            if repair_after is not None:
+                if repair_after <= 0:
+                    raise ValueError(
+                        f"repair_after must be > 0, got {repair_after}"
+                    )
+                events.append(
+                    FaultEvent(at + repair_after, src, dst, "repair")
+                )
+        return cls(tuple(events))
+
+    # -- validation ----------------------------------------------------
+
+    def validate_for(self, topology: Topology) -> None:
+        """Check every event references an existing link of *topology*.
+
+        Raises:
+            TopologyError: on an unknown node or non-adjacent pair.
+        """
+        for event in self.events:
+            topology.check_node(event.src)
+            topology.check_node(event.dst)
+            if event.dst not in topology.neighbors(event.src):
+                raise TopologyError(
+                    f"plan references non-existent link "
+                    f"{event.src}<->{event.dst} of {topology.name}"
+                )
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, inverse of :meth:`from_dict`."""
+        return {
+            "events": [
+                {
+                    "time": e.time,
+                    "src": e.src,
+                    "dst": e.dst,
+                    "action": e.action,
+                }
+                for e in self.events
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            tuple(
+                FaultEvent(
+                    e["time"], e["src"], e["dst"], e.get("action", "fail")
+                )
+                for e in data["events"]
+            )
+        )

@@ -104,6 +104,18 @@ class EventQueue:
             raise ValueError("event is not cancelled")
         self._live -= 1
 
+    def live_events(self):
+        """Iterate over the live (non-cancelled) events, in heap
+        order — *not* delivery order.  Callers that need delivery
+        order must sort by ``(time, priority, sequence)`` themselves.
+        """
+        for event in self._heap:
+            if not event.cancelled:
+                yield event
+
+    def __iter__(self):
+        return self.live_events()
+
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.sim.errors import SchedulingError, SimulationError
 from repro.sim.events import Event, EventQueue
@@ -42,6 +42,9 @@ class Simulator:
         self._finalized = False
         self._events_processed = 0
         self._observers: list[Observer] = []
+        self._stop_requested = False
+        self._stop_reason: str | None = None
+        self._stop_details: dict | None = None
 
     # -- registry ----------------------------------------------------
 
@@ -197,22 +200,32 @@ class Simulator:
         # attaching or detaching mid-run takes effect immediately.
         observers = self._observers
         while self._queue:
+            if self._stop_requested:
+                break
             if max_events is not None and processed >= max_events:
                 break
             next_time = self._queue.peek_time()
             assert next_time is not None
             if until is not None and next_time > until:
                 break
-            event = self._queue.pop()
-            if observers and event.time > self._now:
+            if observers and next_time > self._now:
+                # Advance time *before* popping, so observers see a
+                # consistent world: the event of the new time is
+                # still pending (in-flight for conservation audits),
+                # no handler has run yet.
                 previous = self._now
-                self._now = event.time
+                self._now = next_time
                 for observer in tuple(observers):
                     observer.on_time_advanced(
-                        self, previous, event.time
+                        self, previous, next_time
                     )
-            else:
-                self._now = event.time
+                # A callback may have requested a stop (the stall
+                # watchdog does); honour it before delivering
+                # anything of the new time.
+                if self._stop_requested:
+                    break
+            event = self._queue.pop()
+            self._now = event.time
             self._events_processed += 1
             processed += 1
             message = event.message
@@ -225,12 +238,62 @@ class Simulator:
             if observers:
                 for observer in tuple(observers):
                     observer.on_event_delivered(self, event)
-        if until is not None and self._now < until:
+        if (
+            until is not None
+            and self._now < until
+            and not self._stop_requested
+        ):
             previous = self._now
             self._now = until
             for observer in tuple(observers):
                 observer.on_time_advanced(self, previous, until)
         return processed
+
+    def request_stop(
+        self, reason: str, details: dict | None = None
+    ) -> None:
+        """Ask the event loop to stop before its next delivery.
+
+        Safe to call from a module handler or an observer callback;
+        the event being processed finishes normally and the loop
+        exits before popping another one.  Simulation time stays at
+        the stop point (a time-limited :meth:`run` does **not** jump
+        to ``until``), so diagnostics read the state as it was.
+
+        The request is sticky across :meth:`run` calls until
+        :meth:`clear_stop` — the machinery the stall watchdog
+        (:class:`repro.resilience.StallWatchdog`) uses to abort
+        deadlocked runs with a snapshot instead of spinning to the
+        horizon.
+
+        Args:
+            reason: Human-readable cause, e.g. ``"stall: ..."``.
+            details: Optional JSON-compatible diagnostic payload.
+        """
+        self._stop_requested = True
+        self._stop_reason = reason
+        self._stop_details = details
+
+    def clear_stop(self) -> None:
+        """Reset a previous :meth:`request_stop` so runs may resume."""
+        self._stop_requested = False
+        self._stop_reason = None
+        self._stop_details = None
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once :meth:`request_stop` was called."""
+        return self._stop_requested
+
+    @property
+    def stop_reason(self) -> str | None:
+        """The reason passed to :meth:`request_stop`, if any."""
+        return self._stop_reason
+
+    @property
+    def stop_details(self) -> dict | None:
+        """The diagnostic payload passed to :meth:`request_stop`."""
+        return self._stop_details
 
     def finalize(self) -> None:
         """Invoke every module's ``finalize`` hook (once)."""
@@ -241,6 +304,18 @@ class Simulator:
             module.finalize()
 
     @property
-    def pending_events(self) -> int:
+    def pending_event_count(self) -> int:
         """Number of live events still in the queue."""
         return len(self._queue)
+
+    def pending_events(self) -> Iterator[Event]:
+        """Iterate over the live scheduled events, in no particular
+        order.
+
+        The public window onto the pending-event set: invariant
+        checkers count in-flight flits and credits through it, and
+        the stall watchdog sizes its diagnostic snapshot with it —
+        without any of them reaching into the queue's internal heap.
+        Callers must treat the events as read-only.
+        """
+        return self._queue.live_events()

@@ -33,6 +33,12 @@ class NetworkStats:
         network_latencies: In-network component: head-flit injection
             to tail-flit consumption.
         hop_counts: Per-delivered-packet hop count, after warmup.
+        flits_dropped: Injected flits discarded because a runtime
+            link failure killed their packet.  Conservation becomes
+            injected = consumed + buffered + in flight + dropped.
+        packets_killed: Packets declared undeliverable by runtime
+            faults (each contributes its surviving flits to
+            ``flits_dropped``).
     """
 
     def __init__(self, warmup_cycles: int = 0) -> None:
@@ -46,6 +52,8 @@ class NetworkStats:
         self.flits_injected = 0
         self.flits_consumed = 0
         self.packets_consumed = 0
+        self.flits_dropped = 0
+        self.packets_killed = 0
         self.warmup_flits_consumed = 0
         self.warmup_packets_consumed = 0
         self.latencies: list[int] = []
@@ -62,6 +70,12 @@ class NetworkStats:
 
     def record_injected_flit(self, now: int) -> None:
         self.flits_injected += 1
+
+    def record_dropped_flit(self, now: int) -> None:
+        self.flits_dropped += 1
+
+    def record_packet_killed(self, now: int) -> None:
+        self.packets_killed += 1
 
     def record_consumed_flit(self, now: int) -> None:
         if now < self.warmup_cycles:

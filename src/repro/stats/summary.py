@@ -170,11 +170,19 @@ class RunResult:
             deterministic work measure (identical for serial and
             parallel execution of the same point) that the campaign
             report combines with wall time into events/sec.
+        flits_dropped / packets_killed: Runtime-fault accounting
+            (both 0 on a healthy run): flits discarded and packets
+            declared undeliverable because a link failed mid-run.
+        degraded: True when the run did not complete normally — the
+            stall watchdog aborted it (see ``extra["stall"]``) — so
+            the summary metrics cover a truncated horizon.
         extra: Free-form JSON-compatible extras — e.g. the exported
             utilization timeline (``extra["timeline"]``) when
-            :attr:`SimulationSettings.timeline_window` is set, or the
+            :attr:`SimulationSettings.timeline_window` is set, the
             kernel profile (``extra["kernel"]``) when profiling was
-            requested.
+            requested, the runtime-fault report
+            (``extra["resilience"]``) when links failed mid-run, or
+            the stall diagnostic snapshot (``extra["stall"]``).
     """
 
     topology_name: str
@@ -197,7 +205,15 @@ class RunResult:
     packets_rejected: int
     seed: int = 0
     events_processed: int = 0
+    flits_dropped: int = 0
+    packets_killed: int = 0
+    degraded: bool = False
     extra: dict = field(default_factory=dict)
+
+    #: Discriminator shared with
+    #: :class:`~repro.experiments.parallel.FailedResult` (False there)
+    #: so mixed result lists filter without isinstance checks.
+    ok = True
 
     @property
     def offered_load(self) -> float:
@@ -286,4 +302,6 @@ class RunResult:
             packets_rejected=stats.packets_rejected,
             seed=seed,
             events_processed=events_processed,
+            flits_dropped=stats.flits_dropped,
+            packets_killed=stats.packets_killed,
         )

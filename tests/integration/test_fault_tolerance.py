@@ -1,0 +1,98 @@
+"""End-to-end fault tolerance across the paper's three topologies.
+
+Two layers are combined here: *build-time* degradation
+(:class:`~repro.topology.faults.FaultyTopology` — the network was
+manufactured with dead links) and *runtime* faults
+(:class:`~repro.resilience.FaultInjector` — links die mid-run).  Both
+must leave the model's structural invariants intact on ring, spidergon
+and mesh.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.specs import parse_pattern, parse_topology
+from repro.noc.config import NocConfig
+from repro.noc.invariants import InvariantChecker
+from repro.noc.network import Network
+from repro.resilience import FaultInjector, FaultPlan
+from repro.topology.faults import FaultyTopology
+from repro.traffic import UniformTraffic
+from repro.traffic.base import TrafficSpec
+
+# A pure ring disconnects when it loses two links, so it gets one
+# build-time fault; spidergon and mesh have the redundancy for two.
+TOPOLOGIES = [("ring16", 1), ("spidergon16", 2), ("mesh4x4", 2)]
+
+QUICK = SimulationSettings(
+    cycles=2_500,
+    warmup=400,
+    config=NocConfig(source_queue_packets=16),
+    seed=21,
+)
+
+
+@pytest.mark.parametrize("spec,count", TOPOLOGIES)
+class TestBuildTimeFaults:
+    def test_degraded_topology_still_delivers(self, spec, count):
+        base = parse_topology(spec)
+        topology = FaultyTopology.with_random_faults(
+            base, count, seed=5
+        )
+        pattern = parse_pattern("uniform", topology)
+        result = run_simulation(topology, pattern, 0.08, QUICK)
+        assert result.packets_delivered > 0
+        assert not result.degraded
+        assert result.flits_dropped == 0
+
+    def test_spec_string_round_trip(self, spec, count):
+        topology = parse_topology(f"faulty:{spec}:{count}@5")
+        direct = FaultyTopology.with_random_faults(
+            parse_topology(spec), count, seed=5
+        )
+        assert topology.failed_links == direct.failed_links
+
+
+@pytest.mark.parametrize("spec,count", TOPOLOGIES)
+class TestRuntimeFaults:
+    def test_transient_fault_preserves_invariants(self, spec, count):
+        topology = parse_topology(spec)
+        network = Network(
+            topology,
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.08),
+            seed=21,
+        )
+        plan = FaultPlan.random_faults(
+            topology, 1, at=600, repair_after=800, seed=3
+        )
+        FaultInjector(network, plan)
+        result = network.run(cycles=2_500, warmup=400)
+        InvariantChecker(network).check_all()
+        assert network.dead_links == frozenset()
+        assert result.packets_delivered > 0
+
+    def test_runtime_faults_through_settings(self, spec, count):
+        topology = parse_topology(spec)
+        pattern = parse_pattern("uniform", topology)
+        plan = FaultPlan.random_faults(topology, 1, at=600, seed=3)
+        settings = SimulationSettings(
+            cycles=2_500,
+            warmup=400,
+            config=NocConfig(source_queue_packets=16),
+            seed=21,
+            fault_plan=plan,
+            stall_cycles=1_000,
+            invariant_check_interval=500,
+        )
+        result = run_simulation(topology, pattern, 0.08, settings)
+        # One dead link never disconnects these topologies, so even a
+        # degraded abort (a detour-induced wormhole cycle is legal on
+        # the ring) must come from the watchdog, not a violation.
+        assert "resilience" in result.extra
+        summary = result.extra["resilience"]
+        assert summary["dead_links"] == [
+            f"{a}-{b}" for a, b in sorted(
+                e.link for e in plan.events
+            )
+        ]

@@ -18,8 +18,8 @@ def flits_in_flight(network):
     """Flits sitting in pending link events."""
     return sum(
         1
-        for event in network.simulator._queue._heap
-        if not event.cancelled and isinstance(event.message, FlitMessage)
+        for event in network.simulator.pending_events()
+        if isinstance(event.message, FlitMessage)
     )
 
 
@@ -104,4 +104,4 @@ class TestProgress:
         net.simulator.run(until=5_000)
         assert net.stats.packets_consumed == 8 * 7
         assert flits_in_routers(net) == 0
-        assert net.simulator.pending_events == 0
+        assert net.simulator.pending_event_count == 0

@@ -68,9 +68,8 @@ class TestConservationProperty:
         )
         in_flight = sum(
             1
-            for event in net.simulator._queue._heap
-            if not event.cancelled
-            and isinstance(event.message, FlitMessage)
+            for event in net.simulator.pending_events()
+            if isinstance(event.message, FlitMessage)
         )
         assert net.stats.flits_injected == (
             consumed + in_routers + in_flight

@@ -1,0 +1,303 @@
+"""Tests for the crash-tolerant campaign executor.
+
+The pool-recovery tests spawn real worker processes and misbehave via
+the ``REPRO_CHAOS`` hook; they carry the ``chaos`` marker so a quick
+suite run can deselect them (``-m "not chaos"``).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.parallel import (
+    CampaignManifest,
+    FailedResult,
+    execute_points,
+    point_key,
+)
+from repro.experiments.runner import SimulationSettings, SweepPoint
+from repro.noc.config import NocConfig
+from repro.resilience.chaos import ENV_VAR, ChaosError, apply_chaos
+
+
+def quick_point(rate=0.05, seed=2):
+    return SweepPoint(
+        topology="ring8",
+        pattern="uniform",
+        rate=rate,
+        settings=SimulationSettings(
+            cycles=400,
+            warmup=100,
+            config=NocConfig(source_queue_packets=8),
+            seed=seed,
+        ),
+    )
+
+
+def small_spec(**overrides):
+    spec = {
+        "name": "chaos-smoke",
+        "cycles": 400,
+        "warmup": 100,
+        "seed": 4,
+        "source_queue_packets": 8,
+        "topologies": ["ring8"],
+        "patterns": ["uniform"],
+        "rates": [0.05, 0.1, 0.2],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestFailedResult:
+    def test_round_trip(self):
+        failure = FailedResult(
+            topology="ring8",
+            pattern="uniform",
+            rate=0.1,
+            seed=7,
+            error="timeout",
+            detail="exceeded 2s deadline",
+            attempts=3,
+        )
+        assert FailedResult.from_dict(failure.to_dict()) == failure
+
+    def test_ok_discriminator(self):
+        failure = FailedResult(
+            topology="ring8",
+            pattern="uniform",
+            rate=0.1,
+            seed=7,
+            error="crash",
+        )
+        assert failure.ok is False
+
+
+class TestCampaignManifest:
+    def test_record_and_replay(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        point = quick_point()
+        failure = FailedResult(
+            topology=point.topology,
+            pattern=point.pattern,
+            rate=point.rate,
+            seed=point.settings.seed,
+            error="crash",
+            attempts=2,
+        )
+        manifest.record(point, failure, cached=False)
+        assert manifest.completed_keys() == set()
+        assert len(manifest.failures()) == 1
+
+        (result,), _ = execute_points([point])
+        manifest.record(point, result, cached=False)
+        assert manifest.completed_keys() == {point_key(point)}
+        # The later ok entry supersedes the earlier failure.
+        assert manifest.failures() == []
+
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        manifest = CampaignManifest(path)
+        point = quick_point()
+        (result,), _ = execute_points([point])
+        manifest.record(point, result, cached=False)
+        with path.open("a") as handle:
+            handle.write('{"key": "torn')  # crashed mid-write
+        assert CampaignManifest(path).completed_keys() == {
+            point_key(point)
+        }
+
+
+class TestChaosHook:
+    def test_noop_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        apply_chaos("ring8:uniform:0.1")
+
+    def test_error_mode_raises_on_match(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_VAR, json.dumps({"match": ":0.1", "mode": "error"})
+        )
+        apply_chaos("ring8:uniform:0.05")  # no match: silent
+        with pytest.raises(ChaosError):
+            apply_chaos("ring8:uniform:0.1")
+
+    def test_rejects_bad_json(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        with pytest.raises(ValueError, match="invalid"):
+            apply_chaos("x")
+
+    def test_rejects_unknown_mode(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_VAR, json.dumps({"match": "", "mode": "meltdown"})
+        )
+        with pytest.raises(ValueError, match="mode"):
+            apply_chaos("x")
+
+    def test_once_dir_strikes_once(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(
+            ENV_VAR,
+            json.dumps(
+                {
+                    "match": "",
+                    "mode": "error",
+                    "once_dir": str(tmp_path),
+                }
+            ),
+        )
+        with pytest.raises(ChaosError):
+            apply_chaos("ring8:uniform:0.1")
+        apply_chaos("ring8:uniform:0.1")  # second attempt behaves
+
+
+class TestHardenedSerial:
+    def test_error_exhausts_retries_into_failed_result(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(
+            ENV_VAR, json.dumps({"match": ":0.1", "mode": "error"})
+        )
+        points = [quick_point(0.05), quick_point(0.1)]
+        results, stats = execute_points(points, retries=2)
+        assert results[0].ok
+        assert isinstance(results[1], FailedResult)
+        assert results[1].error == "error"
+        assert results[1].attempts == 3
+        assert "ChaosError" in results[1].detail
+        assert stats.failed == 1 and stats.retried == 2
+
+    def test_retry_recovers_with_once_dir(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(
+            ENV_VAR,
+            json.dumps(
+                {
+                    "match": ":0.1",
+                    "mode": "error",
+                    "once_dir": str(tmp_path),
+                }
+            ),
+        )
+        results, stats = execute_points(
+            [quick_point(0.1)], retries=1
+        )
+        assert results[0].ok
+        assert stats.retried == 1 and stats.failed == 0
+
+    def test_legacy_path_untouched_without_hardening(self):
+        results, stats = execute_points([quick_point(0.05)])
+        assert results[0].ok
+        assert stats.failed == 0
+
+
+@pytest.mark.chaos
+class TestHardenedPool:
+    def test_crash_once_recovers(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(
+            ENV_VAR,
+            json.dumps(
+                {
+                    "match": ":0.1",
+                    "mode": "crash",
+                    "once_dir": str(tmp_path / "once"),
+                }
+            ),
+        )
+        (tmp_path / "once").mkdir()
+        campaign = Campaign(small_spec())
+        results = campaign.execute(
+            tmp_path / "out.csv",
+            workers=2,
+            cache=False,
+            timeout=60,
+            retries=1,
+        )
+        assert len(results) == 3
+        assert all(result.ok for result in results)
+        stats = campaign.last_stats
+        assert stats.crashes >= 1
+        assert stats.pool_rebuilds >= 1
+        # Every point is in the CSV: header + 3 rows.
+        lines = (tmp_path / "out.csv").read_text().splitlines()
+        assert len(lines) == 4
+
+    def test_hang_times_out_into_failed_result(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(
+            ENV_VAR,
+            json.dumps(
+                {"match": ":0.1", "mode": "hang", "seconds": 60}
+            ),
+        )
+        campaign = Campaign(small_spec())
+        results = campaign.execute(
+            tmp_path / "out.csv",
+            workers=2,
+            cache=False,
+            timeout=1.5,
+            retries=0,
+        )
+        failures = [r for r in results if not r.ok]
+        assert len(failures) == 1
+        assert failures[0].error == "timeout"
+        assert failures[0].rate == 0.1
+        assert campaign.last_stats.timeouts == 1
+        # The hung point got no CSV row; the healthy two did.
+        lines = (tmp_path / "out.csv").read_text().splitlines()
+        assert len(lines) == 3
+
+    def test_resume_completes_after_failure(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(
+            ENV_VAR,
+            json.dumps(
+                {"match": ":0.1", "mode": "hang", "seconds": 60}
+            ),
+        )
+        campaign = Campaign(small_spec())
+        campaign.execute(
+            tmp_path / "out.csv",
+            workers=2,
+            cache=False,
+            timeout=1.5,
+        )
+        monkeypatch.delenv(ENV_VAR)
+        rerun = Campaign(small_spec())
+        results = rerun.execute(
+            tmp_path / "out.csv",
+            workers=2,
+            cache=False,
+            timeout=60,
+            resume=True,
+        )
+        # Only the failed point re-runs, and the campaign reaches 100%.
+        assert len(results) == 1 and results[0].ok
+        lines = (tmp_path / "out.csv").read_text().splitlines()
+        assert len(lines) == 4
+        manifest = rerun.last_manifest
+        assert manifest is not None
+        statuses = {
+            (entry["rate"], entry["status"])
+            for entry in manifest.entries()
+        }
+        assert (0.1, "failed") in statuses
+        assert (0.1, "ok") in statuses
+
+    def test_hardened_rows_match_legacy_rows(self, tmp_path):
+        legacy = Campaign(small_spec())
+        legacy.execute(tmp_path / "legacy.csv", cache=False)
+        hardened = Campaign(small_spec())
+        hardened.execute(
+            tmp_path / "hardened.csv",
+            workers=2,
+            cache=False,
+            timeout=60,
+            retries=1,
+        )
+        read = lambda p: sorted(p.read_text().splitlines())  # noqa: E731
+        assert read(tmp_path / "legacy.csv") == read(
+            tmp_path / "hardened.csv"
+        )

@@ -1,0 +1,102 @@
+"""Tests for FaultEvent / FaultPlan value semantics."""
+
+import pytest
+
+from repro.resilience import FaultEvent, FaultPlan
+from repro.topology import MeshTopology, RingTopology
+from repro.topology.base import TopologyError
+
+
+class TestFaultEvent:
+    def test_link_is_canonical(self):
+        assert FaultEvent(10, 3, 1).link == (1, 3)
+        assert FaultEvent(10, 1, 3).link == (1, 3)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(-1, 0, 1)
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultEvent(0, 0, 1, "explode")
+
+    def test_rejects_self_link(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            FaultEvent(0, 2, 2)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(500, 0, 1, "repair"),
+                FaultEvent(100, 0, 1, "fail"),
+            )
+        )
+        assert [e.time for e in plan.events] == [100, 500]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan((FaultEvent(1, 0, 1),))
+
+    def test_rejects_double_fail(self):
+        with pytest.raises(ValueError, match="already down"):
+            FaultPlan(
+                (FaultEvent(1, 0, 1), FaultEvent(2, 1, 0))
+            )
+
+    def test_rejects_repair_of_healthy_link(self):
+        with pytest.raises(ValueError, match="while it is up"):
+            FaultPlan((FaultEvent(5, 0, 1, "repair"),))
+
+    def test_single_with_repair(self):
+        plan = FaultPlan.single(3, 4, at=100, repair_at=900)
+        assert [e.action for e in plan.events] == ["fail", "repair"]
+        assert plan.events[1].time == 900
+
+    def test_single_rejects_repair_before_fail(self):
+        with pytest.raises(ValueError, match="repair_at"):
+            FaultPlan.single(3, 4, at=100, repair_at=100)
+
+    def test_round_trip(self):
+        plan = FaultPlan.single(0, 1, at=50, repair_at=60)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_validate_for_accepts_existing_links(self):
+        FaultPlan.single(0, 1, at=10).validate_for(RingTopology(8))
+
+    def test_validate_for_rejects_non_adjacent(self):
+        plan = FaultPlan.single(0, 4, at=10)
+        with pytest.raises(TopologyError, match="non-existent link"):
+            plan.validate_for(RingTopology(8))
+
+
+class TestRandomFaults:
+    def test_deterministic_in_seed(self):
+        mesh = MeshTopology(4, 4)
+        one = FaultPlan.random_faults(mesh, 3, at=500, seed=9)
+        two = FaultPlan.random_faults(mesh, 3, at=500, seed=9)
+        assert one == two
+        other = FaultPlan.random_faults(mesh, 3, at=500, seed=10)
+        assert one != other
+
+    def test_distinct_links(self):
+        plan = FaultPlan.random_faults(MeshTopology(4, 4), 5, at=100)
+        assert len({e.link for e in plan.events}) == 5
+
+    def test_repair_after_makes_transient_pairs(self):
+        plan = FaultPlan.random_faults(
+            RingTopology(8), 2, at=100, repair_after=300
+        )
+        fails = [e for e in plan.events if e.action == "fail"]
+        repairs = [e for e in plan.events if e.action == "repair"]
+        assert len(fails) == len(repairs) == 2
+        assert all(e.time == 400 for e in repairs)
+
+    def test_count_exceeding_links_raises(self):
+        with pytest.raises(TopologyError, match="cannot fail"):
+            FaultPlan.random_faults(RingTopology(8), 9, at=100)
+
+    def test_plan_fits_topology(self):
+        topo = MeshTopology(4, 4)
+        FaultPlan.random_faults(topo, 4, at=100).validate_for(topo)

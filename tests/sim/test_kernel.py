@@ -160,7 +160,7 @@ class TestRunControl:
         processed = sim.run()
         assert processed == 7  # 6 chain hops + the final delivery
         assert recorder.deliveries == [(11, "done")]
-        assert sim.pending_events == 0
+        assert sim.pending_event_count == 0
 
 
 class TestLifecycle:
@@ -204,6 +204,16 @@ class TestLifecycle:
         recorder = Recorder(sim)
         sim.schedule(1, recorder, Message("m"))
         sim.schedule(2, recorder, Message("m"))
-        assert sim.pending_events == 2
+        assert sim.pending_event_count == 2
         sim.run(until=1)
-        assert sim.pending_events == 1
+        assert sim.pending_event_count == 1
+
+    def test_pending_events_iterates_live_events_only(self):
+        sim = Simulator()
+        recorder = Recorder(sim)
+        keep = sim.schedule(1, recorder, Message("keep"))
+        dropped = sim.schedule(2, recorder, Message("dropped"))
+        sim.cancel(dropped)
+        live = list(sim.pending_events())
+        assert live == [keep]
+        assert sim.pending_event_count == 1

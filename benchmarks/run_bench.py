@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory: kernel micro-benchmarks + one figure point
+per topology, written to ``BENCH_<date>.json`` at the repo root.
+
+Complements ``perf_guard.py``: the guard checks a machine-independent
+*ratio* and fails CI on regression; this script records *absolute*
+numbers so the repository accumulates a performance trajectory over
+time (one JSON per date, committed alongside the change that moved
+the needle).
+
+What it measures:
+
+* ``kernel_ping_pong`` — events/second of the bare two-module
+  ping-pong (the number ``kernel_baseline.json`` anchors);
+* ``queue_churn`` — raw push/pop throughput of the default event
+  queue at a realistic depth;
+* ``figure_points`` — for one representative figure point per paper
+  topology (ring16, spidergon16, mesh4x4 under uniform traffic),
+  simulated cycles/second and kernel events/second.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --min-speedup 1.3
+    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/b.json
+
+Exit codes: 0 ok, 1 the ping-pong speedup vs the recorded baseline
+fell below ``--min-speedup`` (default 0: informational only, since
+absolute rates are machine-dependent and CI runners vary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "kernel_baseline.json"
+
+PING_PONG_EVENTS = 20_000
+REPEATS = 5
+FIGURE_CYCLES = 2_000
+FIGURE_RATE = 0.15
+FIGURE_SEED = 11
+
+
+def bench_ping_pong() -> float:
+    """Best-of-N events/second of the standard ping-pong workload."""
+    from repro.sim.kernel import Simulator
+    from repro.sim.messages import Message
+    from repro.sim.module import SimModule
+
+    class PingPong(SimModule):
+        def __init__(self, simulator, name):
+            super().__init__(simulator, name)
+            self.add_gate("out")
+
+        def handle_message(self, message):
+            self.send(Message("ball"), "out")
+
+    best = 0.0
+    for _ in range(REPEATS):
+        sim = Simulator()
+        a = PingPong(sim, "a")
+        b = PingPong(sim, "b")
+        a.gate("out").connect(b.add_gate("in"), delay=1)
+        b.gate("out").connect(a.add_gate("in"), delay=1)
+        sim.schedule(0, a, Message("serve"))
+        start = time.perf_counter()
+        sim.run(max_events=PING_PONG_EVENTS)
+        elapsed = time.perf_counter() - start
+        assert sim.events_processed == PING_PONG_EVENTS
+        best = max(best, PING_PONG_EVENTS / elapsed)
+    return best
+
+
+def bench_queue_churn() -> float:
+    """Best-of-N push+pop pairs/second at a depth of 2000 events."""
+    from repro.sim.events import Event, EventQueue
+
+    best = 0.0
+    for _ in range(REPEATS):
+        queue = EventQueue()
+        start = time.perf_counter()
+        for t in range(2_000):
+            queue.push(
+                Event(time=(t * 7919) % 1000, priority=0, sequence=0)
+            )
+        while queue:
+            queue.pop()
+        elapsed = time.perf_counter() - start
+        best = max(best, 2_000 / elapsed)
+    return best
+
+
+def bench_figure_points() -> dict:
+    """One representative figure point per paper topology."""
+    from repro.noc.config import NocConfig
+    from repro.noc.network import Network
+    from repro.topology import (
+        MeshTopology,
+        RingTopology,
+        SpidergonTopology,
+    )
+    from repro.traffic import TrafficSpec, UniformTraffic
+
+    factories = {
+        "ring16": lambda: RingTopology(16),
+        "spidergon16": lambda: SpidergonTopology(16),
+        "mesh4x4": lambda: MeshTopology(4, 4),
+    }
+    points = {}
+    for name, factory in factories.items():
+        best_cycles = 0.0
+        events = 0
+        for _ in range(3):
+            topology = factory()
+            network = Network(
+                topology,
+                config=NocConfig(source_queue_packets=16),
+                traffic=TrafficSpec(
+                    UniformTraffic(topology), FIGURE_RATE
+                ),
+                seed=FIGURE_SEED,
+            )
+            start = time.perf_counter()
+            network.run(cycles=FIGURE_CYCLES)
+            elapsed = time.perf_counter() - start
+            events = network.simulator.events_processed
+            best_cycles = max(best_cycles, FIGURE_CYCLES / elapsed)
+        points[name] = {
+            "cycles": FIGURE_CYCLES,
+            "injection_rate": FIGURE_RATE,
+            "seed": FIGURE_SEED,
+            "events": events,
+            "cycles_per_second": round(best_cycles),
+            "events_per_second": round(
+                best_cycles * events / FIGURE_CYCLES
+            ),
+        }
+    return points
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output path (default: BENCH_<date>.json at repo root)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help=(
+            "fail (exit 1) if ping-pong events/sec divided by the "
+            "recorded baseline is below this (default 0: report only)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    ping_pong = bench_ping_pong()
+    churn = bench_queue_churn()
+    points = bench_figure_points()
+
+    baseline = None
+    speedup = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        speedup = ping_pong / baseline["kernel_events_per_second"]
+
+    record = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernel_ping_pong": {
+            "events": PING_PONG_EVENTS,
+            "events_per_second": round(ping_pong),
+            "baseline_events_per_second": (
+                baseline["kernel_events_per_second"]
+                if baseline
+                else None
+            ),
+            "speedup_vs_baseline": (
+                round(speedup, 3) if speedup is not None else None
+            ),
+        },
+        "queue_churn_ops_per_second": round(churn),
+        "figure_points": points,
+    }
+
+    out_path = args.out
+    if out_path is None:
+        out_path = REPO_ROOT / f"BENCH_{record['date']}.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"kernel ping-pong: {round(ping_pong):,} ev/s", end="")
+    if speedup is not None:
+        print(
+            f" ({speedup:.2f}x vs baseline "
+            f"{baseline['kernel_events_per_second']:,})"
+        )
+    else:
+        print(" (no baseline recorded)")
+    print(f"queue churn: {round(churn):,} ops/s")
+    for name, point in points.items():
+        print(
+            f"{name}: {point['cycles_per_second']:,} cycles/s, "
+            f"{point['events_per_second']:,} ev/s"
+        )
+    print(f"wrote {out_path}")
+
+    if args.min_speedup > 0:
+        if speedup is None:
+            print("FAIL: no baseline to compare against")
+            return 1
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {speedup:.2f}x is below the required "
+                f"{args.min_speedup:.2f}x"
+            )
+            return 1
+        print(
+            f"OK: speedup {speedup:.2f}x meets the required "
+            f"{args.min_speedup:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,7 +85,9 @@ def main() -> None:
     summary = profiler.summary()
     print(f"Kernel profile: {summary['events']} events, "
           f"{summary['events_per_second']:,.0f}/s, "
-          f"max heap depth {summary['max_heap_depth']}.")
+          f"max pending {summary['max_pending_events']} "
+          f"(wheel {summary['max_wheel_occupancy']}, "
+          f"overflow {summary['max_overflow_occupancy']}).")
 
 
 if __name__ == "__main__":

@@ -207,10 +207,11 @@ class NetworkInterface(SimModule):
         # keys its switching state by the arrival VC, and packet.vc may
         # be promoted (dateline) between the head and body injections.
         flit.wire_vc = 0
+        now = self.now
         if flit.is_head:
-            packet.injected_at = self.now
+            packet.injected_at = now
         self._credits -= 1
-        self.stats.record_injected_flit(self.now)
+        self.stats.record_injected_flit(now)
         self.send(FlitMessage(flit, flit.wire_vc), self.data_out)
         if flit.is_tail:
             self._backlog.popleft()

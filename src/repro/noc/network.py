@@ -42,6 +42,7 @@ class Network:
         config: NocConfig | None = None,
         traffic: TrafficSpec | None = None,
         seed: int = 0,
+        event_queue=None,
     ) -> None:
         self.topology = topology
         self.routing = routing if routing is not None else routing_for(
@@ -59,7 +60,10 @@ class Network:
             if self.config.num_vcs is not None
             else self.routing.required_vcs
         )
-        self.simulator = Simulator()
+        # event_queue is forwarded verbatim: the trace-equivalence
+        # tests run the same network on the wheel and the reference
+        # heap and require byte-identical results.
+        self.simulator = Simulator(event_queue=event_queue)
         self.scheduler = CycleScheduler(self.simulator)
         self.stats = NetworkStats()
         self.routers: list[Router] = []

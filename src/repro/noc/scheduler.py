@@ -66,6 +66,13 @@ class CycleScheduler(SimModule):
         self._agents: dict[CycleAgent, None] = {}
         self._tick_time: int | None = None
         self._advance_done_at = -1
+        # One message object per phase for the scheduler's lifetime:
+        # by the time a cycle re-arms, the previous cycle's events are
+        # already delivered, so the two singletons are never aliased
+        # by two pending events — and handle_message can dispatch on
+        # identity instead of string comparison.
+        self._advance_msg = _PhaseMessage("advance")
+        self._send_msg = _PhaseMessage("send")
 
     def activate(self, agent: CycleAgent) -> None:
         """Ensure *agent* participates in the next cycle's phases.
@@ -86,24 +93,24 @@ class CycleScheduler(SimModule):
         self.simulator.schedule(
             tick_time,
             self,
-            _PhaseMessage("advance"),
+            self._advance_msg,
             priority=PRIORITY_ADVANCE,
         )
         self.simulator.schedule(
             tick_time,
             self,
-            _PhaseMessage("send"),
+            self._send_msg,
             priority=PRIORITY_SEND,
         )
 
     def handle_message(self, message: Message) -> None:
-        if not isinstance(message, _PhaseMessage):
-            raise TypeError(f"unexpected message {message!r}")
-        if message.phase == "advance":
+        if message is self._advance_msg:
             self._advance_done_at = self.now
             for agent in self._agents:
                 agent.advance_phase()
             return
+        if message is not self._send_msg:
+            raise TypeError(f"unexpected message {message!r}")
         # Send phase ends the cycle: run sends, drop idle agents, and
         # re-arm for the next cycle if anyone still has work.
         for agent in self._agents:

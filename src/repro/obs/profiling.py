@@ -2,7 +2,9 @@
 
 A :class:`KernelProfiler` measures the simulation substrate rather
 than the model: delivered events per wall-clock second, the deepest
-the pending-event heap got, and how deliveries distribute across
+the future-event set got (split into the timing wheel's short-horizon
+buckets and its far-future overflow heap — see
+:mod:`repro.sim.events`), and how deliveries distribute across
 modules.  Its :meth:`summary` is what the ``trace`` CLI reports and
 what :func:`repro.experiments.runner.run_simulation` stores in
 ``RunResult.extra["kernel"]`` when profiling is requested.
@@ -33,7 +35,9 @@ class KernelProfiler(Observer):
     def __init__(self, simulator: Simulator) -> None:
         self.simulator = simulator
         self.events = 0
-        self.max_heap_depth = 0
+        self.max_pending_events = 0
+        self.max_wheel_occupancy = 0
+        self.max_overflow_occupancy = 0
         self.per_module: Counter[str] = Counter()
         self._wall_start: float | None = None
         self._wall_stop: float | None = None
@@ -54,9 +58,13 @@ class KernelProfiler(Observer):
             self._wall_start = now
         self._wall_stop = now
         self.events += 1
-        depth = simulator.pending_event_count
-        if depth > self.max_heap_depth:
-            self.max_heap_depth = depth
+        occupancy = simulator.queue_occupancy()
+        if occupancy["pending"] > self.max_pending_events:
+            self.max_pending_events = occupancy["pending"]
+        if occupancy["wheel"] > self.max_wheel_occupancy:
+            self.max_wheel_occupancy = occupancy["wheel"]
+        if occupancy["overflow"] > self.max_overflow_occupancy:
+            self.max_overflow_occupancy = occupancy["overflow"]
         target = event.target
         self.per_module[
             target.name if target is not None else "<handler>"
@@ -78,11 +86,17 @@ class KernelProfiler(Observer):
         return self.events / wall
 
     def summary(self, top_modules: int = 10) -> dict:
-        """JSON-ready profile: events, rate, heap depth, top modules."""
+        """JSON-ready profile: events, rate, queue depths, top
+        modules.  ``max_pending_events`` is the peak live-event count;
+        the wheel/overflow pair shows which tier of the future-event
+        set carried it (on the reference heap queue everything counts
+        as overflow)."""
         return {
             "events": self.events,
             "events_per_second": round(self.events_per_second, 1),
-            "max_heap_depth": self.max_heap_depth,
+            "max_pending_events": self.max_pending_events,
+            "max_wheel_occupancy": self.max_wheel_occupancy,
+            "max_overflow_occupancy": self.max_overflow_occupancy,
             "wall_seconds": round(self.wall_seconds, 6),
             "per_module": dict(
                 self.per_module.most_common(top_modules)

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterator
 
 from repro.sim.errors import SchedulingError, SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Event, EventQueue, HeapEventQueue
 from repro.sim.messages import Message
 from repro.sim.module import SimModule
 from repro.sim.observers import Observer
@@ -30,10 +31,25 @@ class Simulator:
     every delivery and on every time advancement, in registration
     order.  With zero observers attached the event loop is the plain
     fast path.
+
+    The future-event set defaults to the timing-wheel
+    :class:`~repro.sim.events.EventQueue`; pass *event_queue* (or set
+    ``REPRO_EVENT_QUEUE=heap`` in the environment) to run on the
+    reference :class:`~repro.sim.events.HeapEventQueue` instead — both
+    deliver any schedule in the identical ``(time, priority,
+    sequence)`` order, which the equivalence tests assert end to end.
     """
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, event_queue=None) -> None:
+        if event_queue is None:
+            if os.environ.get("REPRO_EVENT_QUEUE", "").lower() in (
+                "heap",
+                "reference",
+            ):
+                event_queue = HeapEventQueue()
+            else:
+                event_queue = EventQueue()
+        self._queue = event_queue
         self._now = 0
         self._modules: list[SimModule] = []
         self._module_names: set[str] = set()
@@ -42,6 +58,9 @@ class Simulator:
         self._finalized = False
         self._events_processed = 0
         self._observers: list[Observer] = []
+        # Immutable copy handed to notification rounds; rebuilt on
+        # add/remove so the per-event path never copies the list.
+        self._observer_snapshot: tuple[Observer, ...] = ()
         self._stop_requested = False
         self._stop_reason: str | None = None
         self._stop_details: dict | None = None
@@ -94,6 +113,7 @@ class Simulator:
                 f"observer {observer!r} is already registered"
             )
         self._observers.append(observer)
+        self._observer_snapshot = tuple(self._observers)
         return observer
 
     def remove_observer(self, observer: Observer) -> None:
@@ -109,6 +129,7 @@ class Simulator:
         for index, existing in enumerate(self._observers):
             if existing is observer:
                 del self._observers[index]
+                self._observer_snapshot = tuple(self._observers)
                 return
         raise SimulationError(
             f"observer {observer!r} is not registered"
@@ -148,15 +169,16 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time}, current time is {self._now}"
             )
-        event = Event(
-            time=time,
-            priority=priority,
-            sequence=0,
-            target=target,
-            message=message,
-            handler=handler,
+        return self._queue.push(
+            Event(
+                time=time,
+                priority=priority,
+                sequence=0,
+                target=target,
+                message=message,
+                handler=handler,
+            )
         )
-        return self._queue.push(event)
 
     def cancel(self, event: Event) -> None:
         """Cancel *event* if it has not fired yet (idempotent)."""
@@ -184,6 +206,9 @@ class Simulator:
                 events *at* ``until`` are processed.  ``now`` is set to
                 ``until`` on a time-limited stop.
             max_events: Stop after this many deliveries in this call.
+                A stop on this cap leaves ``now`` at the time of the
+                last delivery — the pending events are still due, so
+                the clock must not jump past them to ``until``.
 
         Returns:
             The number of events processed by this call.
@@ -191,62 +216,109 @@ class Simulator:
         Calling ``run()`` with neither stop condition is allowed: the
         loop keeps going until the event queue drains, so it
         terminates for any workload that stops scheduling new events.
+
+        With no observers attached the loop runs a fused fast path:
+        one :meth:`~repro.sim.events.EventQueue.pop_next` call per
+        event (the wheel cursor stays parked on the current cycle's
+        bucket, so a same-cycle batch drains without re-scanning), and
+        the delivered-event total is committed to
+        :attr:`events_processed` when the batch ends rather than once
+        per event.  With observers the loop takes the bookkeeping path
+        that advances time *before* popping, so observer callbacks see
+        the new cycle's events still pending.
         """
         self._ensure_initialized()
         processed = 0
-        # Bound to a local: the truthiness check per event is the
+        events_base = self._events_processed
+        # Bound to locals: the truthiness check per event is the
         # entire cost of the observer feature on the unobserved fast
         # path.  The list object itself is shared with add/remove, so
         # attaching or detaching mid-run takes effect immediately.
         observers = self._observers
-        while self._queue:
-            if self._stop_requested:
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            next_time = self._queue.peek_time()
-            assert next_time is not None
-            if until is not None and next_time > until:
-                break
-            if observers and next_time > self._now:
-                # Advance time *before* popping, so observers see a
-                # consistent world: the event of the new time is
-                # still pending (in-flight for conservation audits),
-                # no handler has run yet.
-                previous = self._now
-                self._now = next_time
-                for observer in tuple(observers):
-                    observer.on_time_advanced(
-                        self, previous, next_time
-                    )
-                # A callback may have requested a stop (the stall
-                # watchdog does); honour it before delivering
-                # anything of the new time.
-                if self._stop_requested:
+        queue = self._queue
+        pop_next = queue.pop_next
+        # -1 never equals a (non-negative, strictly growing)
+        # processed count, so the cap check stays one int compare.
+        cap = -1 if max_events is None else max_events
+        # Infinity compares above every event time, so the queue's
+        # limit check stays a single comparison when there is none.
+        pop_limit = float("inf") if until is None else until
+        try:
+            while True:
+                if self._stop_requested or processed == cap:
                     break
-            event = self._queue.pop()
-            self._now = event.time
-            self._events_processed += 1
-            processed += 1
-            message = event.message
-            assert message is not None
-            if event.handler is not None:
-                event.handler(message)
-            else:
-                assert event.target is not None
-                event.target.handle_message(message)
-            if observers:
-                for observer in tuple(observers):
-                    observer.on_event_delivered(self, event)
-        if (
-            until is not None
-            and self._now < until
-            and not self._stop_requested
-        ):
-            previous = self._now
-            self._now = until
-            for observer in tuple(observers):
-                observer.on_time_advanced(self, previous, until)
+                if observers:
+                    next_time = queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        break
+                    if next_time > self._now:
+                        # Advance time *before* popping, so observers
+                        # see a consistent world: the event of the new
+                        # time is still pending (in-flight for
+                        # conservation audits), no handler has run yet.
+                        previous = self._now
+                        self._now = next_time
+                        for observer in self._observer_snapshot:
+                            observer.on_time_advanced(
+                                self, previous, next_time
+                            )
+                        # A callback may have requested a stop (the
+                        # stall watchdog does); honour it before
+                        # delivering anything of the new time.
+                        if self._stop_requested:
+                            break
+                    event = pop_next(next_time)
+                    if event is None:
+                        # A callback cancelled the pending events of
+                        # this cycle; re-evaluate from the top.
+                        continue
+                    processed += 1
+                    self._events_processed = events_base + processed
+                    message = event.message
+                    if event.handler is not None:
+                        event.handler(message)
+                    else:
+                        event.target.handle_message(message)
+                    if observers:
+                        for observer in self._observer_snapshot:
+                            observer.on_event_delivered(self, event)
+                    continue
+                # -- unobserved fast path -----------------------------
+                event = pop_next(pop_limit)
+                if event is None:
+                    break
+                time = event.time
+                if time != self._now:
+                    self._now = time
+                processed += 1
+                message = event.message
+                if event.handler is not None:
+                    event.handler(message)
+                else:
+                    event.target.handle_message(message)
+                if observers:
+                    # The handler attached the first observer; the
+                    # contract is that it already sees this delivery.
+                    self._events_processed = events_base + processed
+                    for observer in self._observer_snapshot:
+                        observer.on_event_delivered(self, event)
+        finally:
+            self._events_processed = events_base + processed
+        if until is not None and self._now < until and not self._stop_requested:
+            # A stop on the max-events cap that left deliverable
+            # events pending is not a time-limited stop: the clock
+            # stays at the last delivery so a later run() resumes
+            # exactly where this one left off.
+            next_time = (
+                queue.peek_time() if processed == cap else None
+            )
+            if next_time is None or next_time > until:
+                previous = self._now
+                self._now = until
+                for observer in self._observer_snapshot:
+                    observer.on_time_advanced(self, previous, until)
         return processed
 
     def request_stop(
@@ -308,6 +380,18 @@ class Simulator:
         """Number of live events still in the queue."""
         return len(self._queue)
 
+    def queue_occupancy(self) -> dict[str, int]:
+        """Occupancy of the future-event set, per tier.
+
+        Returns:
+            ``{"pending": live events, "wheel": events in the
+            short-horizon buckets, "overflow": events in the
+            far-future heap}`` — lazily-cancelled events still count
+            toward their tier until they surface.  On the reference
+            heap queue everything reports as overflow.
+        """
+        return self._queue.occupancy()
+
     def pending_events(self) -> Iterator[Event]:
         """Iterate over the live scheduled events, in no particular
         order.
@@ -315,7 +399,7 @@ class Simulator:
         The public window onto the pending-event set: invariant
         checkers count in-flight flits and credits through it, and
         the stall watchdog sizes its diagnostic snapshot with it —
-        without any of them reaching into the queue's internal heap.
-        Callers must treat the events as read-only.
+        without any of them reaching into the queue's internal
+        storage.  Callers must treat the events as read-only.
         """
         return self._queue.live_events()

@@ -16,10 +16,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.sim.errors import GateConnectionError
+from repro.sim.events import Event
 from repro.sim.messages import Message
 
 if TYPE_CHECKING:
-    from repro.sim.events import Event
     from repro.sim.kernel import Simulator
 
 
@@ -135,7 +135,10 @@ class SimModule:
     @property
     def now(self) -> int:
         """Current simulation time in cycles."""
-        return self.simulator.now
+        # Reads the simulator's field directly: send() runs once per
+        # event on every experiment's hot path, and the extra property
+        # hop through Simulator.now is measurable there.
+        return self.simulator._now
 
     def send(self, message: Message, gate: Gate | str) -> "Event":
         """Send *message* through *gate*; delivery after the channel delay.
@@ -155,17 +158,29 @@ class SimModule:
                 f"module {self.name} cannot send through foreign gate "
                 f"{gate.full_name}"
             )
-        if gate.peer is None:
+        peer = gate.peer
+        if peer is None:
             raise GateConnectionError(
                 f"gate {gate.full_name} is not connected"
             )
+        simulator = self.simulator
+        now = simulator._now
         message.sender = self
-        message.arrival_gate = gate.peer
-        message.sent_at = self.now
+        message.arrival_gate = peer
+        message.sent_at = now
         if message.created_at is None:
-            message.created_at = self.now
-        return self.simulator.schedule(
-            self.now + gate.delay, gate.peer.module, message
+            message.created_at = now
+        # Bypasses Simulator.schedule: its past-time guard cannot fire
+        # here (connect() rejects negative delays, so the delivery is
+        # never before ``now``), and this call is once-per-event hot.
+        return simulator._queue.push(
+            Event(
+                time=now + gate.delay,
+                priority=0,
+                sequence=0,
+                target=peer.module,
+                message=message,
+            )
         )
 
     def schedule_self(
@@ -176,13 +191,15 @@ class SimModule:
         Self-messages are the kernel's timers; ``message.arrival_gate``
         is ``None`` on delivery.
         """
+        simulator = self.simulator
+        now = simulator._now
         message.sender = self
         message.arrival_gate = None
-        message.sent_at = self.now
+        message.sent_at = now
         if message.created_at is None:
-            message.created_at = self.now
-        return self.simulator.schedule(
-            self.now + delay, self, message, priority=priority
+            message.created_at = now
+        return simulator.schedule(
+            now + delay, self, message, priority=priority
         )
 
     def cancel_event(self, event: "Event") -> None:

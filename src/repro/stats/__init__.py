@@ -9,7 +9,9 @@ from repro.stats.summary import (
     detect_saturation_point,
     histogram,
     mean,
+    mean_or_none,
     percentile,
+    percentile_or_none,
 )
 from repro.stats.utilization import LinkLoad, UtilizationReport
 
@@ -25,5 +27,7 @@ __all__ = [
     "detect_saturation_point",
     "histogram",
     "mean",
+    "mean_or_none",
     "percentile",
+    "percentile_or_none",
 ]

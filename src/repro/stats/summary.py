@@ -20,6 +20,29 @@ def mean(values: list[float] | list[int]) -> float:
     return sum(values) / len(values)
 
 
+def mean_or_none(values: list[float] | list[int]) -> float | None:
+    """:func:`mean`, but ``None`` for an empty series.
+
+    The zero-sample guard for summary metrics: a degraded run (stall
+    watchdog abort before any post-warmup delivery) legitimately
+    produces empty latency/hop series, and its summary must report
+    the metric as undefined instead of crashing.
+    """
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def percentile_or_none(
+    values: list[float] | list[int], q: float
+) -> float | None:
+    """:func:`percentile`, but ``None`` for an empty series (same
+    degraded-run contract as :func:`mean_or_none`)."""
+    if not values:
+        return None
+    return percentile(values, q)
+
+
 def percentile(values: list[float] | list[int], q: float) -> float:
     """The *q*-th percentile (0..100) by linear interpolation."""
     if not values:
@@ -125,19 +148,29 @@ def batch_means(
 
 def detect_saturation_point(
     rates: list[float],
-    latencies: list[float],
+    latencies: list[float | None],
     threshold_factor: float = 3.0,
 ) -> float | None:
     """First injection rate where latency exceeds *threshold_factor*
-    times the zero-load (first point) latency — the knee of the
-    latency curve, used to compare saturation across topologies.
+    times the zero-load latency — the knee of the latency curve, used
+    to compare saturation across topologies.
 
-    Returns None when the curve never crosses the threshold.
+    A ``None`` latency (a degraded or zero-delivery sweep point, see
+    :func:`mean_or_none`) is skipped: it carries no latency evidence
+    either way.  The zero-load baseline is the first non-``None``
+    point.
+
+    Returns None when the curve never crosses the threshold (or no
+    point carries a latency at all).
     """
     if len(rates) != len(latencies) or not rates:
         raise ValueError("rates and latencies must be equal, non-empty")
-    baseline = latencies[0]
+    baseline = None
     for rate, latency in zip(rates, latencies):
+        if latency is None:
+            continue
+        if baseline is None:
+            baseline = latency
         if latency > threshold_factor * baseline:
             return rate
     return None
@@ -275,27 +308,14 @@ class RunResult:
             cycles=cycles,
             warmup_cycles=stats.warmup_cycles,
             throughput=throughput,
-            avg_latency=(
-                mean(stats.latencies) if stats.latencies else None
-            ),
-            avg_queueing_delay=(
-                mean(stats.queueing_delays)
-                if stats.queueing_delays
-                else None
-            ),
-            avg_network_latency=(
-                mean(stats.network_latencies)
-                if stats.network_latencies
-                else None
-            ),
-            p95_latency=(
-                percentile(stats.latencies, 95)
-                if stats.latencies
-                else None
-            ),
-            avg_hops=(
-                mean(stats.hop_counts) if stats.hop_counts else None
-            ),
+            # _or_none guards: a degraded/truncated run can reach
+            # here with empty series; its metrics are undefined, not
+            # an error.
+            avg_latency=mean_or_none(stats.latencies),
+            avg_queueing_delay=mean_or_none(stats.queueing_delays),
+            avg_network_latency=mean_or_none(stats.network_latencies),
+            p95_latency=percentile_or_none(stats.latencies, 95),
+            avg_hops=mean_or_none(stats.hop_counts),
             packets_delivered=stats.packets_consumed,
             flits_delivered=stats.flits_consumed,
             packets_generated=stats.packets_generated,

@@ -101,7 +101,7 @@ class TestRunnerObservability:
         )
         kernel = result.extra["kernel"]
         assert kernel["events"] == result.events_processed > 0
-        assert kernel["max_heap_depth"] > 0
+        assert kernel["max_pending_events"] > 0
 
     def test_no_profile_keeps_extra_clean(self):
         topology = SpidergonTopology(8)

@@ -1,0 +1,107 @@
+"""Heap-vs-wheel kernel equivalence on real campaign points.
+
+The timing-wheel future-event set is a pure performance change: for
+one representative figure point per topology (ring, spidergon, 2D
+mesh), running the identical network/seed on the reference heap queue
+must produce a byte-identical ``RunResult`` — every metric, down to
+the event count — and deliver the identical event trace.
+"""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.sim.events import Event, HeapEventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.observers import Observer
+from repro.topology import (
+    MeshTopology,
+    RingTopology,
+    SpidergonTopology,
+)
+from repro.traffic import TrafficSpec, UniformTraffic
+
+TOPOLOGIES = {
+    "ring16": lambda: RingTopology(16),
+    "spidergon16": lambda: SpidergonTopology(16),
+    "mesh4x4": lambda: MeshTopology(4, 4),
+}
+
+
+def _run_point(topology_factory, event_queue):
+    topology = topology_factory()
+    network = Network(
+        topology,
+        config=NocConfig(source_queue_packets=8),
+        traffic=TrafficSpec(UniformTraffic(topology), 0.15),
+        seed=11,
+        event_queue=event_queue,
+    )
+    return network.run(cycles=1_500, warmup=300)
+
+
+class TestRunResultEquivalence:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_byte_identical_metrics(self, name):
+        factory = TOPOLOGIES[name]
+        wheel = _run_point(factory, None)  # default: timing wheel
+        heap = _run_point(factory, HeapEventQueue())
+        assert wheel.to_dict() == heap.to_dict()
+
+
+class _DeliveryTrace(Observer):
+    def __init__(self):
+        self.records = []
+
+    def on_event_delivered(self, simulator, event: Event) -> None:
+        message = event.message
+        self.records.append(
+            (
+                event.time,
+                event.priority,
+                event.sequence,
+                type(message).__name__,
+                message.name,
+                event.target.name if event.target else None,
+            )
+        )
+
+    def on_time_advanced(self, simulator, old, new) -> None:
+        self.records.append(("advance", old, new))
+
+
+class TestDeliveryTraceEquivalence:
+    def test_observer_sees_identical_event_stream(self):
+        """Stronger than metric equality: the full (time, priority,
+        sequence, message, target) delivery stream matches, so the
+        two queues are interchangeable under observation too."""
+        traces = []
+        for queue in (None, HeapEventQueue()):
+            topology = RingTopology(8)
+            network = Network(
+                topology,
+                config=NocConfig(source_queue_packets=8),
+                traffic=TrafficSpec(UniformTraffic(topology), 0.2),
+                seed=5,
+                event_queue=queue,
+            )
+            trace = _DeliveryTrace()
+            network.simulator.add_observer(trace)
+            network.run(cycles=400)
+            traces.append(trace.records)
+        assert traces[0] == traces[1]
+        assert len(traces[0]) > 1_000  # a real workload, not a stub
+
+
+class TestEnvironmentSelector:
+    def test_env_var_selects_reference_heap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_QUEUE", "heap")
+        sim = Simulator()
+        assert isinstance(sim._queue, HeapEventQueue)
+
+    def test_default_is_timing_wheel(self, monkeypatch):
+        from repro.sim.events import EventQueue
+
+        monkeypatch.delenv("REPRO_EVENT_QUEUE", raising=False)
+        sim = Simulator()
+        assert isinstance(sim._queue, EventQueue)

@@ -28,15 +28,30 @@ class TestKernelProfiler:
         assert profiler.events == sim.events_processed
         assert profiler.per_module == {"echo": 5}
 
-    def test_heap_depth_tracks_backlog(self):
+    def test_pending_depth_tracks_backlog(self):
         sim = Simulator()
         module = Echo(sim, "echo")
         profiler = KernelProfiler(sim)
         for t in range(1, 11):
             sim.schedule(t, module, Message(f"m{t}"))
         sim.run()
-        # After the first delivery nine events remain queued.
-        assert profiler.max_heap_depth == 9
+        # After the first delivery nine events remain queued, all
+        # within the timing wheel's short horizon.
+        assert profiler.max_pending_events == 9
+        assert profiler.max_wheel_occupancy == 9
+        assert profiler.max_overflow_occupancy == 0
+
+    def test_overflow_occupancy_tracks_far_future_timers(self):
+        from repro.sim.events import EventQueue
+
+        sim = Simulator()
+        module = Echo(sim, "echo")
+        profiler = KernelProfiler(sim)
+        horizon = EventQueue.WHEEL_SLOTS
+        sim.schedule(1, module, Message("near"))
+        sim.schedule(horizon + 10, module, Message("far"))
+        sim.run()
+        assert profiler.max_overflow_occupancy == 1
 
     def test_empty_profile(self):
         profiler = KernelProfiler(Simulator())
@@ -68,7 +83,12 @@ class TestKernelProfiler:
         result = network.run(cycles=1_000, warmup=0)
         summary = profiler.summary(top_modules=3)
         assert summary["events"] == result.events_processed
-        assert summary["max_heap_depth"] > 0
+        assert summary["max_pending_events"] > 0
+        assert (
+            summary["max_wheel_occupancy"]
+            + summary["max_overflow_occupancy"]
+            > 0
+        )
         assert summary["wall_seconds"] > 0
         assert len(summary["per_module"]) == 3
         assert sum(profiler.per_module.values()) == summary["events"]

@@ -1,0 +1,110 @@
+"""Degraded/truncated runs must summarise, not crash.
+
+A run the stall watchdog aborts before any post-warmup delivery
+reaches the summary layer with empty latency/hop series.  These tests
+pin the contract: zero-sample metrics are reported as ``None``
+(undefined), downstream sweep analysis skips them, and the end-to-end
+degraded path produces a well-formed ``RunResult``.
+"""
+
+import pytest
+
+from repro.stats.collectors import NetworkStats
+from repro.stats.summary import (
+    RunResult,
+    detect_saturation_point,
+    mean_or_none,
+    percentile_or_none,
+)
+
+
+class TestZeroSampleHelpers:
+    def test_mean_or_none_empty(self):
+        assert mean_or_none([]) is None
+
+    def test_mean_or_none_nonempty(self):
+        assert mean_or_none([2, 4]) == 3.0
+
+    def test_percentile_or_none_empty(self):
+        assert percentile_or_none([], 95) is None
+
+    def test_percentile_or_none_nonempty(self):
+        assert percentile_or_none([1, 2, 3], 50) == 2.0
+
+
+class TestFromStatsWithEmptySeries:
+    def test_all_latency_metrics_undefined(self):
+        stats = NetworkStats()
+        stats.warmup_cycles = 100
+        result = RunResult.from_stats(
+            stats,
+            topology_name="ring4",
+            routing_name="shortest",
+            pattern_name="uniform",
+            num_nodes=4,
+            num_sources=4,
+            injection_rate=0.1,
+            cycles=101,  # watchdog tripped just past warmup
+        )
+        assert result.avg_latency is None
+        assert result.avg_queueing_delay is None
+        assert result.avg_network_latency is None
+        assert result.p95_latency is None
+        assert result.avg_hops is None
+        assert result.throughput == 0.0
+        # The undefined metrics survive the cache round trip.
+        assert RunResult.from_dict(result.to_dict()) == result
+
+
+class TestSaturationDetectionWithDegradedPoints:
+    def test_none_latencies_are_skipped(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        latencies = [20.0, None, 25.0, 90.0]
+        assert (
+            detect_saturation_point(rates, latencies, 3.0) == 0.4
+        )
+
+    def test_baseline_comes_from_first_defined_point(self):
+        rates = [0.1, 0.2, 0.3]
+        latencies = [None, 20.0, 70.0]
+        assert (
+            detect_saturation_point(rates, latencies, 3.0) == 0.3
+        )
+
+    def test_all_none_detects_nothing(self):
+        assert (
+            detect_saturation_point([0.1, 0.2], [None, None]) is None
+        )
+
+    def test_still_rejects_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            detect_saturation_point([0.1], [])
+
+
+class TestDegradedRunEndToEnd:
+    def test_watchdog_abort_before_post_warmup_delivery(self):
+        """A ring with every link severed deadlocks instantly; the
+        watchdog aborts inside warmup and the summary must carry
+        None metrics instead of crashing."""
+        from repro.noc.config import NocConfig
+        from repro.noc.network import Network
+        from repro.resilience.watchdog import StallWatchdog
+        from repro.topology import RingTopology
+        from repro.traffic import TrafficSpec, UniformTraffic
+
+        topology = RingTopology(4)
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=4),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.2),
+            seed=1,
+        )
+        StallWatchdog(net, stall_cycles=50)
+        for a, b in [(0, 1), (1, 2), (2, 3), (0, 3)]:
+            net.fail_link(a, b)
+        result = net.run(cycles=5_000, warmup=1_000)
+        assert result.degraded
+        assert result.avg_latency is None
+        assert result.p95_latency is None
+        assert result.throughput == 0.0
+        assert "stall" in result.extra

@@ -73,7 +73,9 @@ from repro.resilience import (
     StallWatchdog,
 )
 from repro.routing import (
+    CirculantTableRouting,
     MeshXYRouting,
+    MultiplicativeCirculantRouting,
     RingShortestRouting,
     SpidergonAcrossFirstRouting,
     TableRouting,
@@ -82,6 +84,7 @@ from repro.routing import (
 from repro.sim import EventTracer, Observer, Simulator
 from repro.stats import RunResult, detect_saturation_point
 from repro.topology import (
+    CirculantTopology,
     MeshTopology,
     RingTopology,
     SpidergonTopology,
@@ -101,6 +104,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Campaign",
     "CampaignManifest",
+    "CirculantTableRouting",
+    "CirculantTopology",
     "EventTracer",
     "FailedResult",
     "FaultEvent",
@@ -112,6 +117,7 @@ __all__ = [
     "KernelProfiler",
     "MeshTopology",
     "MeshXYRouting",
+    "MultiplicativeCirculantRouting",
     "Network",
     "NocConfig",
     "Observer",

@@ -6,6 +6,7 @@
     python -m repro figures fig10 ...    # == repro.experiments.figures
     python -m repro ablations vcs ...    # == repro.experiments.ablations
     python -m repro campaign SPEC CSV    # declarative sweep
+    python -m repro circulant 16         # equal-cost chord study
     python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
     python -m repro chaos mesh4x4 uniform 0.1 --fail 5:6@2000
 """
@@ -33,6 +34,7 @@ def _info() -> int:
     print(
         "usage: python -m repro "
         "{info|figures|ablations|campaign SPEC.json OUT.csv"
+        "|circulant [N]"
         "|trace TOPOLOGY PATTERN RATE"
         "|chaos TOPOLOGY PATTERN RATE} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
@@ -558,6 +560,10 @@ def main(argv: list[str] | None = None) -> int:
         return ablations_main(rest)
     if command == "campaign":
         return _campaign(rest)
+    if command == "circulant":
+        from repro.experiments.circulant import main as circulant_main
+
+        return circulant_main(rest)
     if command == "trace":
         return _trace(rest)
     if command == "chaos":

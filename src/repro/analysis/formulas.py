@@ -148,3 +148,51 @@ def spidergon_num_links(num_nodes: int) -> int:
     """Unidirectional link count of an N-node Spidergon: ``3N``."""
     _require_spidergon(num_nodes)
     return 3 * num_nodes
+
+
+# -- Circulant rings C(N; 1, s) -------------------------------------------
+
+
+def _circulant_distances(num_nodes: int, skip: int) -> list[int]:
+    from repro.topology.circulant import minimal_decomposition
+
+    distances = []
+    for offset in range(num_nodes):
+        chords, steps = minimal_decomposition(num_nodes, skip, offset)
+        distances.append(abs(chords) + abs(steps))
+    return distances
+
+
+def circulant_diameter(num_nodes: int, skip: int) -> int:
+    """Diameter of ``C(N; 1, s)``.
+
+    Computed from the minimal chord/step decomposition over the N
+    offsets (vertex transitivity); exact, and O(N * N/gcd(N, s))
+    rather than the O(N^2) of all-pairs BFS.  Reduces to the paper's
+    ``ceil(N/4)`` when ``s = N/2`` (Spidergon) and approaches the
+    multiplicative optimum ``~= sqrt(N)`` when ``s ~= sqrt(N)``.
+    """
+    return max(_circulant_distances(num_nodes, skip))
+
+
+def circulant_distance_sum(num_nodes: int, skip: int) -> int:
+    """Exact sum of distances from a tagged node of ``C(N; 1, s)``."""
+    return sum(_circulant_distances(num_nodes, skip))
+
+
+def circulant_average_distance(num_nodes: int, skip: int) -> float:
+    """Exact ``C(N; 1, s)`` E[D] under the paper's divide-by-N
+    convention (self distance included in the denominator)."""
+    return circulant_distance_sum(num_nodes, skip) / num_nodes
+
+
+def circulant_num_links(num_nodes: int, skip: int) -> int:
+    """Unidirectional link count of ``C(N; 1, s)``.
+
+    ``4N`` for a proper chord (``s < N/2``: ring pair plus two chord
+    directions per node) and ``3N`` for the diametral chord
+    (``s = N/2``: the chord is its own reverse, i.e. Spidergon).
+    """
+    if 2 * skip == num_nodes:
+        return 3 * num_nodes
+    return 4 * num_nodes

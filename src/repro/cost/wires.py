@@ -16,6 +16,12 @@ topology family:
   is the standard first-order penalty for the Spidergon's long
   chords (real layouts fold the ring to shorten them; the relative
   conclusion — across links cost several unit hops — is robust).
+* **Circulant C(N; 1, s)** — same circular layout: ring links have
+  unit length and a chord of span ``s`` is a geometric chord of the
+  circle, length ``(N / pi) * sin(pi * s / N)``.  Consistent with the
+  Spidergon model (``s = N/2`` gives the diameter ``N / pi``) and the
+  ring (``s -> 1`` approaches 1), so equal-cost comparisons across
+  the whole family use one geometry.
 """
 
 from __future__ import annotations
@@ -23,8 +29,9 @@ from __future__ import annotations
 import math
 
 from repro.topology.base import Link, Topology
+from repro.topology.circulant import CirculantTopology
 from repro.topology.mesh import MeshTopology
-from repro.topology.ring import RingTopology
+from repro.topology.ring import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
 from repro.topology.spidergon import ACROSS, SpidergonTopology
 from repro.topology.torus import TorusTopology
 
@@ -38,6 +45,11 @@ def link_length(topology: Topology, link: Link) -> float:
         if link.port == ACROSS:
             return topology.num_nodes / math.pi
         return 1.0
+    if isinstance(topology, CirculantTopology):
+        if link.port in (CLOCKWISE, COUNTERCLOCKWISE):
+            return 1.0
+        n = topology.num_nodes
+        return (n / math.pi) * math.sin(math.pi * topology.skip / n)
     if isinstance(topology, RingTopology):
         return 1.0
     if isinstance(topology, TorusTopology):

@@ -51,7 +51,9 @@ exclusive.  Like the seed, plans live inside the settings, so cache
 keys and serial/parallel/resumed equivalence cover them.
 
 Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
-``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``.
+``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``,
+``hypercube<N>``, ``circulant<N>s<s>``, ``faulty:<base>:<k>@<seed>``
+(the full :mod:`repro.experiments.specs` grammar).
 """
 
 from __future__ import annotations

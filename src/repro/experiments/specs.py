@@ -7,12 +7,14 @@ these parsers rebuild the model objects on the other side.
 
 Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
 ``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``,
-``hypercube<N>``, and ``faulty:<base>:<count>@<seed>`` — any base
+``hypercube<N>``, ``circulant<N>s<s>`` (the circulant ring
+``C(N; 1, s)``), and ``faulty:<base>:<count>@<seed>`` — any base
 spec degraded by *count* random build-time link faults picked with
 *seed* (see :class:`~repro.topology.faults.FaultyTopology`).
 
 Pattern strings: ``uniform``, ``hotspot:<n>[,<n>...]``, ``tornado``,
-``bit-complement``, ``nearest-neighbor``, ``transpose``.
+``bit-complement``, ``nearest-neighbor``, ``transpose``,
+``shuffle``, ``bit-reverse``.
 """
 
 from __future__ import annotations
@@ -28,8 +30,10 @@ from repro.topology import (
 )
 from repro.traffic import (
     BitComplementTraffic,
+    BitReverseTraffic,
     HotspotTraffic,
     NearestNeighborTraffic,
+    ShuffleTraffic,
     TornadoTraffic,
     TrafficPattern,
     TransposeTraffic,
@@ -50,6 +54,10 @@ def parse_topology(spec: str) -> Topology:
         return RingTopology(int(match.group(1)))
     if match := re.fullmatch(r"spidergon(\d+)", spec):
         return SpidergonTopology(int(match.group(1)))
+    if match := re.fullmatch(r"circulant(\d+)s(\d+)", spec):
+        from repro.topology import CirculantTopology
+
+        return CirculantTopology(int(match.group(1)), int(match.group(2)))
     if match := re.fullmatch(r"mesh(\d+)x(\d+)", spec):
         return MeshTopology(int(match.group(1)), int(match.group(2)))
     if match := re.fullmatch(r"mesh-irregular(\d+)", spec):
@@ -97,6 +105,10 @@ def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:
         return BitComplementTraffic(topology)
     if spec == "nearest-neighbor":
         return NearestNeighborTraffic(topology)
+    if spec == "shuffle":
+        return ShuffleTraffic(topology)
+    if spec == "bit-reverse":
+        return BitReverseTraffic(topology)
     if spec == "transpose":
         if not isinstance(topology, MeshTopology):
             raise ValueError("transpose needs a mesh topology")

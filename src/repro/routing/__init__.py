@@ -12,6 +12,12 @@
   shortest-path next hops; works on any topology (including irregular
   meshes) and serves as the ablation baseline for the specialised
   schemes.
+* :class:`~repro.routing.circulant.CirculantTableRouting` /
+  :class:`~repro.routing.circulant.MultiplicativeCirculantRouting` —
+  minimal two-phase (chords, then ring steps) routing on circulant
+  rings ``C(N; 1, s)``, deadlock-free via per-chord-cycle datelines;
+  the multiplicative variant is the analytic digit scheme for
+  ``N = s^2`` (arXiv 1902.03314).
 
 The ring-based schemes use a two-virtual-channel dateline discipline
 for deadlock freedom, matching the paper's "pair of output buffers ...
@@ -25,6 +31,10 @@ from repro.routing.base import (
     RoutingError,
 )
 from repro.routing.adaptive import MeshO1TurnRouting
+from repro.routing.circulant import (
+    CirculantTableRouting,
+    MultiplicativeCirculantRouting,
+)
 from repro.routing.hypercube import HypercubeEcubeRouting
 from repro.routing.mesh import MeshXYRouting
 from repro.routing.ring import RingShortestRouting
@@ -46,9 +56,12 @@ def routing_for(topology) -> RoutingAlgorithm:
         RingTopology,
         SpidergonTopology,
     )
+    from repro.topology.circulant import CirculantTopology
     from repro.topology.hypercube import HypercubeTopology
     from repro.topology.torus import TorusTopology
 
+    if isinstance(topology, CirculantTopology):
+        return CirculantTableRouting(topology)
     if isinstance(topology, HypercubeTopology):
         return HypercubeEcubeRouting(topology)
     if isinstance(topology, SpidergonTopology):
@@ -63,7 +76,9 @@ def routing_for(topology) -> RoutingAlgorithm:
 
 
 __all__ = [
+    "CirculantTableRouting",
     "HypercubeEcubeRouting",
+    "MultiplicativeCirculantRouting",
     "LOCAL_PORT",
     "MeshXYRouting",
     "RingShortestRouting",

@@ -1,0 +1,193 @@
+"""Minimal deadlock-free routing on circulant rings C(N; 1, s).
+
+Routes execute in two phases — all chord hops first, then all unit
+ring steps, each phase in a single rotation sense — realizing the
+canonical minimal decomposition
+(:func:`repro.topology.circulant.minimal_decomposition`).  Phase
+ordering plays the role dimension order plays on the torus: ring
+channels never feed chord channels, so the channel dependency graph
+splits into independent chord and ring sub-graphs.
+
+Deadlock freedom reuses the paper's dateline/VC mechanism
+(docs/deadlock.md):
+
+* **Ring phase** — exactly :mod:`repro.routing.ring`: shortest
+  direction held for the rest of the route, promotion to VC 1 on the
+  hop crossing the direction's dateline.  Minimal step counts are at
+  most ``N/2``, so no packet crosses twice.
+* **Chord phase** — the ``+s`` chords partition the nodes into
+  ``gcd(N, s)`` disjoint cycles; each cycle gets its own dateline,
+  the hop *into* the cycle's minimal node (maximal node for ``-s``
+  chords).  That edge is the unique traversal-order-decreasing edge
+  of its cycle, and the canonical decomposition never spends a full
+  cycle lap (``|chords| < N / gcd(N, s)``), so again no packet
+  crosses twice.
+* The packet's VC class resets at the chord→ring turn, as at the
+  torus's X→Y turn: chord and ring channels are disjoint resource
+  sets crossed in a fixed order.
+
+``tests/routing/test_deadlock_freedom.py`` rebuilds the channel
+dependency graph from these rules and asserts acyclicity for the
+whole tested (N, s) grid.
+
+Two decomposition back-ends share this engine:
+
+* :class:`CirculantTableRouting` — a per-offset table (vertex
+  transitivity makes it O(N), not O(N^2)) from the exhaustive
+  minimal decomposition; provably minimal on any C(N; 1, s).
+* :class:`MultiplicativeCirculantRouting` — the analytic
+  digit-decomposition scheme of arXiv 1902.03314 for ``N = s^2``:
+  the offset is written as ``a1*s + a0`` with balanced digits, no
+  table needed.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+)
+from repro.routing.ring import dateline_vc
+from repro.topology.circulant import (
+    CirculantTopology,
+    minimal_decomposition,
+)
+from repro.topology.ring import CLOCKWISE, COUNTERCLOCKWISE
+
+_PLAN_KEY = "circulant_plan"
+_PHASE_KEY = "circulant_phase"
+
+
+class _CirculantDatelineRouting(RoutingAlgorithm):
+    """Shared two-phase execution engine; subclasses pick the plan."""
+
+    required_vcs = 2
+
+    def __init__(self, topology: CirculantTopology, name: str) -> None:
+        if not isinstance(topology, CirculantTopology):
+            raise TypeError(
+                f"circulant routing needs a CirculantTopology, got "
+                f"{type(topology).__name__}"
+            )
+        super().__init__(topology, name)
+        self._n = topology.num_nodes
+        self._skip = topology.skip
+        # Chord datelines, one per chord cycle: the hop into the
+        # cycle's min (cw chords) / max (ccw chords) node.
+        cycle_min = [0] * self._n
+        cycle_max = [0] * self._n
+        seen = [False] * self._n
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            cycle = topology.chord_cycle_nodes(start)
+            low, high = min(cycle), max(cycle)
+            for node in cycle:
+                seen[node] = True
+                cycle_min[node] = low
+                cycle_max[node] = high
+        self._cycle_min = cycle_min
+        self._cycle_max = cycle_max
+
+    def decompose(self, offset: int) -> tuple[int, int]:
+        """Signed (chords, steps) plan for a packet *offset* ahead."""
+        raise NotImplementedError
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, packet.vc)
+        plan = packet.route_state.get(_PLAN_KEY)
+        if plan is None:
+            chords, steps = self.decompose((packet.dst - node) % self._n)
+            plan = [chords, steps]
+            packet.route_state[_PLAN_KEY] = plan
+        if plan[0]:
+            direction = 1 if plan[0] > 0 else -1
+            plan[0] -= direction
+            return RouteDecision(
+                self.topology.chord_port(direction),
+                self._chord_vc(node, direction, packet),
+            )
+        direction = CLOCKWISE if plan[1] > 0 else COUNTERCLOCKWISE
+        plan[1] -= 1 if plan[1] > 0 else -1
+        if packet.route_state.get(_PHASE_KEY) != "ring":
+            # Chord->ring turn: ring channels are a fresh resource
+            # class, so the dateline VC class restarts (as at the
+            # torus's X->Y turn).
+            packet.route_state[_PHASE_KEY] = "ring"
+            packet.vc = 0
+        return RouteDecision(
+            direction, dateline_vc(self._n, node, direction, packet)
+        )
+
+    def _chord_vc(self, node: int, direction: int, packet: Packet) -> int:
+        target = (node + direction * self._skip) % self._n
+        crossing = (
+            target == self._cycle_min[node]
+            if direction > 0
+            else target == self._cycle_max[node]
+        )
+        if crossing:
+            packet.vc = 1
+        return packet.vc
+
+
+class CirculantTableRouting(_CirculantDatelineRouting):
+    """Table-based minimal routing: one decomposition per offset.
+
+    Vertex transitivity means the table depends only on
+    ``(dst - node) mod N`` — O(N) entries instead of the O(N^2) a
+    generic next-hop table needs.
+    """
+
+    def __init__(self, topology: CirculantTopology) -> None:
+        super().__init__(topology, f"circulant-table/{topology.name}")
+        self._plans = [
+            minimal_decomposition(self._n, self._skip, offset)
+            for offset in range(self._n)
+        ]
+
+    def decompose(self, offset: int) -> tuple[int, int]:
+        return self._plans[offset]
+
+
+class MultiplicativeCirculantRouting(_CirculantDatelineRouting):
+    """Analytic routing for multiplicative circulants ``C(s^2; 1, s)``.
+
+    Writes the offset in balanced base ``s`` — ``offset ≡ a1*s + a0``
+    with both digits near zero — and routes ``a1`` chord hops then
+    ``a0`` ring steps (arXiv 1902.03314's digit scheme for ``k = 2``).
+    Candidate digits come from rounding ``offset/s`` for the two
+    balanced representatives of the offset, so the decomposition is
+    O(1) per packet; ties break exactly as the table's search does,
+    and minimality is property-tested against the BFS oracle.
+    """
+
+    def __init__(self, topology: CirculantTopology) -> None:
+        if not topology.is_multiplicative:
+            raise ValueError(
+                f"multiplicative routing needs N == s^2, got "
+                f"{topology.name} (N={topology.num_nodes}, "
+                f"s={topology.skip})"
+            )
+        super().__init__(
+            topology, f"circulant-mult/{topology.name}"
+        )
+
+    def decompose(self, offset: int) -> tuple[int, int]:
+        n, s = self._n, self._skip
+        best: tuple[tuple, int, int] | None = None
+        for representative in (offset % n, offset % n - n):
+            base = representative // s
+            for chords in {0, base - 1, base, base + 1, base + 2}:
+                if abs(chords) >= s:  # a full chord-cycle lap
+                    continue
+                steps = representative - chords * s
+                cost = abs(chords) + abs(steps)
+                key = (cost, abs(chords), chords < 0, steps < 0)
+                if best is None or key < best[0]:
+                    best = (key, chords, steps)
+        assert best is not None
+        return best[1], best[2]

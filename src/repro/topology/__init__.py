@@ -4,11 +4,14 @@ Provides the three topology families compared in the paper —
 :class:`~repro.topology.ring.RingTopology`,
 :class:`~repro.topology.spidergon.SpidergonTopology` and
 :class:`~repro.topology.mesh.MeshTopology` (ideal, factorized and
-irregular variants) — on top of a small dependency-free graph type
-with BFS-based shortest-path metrics.
+irregular variants) — plus the extension families (torus, hypercube,
+and the circulant rings ``C(N; 1, s)`` generalizing both Ring and
+Spidergon), on top of a small dependency-free graph type with
+BFS-based shortest-path metrics.
 """
 
 from repro.topology.base import Link, Topology, TopologyError
+from repro.topology.circulant import CirculantTopology
 from repro.topology.faults import FaultyTopology
 from repro.topology.graph import Graph
 from repro.topology.mesh import MeshTopology, best_factorization
@@ -25,6 +28,7 @@ from repro.topology.spidergon import SpidergonTopology
 from repro.topology.torus import TorusTopology
 
 __all__ = [
+    "CirculantTopology",
     "FaultyTopology",
     "Graph",
     "HypercubeTopology",

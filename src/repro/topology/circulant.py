@@ -1,0 +1,207 @@
+"""The circulant-ring topology family C(N; 1, s).
+
+A circulant ``C(N; 1, s)`` is a bidirectional ring of ``N`` nodes
+augmented with *chord* links connecting each node ``i`` to
+``(i + s) mod N`` and ``(i - s) mod N``.  The family interpolates
+between the paper's two ring-based topologies:
+
+* with no chord it degenerates to the **Ring**;
+* with ``s = N/2`` the two chords coincide (``i + s == i - s`` mod N)
+  and the result is exactly the **Spidergon** — same node degree 3,
+  same ``across`` port name, same ``3N`` links;
+* for ``2 <= s < N/2`` the degree is constant 4 and there are ``4N``
+  unidirectional links.
+
+Romanov et al. study this family as the natural question the source
+paper stops short of: which chord length dominates the Spidergon's
+diametral chord at equal cost (arXiv 1904.09495)?  The special case
+``N = s^2`` is the two-dimensional *multiplicative circulant* of
+arXiv 1902.03314, for which an analytic digit-decomposition routing
+exists (:class:`repro.routing.circulant.MultiplicativeCirculantRouting`).
+
+The chord links of one rotation sense partition the nodes into
+``gcd(N, s)`` disjoint *chord cycles* (``i, i+s, i+2s, ...``), each of
+length ``N / gcd(N, s)``.  Routing uses one dateline per chord cycle
+for deadlock freedom (see docs/deadlock.md), so the cycle structure is
+exposed here as first-class queries (:meth:`chord_cycle_min`,
+:meth:`chord_cycle_length`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topology.base import Topology, TopologyError
+from repro.topology.ring import CLOCKWISE, COUNTERCLOCKWISE
+from repro.topology.spidergon import ACROSS
+
+#: Chord port advancing ``s`` positions clockwise (toward ``i + s``).
+CHORD_CLOCKWISE = "chord-cw"
+#: Chord port advancing ``s`` positions counterclockwise (``i - s``).
+CHORD_COUNTERCLOCKWISE = "chord-ccw"
+
+
+def minimal_decomposition(
+    num_nodes: int, skip: int, offset: int
+) -> tuple[int, int]:
+    """Minimal (chords, steps) pair covering *offset* on ``C(N;1,s)``.
+
+    Returns signed counts: positive = clockwise.  ``chords * skip +
+    steps ≡ offset (mod N)`` and ``|chords| + |steps|`` equals the BFS
+    shortest-path distance (any minimal route has an equivalent form
+    with all chord hops of one sign and all unit steps of one sign —
+    mixed signs cancel in pairs at cost 2 apiece).
+
+    The search is deterministic: ties break toward fewer chord hops,
+    then the clockwise chord, then the clockwise step — so every
+    caller (table routing, analytic formulas, tests) sees the same
+    canonical decomposition.  ``|chords|`` never reaches the chord
+    cycle length ``N / gcd(N, s)`` (a full extra lap of a chord cycle
+    is displacement zero), which is what bounds dateline crossings to
+    one per packet (docs/deadlock.md).
+    """
+    offset %= num_nodes
+    cycle = num_nodes // math.gcd(num_nodes, skip)
+    best: tuple[tuple, int, int] | None = None
+    for chords in range(-(cycle - 1), cycle):
+        remainder = (offset - chords * skip) % num_nodes
+        if remainder <= num_nodes - remainder:
+            steps = remainder
+        else:
+            steps = remainder - num_nodes
+        cost = abs(chords) + abs(steps)
+        key = (cost, abs(chords), chords < 0, steps < 0)
+        if best is None or key < best[0]:
+            best = (key, chords, steps)
+    assert best is not None
+    return best[1], best[2]
+
+
+class CirculantTopology(Topology):
+    """Circulant ring ``C(N; 1, s)`` over *num_nodes* nodes.
+
+    Port names are ``"cw"``, ``"ccw"`` and — for ``s < N/2`` —
+    ``"chord-cw"`` / ``"chord-ccw"``; the diametral case ``s = N/2``
+    exposes the single self-inverse chord as ``"across"``, matching
+    the Spidergon.
+
+    The chord length is canonical: ``2 <= skip <= N // 2``.  Specs
+    like ``C(16; 1, 12)`` describe the same graph as ``C(16; 1, 4)``;
+    requiring the canonical form keeps topology names (and with them
+    campaign cache keys) unambiguous.
+    """
+
+    def __init__(self, num_nodes: int, skip: int) -> None:
+        if num_nodes < 4:
+            raise TopologyError(
+                f"a circulant needs at least 4 nodes, got {num_nodes}"
+            )
+        if not 2 <= skip <= num_nodes // 2:
+            raise TopologyError(
+                f"circulant skip must be in [2, N//2] = "
+                f"[2, {num_nodes // 2}], got {skip} "
+                f"(C(N; 1, s) and C(N; 1, N-s) are the same graph; "
+                f"use the canonical s <= N/2)"
+            )
+        super().__init__(num_nodes, f"circulant{num_nodes}s{skip}")
+        self.skip = skip
+        #: True when the chord is its own inverse (``2s == N``): the
+        #: Spidergon case, degree 3 instead of 4.
+        self.has_diametral_chord = 2 * skip == num_nodes
+
+    @classmethod
+    def multiplicative(cls, base: int) -> "CirculantTopology":
+        """The multiplicative circulant ``C(base^2; 1, base)``.
+
+        The two-generator member of the arXiv 1902.03314 family
+        ``C(s^k; 1, s, ..., s^(k-1))``, for which the analytic
+        digit-decomposition routing applies.
+
+        Raises:
+            TopologyError: if *base* < 2.
+        """
+        if base < 2:
+            raise TopologyError(
+                f"multiplicative circulant base must be >= 2, got {base}"
+            )
+        return cls(base * base, base)
+
+    @property
+    def is_multiplicative(self) -> bool:
+        """True when ``N == s^2`` (the arXiv 1902.03314 special case)."""
+        return self.skip * self.skip == self.num_nodes
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        self.check_node(node)
+        ports = {
+            CLOCKWISE: (node + 1) % self.num_nodes,
+            COUNTERCLOCKWISE: (node - 1) % self.num_nodes,
+        }
+        if self.has_diametral_chord:
+            ports[ACROSS] = (node + self.skip) % self.num_nodes
+        else:
+            ports[CHORD_CLOCKWISE] = (node + self.skip) % self.num_nodes
+            ports[CHORD_COUNTERCLOCKWISE] = (
+                node - self.skip
+            ) % self.num_nodes
+        return ports
+
+    def chord_port(self, direction: int) -> str:
+        """Chord port name for rotation sense *direction* (+1 / -1)."""
+        if self.has_diametral_chord:
+            return ACROSS
+        return CHORD_CLOCKWISE if direction > 0 else CHORD_COUNTERCLOCKWISE
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Distance between *src* and *dst* on the external ring only."""
+        self.check_node(src)
+        self.check_node(dst)
+        clockwise = (dst - src) % self.num_nodes
+        return min(clockwise, self.num_nodes - clockwise)
+
+    # -- chord cycle structure ----------------------------------------
+
+    def chord_cycle_length(self) -> int:
+        """Length of every chord cycle: ``N / gcd(N, s)``."""
+        return self.num_nodes // math.gcd(self.num_nodes, self.skip)
+
+    def chord_cycle_nodes(self, node: int) -> tuple[int, ...]:
+        """The chord cycle through *node*, in ``+s`` traversal order."""
+        self.check_node(node)
+        nodes = [node]
+        current = (node + self.skip) % self.num_nodes
+        while current != node:
+            nodes.append(current)
+            current = (current + self.skip) % self.num_nodes
+        return tuple(nodes)
+
+    def chord_cycle_min(self, node: int) -> int:
+        """Smallest node id on the chord cycle through *node*.
+
+        The ``chord-cw`` hop *into* this node is its cycle's dateline
+        (the unique traversal-order-decreasing edge).
+        """
+        return min(self.chord_cycle_nodes(node))
+
+    def chord_cycle_max(self, node: int) -> int:
+        """Largest node id on the chord cycle through *node*.
+
+        The ``chord-ccw`` dateline, mirroring :meth:`chord_cycle_min`.
+        """
+        return max(self.chord_cycle_nodes(node))
+
+    # -- analytic distances -------------------------------------------
+
+    def analytic_distance(self, src: int, dst: int) -> int:
+        """Shortest-path hops via the number-theoretic decomposition.
+
+        Equals the BFS distance (property-tested in
+        ``tests/topology/test_circulant.py``) without touching the
+        graph: ``min |a| + |b|`` over ``a*s + b ≡ dst - src (mod N)``.
+        """
+        self.check_node(src)
+        self.check_node(dst)
+        chords, steps = minimal_decomposition(
+            self.num_nodes, self.skip, dst - src
+        )
+        return abs(chords) + abs(steps)

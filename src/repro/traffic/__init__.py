@@ -7,9 +7,9 @@ The paper's three scenarios map to:
   paper's placements (:func:`~repro.traffic.patterns.double_hotspot_targets`),
 * homogeneous sources/destinations — ``UniformTraffic``.
 
-The extra patterns (transpose, bit-complement, tornado, neighbor)
-cover the paper's stated future work on "specific traffic patterns
-originated by common applications".
+The extra patterns (transpose, bit-complement, tornado, neighbor,
+shuffle, bit-reverse) cover the paper's stated future work on
+"specific traffic patterns originated by common applications".
 
 Packet interarrival times are Poisson by default ("Packet sources
 adopt a Poisson interarrival distribution of constant size packets"),
@@ -26,8 +26,10 @@ from repro.traffic.injection import (
 )
 from repro.traffic.patterns import (
     BitComplementTraffic,
+    BitReverseTraffic,
     HotspotTraffic,
     NearestNeighborTraffic,
+    ShuffleTraffic,
     TornadoTraffic,
     TransposeTraffic,
     UniformTraffic,
@@ -38,11 +40,13 @@ from repro.traffic.trace import Trace, TraceEntry, record_trace
 __all__ = [
     "BernoulliInjection",
     "BitComplementTraffic",
+    "BitReverseTraffic",
     "HotspotTraffic",
     "InjectionProcess",
     "NearestNeighborTraffic",
     "PeriodicInjection",
     "PoissonInjection",
+    "ShuffleTraffic",
     "TornadoTraffic",
     "Trace",
     "TraceEntry",

@@ -121,6 +121,69 @@ class TransposeTraffic(TrafficPattern):
         return self._mesh.node_at(col, row)
 
 
+def _require_power_of_two(num_nodes: int, pattern: str) -> None:
+    if num_nodes < 2 or num_nodes & (num_nodes - 1):
+        raise ValueError(
+            f"{pattern} traffic is defined by bit permutation and "
+            f"needs a power-of-two node count, got {num_nodes}"
+        )
+
+
+class ShuffleTraffic(TrafficPattern):
+    """Perfect-shuffle permutation: rotate the address bits left by
+    one, so node ``b_{k-1} b_{k-2} .. b_0`` sends to
+    ``b_{k-2} .. b_0 b_{k-1}`` — the FFT/sorting-network access
+    pattern.  Nodes 0 and N-1 are fixed points and generate nothing.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        _require_power_of_two(topology.num_nodes, "shuffle")
+        super().__init__(topology, "shuffle")
+        self._bits = topology.num_nodes.bit_length() - 1
+
+    def _target(self, src: int) -> int:
+        mask = self.topology.num_nodes - 1
+        return ((src << 1) | (src >> (self._bits - 1))) & mask
+
+    def sources(self) -> list[int]:
+        return [
+            node
+            for node in range(self.topology.num_nodes)
+            if self._target(node) != node
+        ]
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        return self._target(src)
+
+
+class BitReverseTraffic(TrafficPattern):
+    """Bit-reversal permutation: node ``b_{k-1} .. b_0`` sends to
+    ``b_0 .. b_{k-1}`` — adversarial for dimension-ordered routes.
+    Palindromic addresses are fixed points and generate nothing.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        _require_power_of_two(topology.num_nodes, "bit-reverse")
+        super().__init__(topology, "bit-reverse")
+        self._bits = topology.num_nodes.bit_length() - 1
+
+    def _target(self, src: int) -> int:
+        result = 0
+        for bit in range(self._bits):
+            result = (result << 1) | ((src >> bit) & 1)
+        return result
+
+    def sources(self) -> list[int]:
+        return [
+            node
+            for node in range(self.topology.num_nodes)
+            if self._target(node) != node
+        ]
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        return self._target(src)
+
+
 class NearestNeighborTraffic(TrafficPattern):
     """Each packet goes to a uniformly chosen direct neighbor — the
     parallel-local-communication regime where the paper notes "the NoC

@@ -133,3 +133,77 @@ class TestSpidergonFormulas:
             formulas.spidergon_diameter(7)
         with pytest.raises(ValueError):
             formulas.spidergon_average_distance(10**1 + 1)
+
+
+class TestCirculantFormulas:
+    @given(
+        st.integers(min_value=4, max_value=48).flatmap(
+            lambda n: st.tuples(
+                st.just(n), st.integers(min_value=2, max_value=n // 2)
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_diameter_exact(self, params):
+        from repro.topology import CirculantTopology
+
+        n, s = params
+        assert formulas.circulant_diameter(n, s) == diameter(
+            CirculantTopology(n, s)
+        )
+
+    @given(
+        st.integers(min_value=4, max_value=48).flatmap(
+            lambda n: st.tuples(
+                st.just(n), st.integers(min_value=2, max_value=n // 2)
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_average_distance_exact(self, params):
+        from repro.topology import CirculantTopology
+
+        n, s = params
+        expected = average_distance(CirculantTopology(n, s))
+        assert formulas.circulant_average_distance(n, s) == pytest.approx(
+            expected
+        )
+
+    @given(
+        st.integers(min_value=4, max_value=48).flatmap(
+            lambda n: st.tuples(
+                st.just(n), st.integers(min_value=2, max_value=n // 2)
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distance_sum_matches_tagged_node(self, params):
+        from repro.topology import CirculantTopology
+
+        n, s = params
+        assert formulas.circulant_distance_sum(
+            n, s
+        ) == per_node_distance_sum(CirculantTopology(n, s), 0)
+
+    @given(even_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_diametral_chord_reduces_to_spidergon(self, n):
+        n = max(n, 8)
+        assert formulas.circulant_diameter(
+            n, n // 2
+        ) == formulas.spidergon_diameter(n)
+        assert formulas.circulant_average_distance(
+            n, n // 2
+        ) == pytest.approx(formulas.spidergon_average_distance(n))
+        assert formulas.circulant_num_links(
+            n, n // 2
+        ) == formulas.spidergon_num_links(n)
+
+    def test_links_proper_chord(self):
+        from repro.topology import CirculantTopology
+
+        for n, s in [(16, 4), (15, 5), (20, 7)]:
+            assert formulas.circulant_num_links(n, s) == 4 * n
+            assert formulas.circulant_num_links(n, s) == len(
+                CirculantTopology(n, s).links()
+            )

@@ -69,3 +69,46 @@ class TestTotalWireLength:
         spider = total_wire_length(SpidergonTopology(16))
         mesh = total_wire_length(MeshTopology(4, 4))
         assert spider > mesh
+
+
+class TestCirculantWireModel:
+    def test_chord_is_circle_chord(self):
+        from repro.topology import CirculantTopology
+        from repro.topology.circulant import CHORD_CLOCKWISE
+
+        topology = CirculantTopology(16, 4)
+        chord = Link(0, 4, CHORD_CLOCKWISE)
+        assert link_length(topology, chord) == pytest.approx(
+            (16 / math.pi) * math.sin(math.pi * 4 / 16)
+        )
+        ring_link = Link(0, 1, "cw")
+        assert link_length(topology, ring_link) == 1.0
+
+    def test_diametral_chord_matches_spidergon_across(self):
+        from repro.topology import CirculantTopology
+
+        circulant = CirculantTopology(16, 8)
+        spidergon = SpidergonTopology(16)
+        across = Link(0, 8, "across")
+        assert link_length(circulant, across) == pytest.approx(
+            link_length(spidergon, across)
+        )
+        assert total_wire_length(circulant) == pytest.approx(
+            total_wire_length(spidergon)
+        )
+
+    def test_chord_length_monotone_in_span(self):
+        from repro.topology import CirculantTopology
+        from repro.topology.circulant import CHORD_CLOCKWISE
+
+        n = 32
+        lengths = [
+            link_length(
+                CirculantTopology(n, s),
+                Link(0, s, CHORD_CLOCKWISE),
+            )
+            for s in range(2, n // 2)
+        ]
+        assert lengths == sorted(lengths)
+        # sin is bounded: no chord is longer than the diameter.
+        assert all(length <= n / math.pi for length in lengths)

@@ -1,0 +1,201 @@
+"""Tests for the equal-cost Spidergon-vs-circulant study."""
+
+import pytest
+
+from repro.experiments.circulant import (
+    CandidateResult,
+    candidate_skips,
+    equal_cost_study,
+    format_study,
+    main as circulant_main,
+    static_metrics,
+)
+from repro.experiments.parallel import derive_seed, point_key
+from repro.experiments.runner import SimulationSettings, SweepPoint
+from repro.topology import SpidergonTopology
+from repro.cost.wires import total_wire_length
+
+FAST = SimulationSettings(cycles=1_200, warmup=200, seed=5)
+
+
+class TestStaticMetrics:
+    def test_reference_is_the_spidergon(self):
+        reference = static_metrics(16, None)
+        assert reference.spec == "spidergon16"
+        assert reference.is_reference
+        assert reference.num_links == 48
+        assert reference.wire_length == pytest.approx(
+            total_wire_length(SpidergonTopology(16))
+        )
+
+    def test_diametral_candidate_matches_reference(self):
+        # circulant16s8 IS the Spidergon; every static number agrees.
+        reference = static_metrics(16, None)
+        diametral = static_metrics(16, 8)
+        assert diametral.diameter == reference.diameter
+        assert diametral.average_distance == pytest.approx(
+            reference.average_distance
+        )
+        assert diametral.num_links == reference.num_links
+        assert diametral.wire_length == pytest.approx(
+            reference.wire_length
+        )
+
+    def test_candidate_skips_cover_canonical_range(self):
+        assert candidate_skips(16) == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_short_chords_cost_less_wire(self):
+        # sin is increasing on [0, pi/2]: shorter chords, less wire
+        # even with 4N links vs the Spidergon's 3N at N=16.
+        assert (
+            static_metrics(16, 2).wire_length
+            < static_metrics(16, None).wire_length
+        )
+
+
+class TestStudy:
+    def test_rejects_odd_n(self):
+        with pytest.raises(ValueError, match="even"):
+            equal_cost_study(15, settings=FAST)
+
+    def test_rejects_empty_rates(self):
+        with pytest.raises(ValueError):
+            equal_cost_study(8, rates=(), settings=FAST)
+
+    def test_study_shape_and_winner(self):
+        study = equal_cost_study(
+            8, rates=(0.05, 0.5), settings=FAST, skips=[2, 3, 4]
+        )
+        assert [c.skip for c in study.candidates] == [2, 3, 4]
+        assert study.reference.latency is not None
+        for candidate in study.candidates:
+            assert len(candidate.throughput_curve) == 2
+            assert candidate.saturation_throughput is not None
+        # The diametral candidate (s=4 == N/2) never wins: it is the
+        # reference itself.
+        if study.winner is not None:
+            assert study.winner.skip != 4
+            assert (
+                study.winner.wire_length
+                <= study.reference.wire_length + 1e-9
+            )
+
+    def test_figure_has_one_series_per_topology(self):
+        study = equal_cost_study(
+            8, rates=(0.3,), settings=FAST, skips=[2]
+        )
+        assert set(study.figure.series) == {"spidergon8", "circulant8s2"}
+
+    def test_format_study_reports_winner_line(self):
+        study = equal_cost_study(
+            8, rates=(0.05, 0.5), settings=FAST, skips=[2, 3]
+        )
+        text = format_study(study)
+        assert "spidergon8" in text
+        assert "circulant8s2" in text
+        if study.winner is not None:
+            assert "winner at equal cost" in text
+
+    def test_equal_cost_filter_matches_wire_rule(self):
+        study = equal_cost_study(
+            8, rates=(0.3,), settings=FAST, skips=[2, 3, 4]
+        )
+        budget = study.reference.wire_length
+        assert {c.spec for c in study.equal_cost_candidates} == {
+            c.spec
+            for c in study.candidates
+            if c.wire_length <= budget + 1e-9
+        }
+        # The diametral candidate always fits (it IS the reference).
+        assert "circulant8s4" in {
+            c.spec for c in study.equal_cost_candidates
+        }
+
+    def test_short_chord_fits_budget_at_n16(self):
+        # At N=16 the s=2 circulant undercuts the Spidergon's wire
+        # budget despite its 4N links — the regime the study exploits.
+        assert (
+            static_metrics(16, 2).wire_length
+            < static_metrics(16, None).wire_length
+        )
+        # ... but at N=8 it does not: the link-count overhead wins.
+        assert (
+            static_metrics(8, 2).wire_length
+            > static_metrics(8, None).wire_length
+        )
+
+
+class TestCli:
+    def test_main_runs(self, capsys):
+        code = circulant_main(
+            ["8", "--rates", "0.05,0.4", "--cycles", "1200",
+             "--warmup", "200"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equal-cost circulant study" in out
+        assert "ext-circulant" in out
+
+    def test_main_rejects_odd_n(self, capsys):
+        assert circulant_main(["9"]) == 2
+        assert "even" in capsys.readouterr().out
+
+
+class TestCacheKeys:
+    """Circulant specs flow through the campaign cache unchanged."""
+
+    def test_point_key_stable_and_spec_sensitive(self):
+        settings = SimulationSettings(cycles=100, warmup=10, seed=1)
+        point = SweepPoint("circulant16s4", "uniform", 0.1, settings)
+        same = SweepPoint("circulant16s4", "uniform", 0.1, settings)
+        other = SweepPoint("circulant16s5", "uniform", 0.1, settings)
+        assert point_key(point) == point_key(same)
+        assert point_key(point) != point_key(other)
+
+    def test_derive_seed_distinguishes_chords(self):
+        a = derive_seed(1, "circulant16s4", "uniform", 0.1)
+        b = derive_seed(1, "circulant16s5", "uniform", 0.1)
+        assert a != b
+        assert a == derive_seed(1, "circulant16s4", "uniform", 0.1)
+
+    def test_campaign_validate_accepts_circulant_specs(self):
+        from repro.experiments.campaign import Campaign
+
+        campaign = Campaign(
+            {
+                "name": "circulant-smoke",
+                "topologies": ["circulant16s4", "spidergon16"],
+                "patterns": ["uniform", "shuffle", "bit-reverse"],
+                "rates": [0.1],
+                "cycles": 200,
+                "warmup": 20,
+            }
+        )
+        campaign.validate()
+
+    def test_campaign_validate_names_bad_circulant_spec(self):
+        from repro.experiments.campaign import Campaign
+
+        campaign = Campaign(
+            {
+                "name": "bad",
+                "topologies": ["circulant16s99"],
+                "patterns": ["uniform"],
+                "rates": [0.1],
+            }
+        )
+        with pytest.raises(ValueError):
+            campaign.validate()
+
+    def test_candidate_result_defaults(self):
+        candidate = CandidateResult(
+            spec="circulant8s2",
+            skip=2,
+            diameter=2,
+            average_distance=1.5,
+            num_links=32,
+            wire_length=30.0,
+        )
+        assert candidate.latency is None
+        assert candidate.throughput_curve == []
+        assert not candidate.is_reference

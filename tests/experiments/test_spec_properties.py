@@ -9,7 +9,7 @@ with a parametrized fallback otherwise.
 import pytest
 
 from repro.experiments.specs import parse_pattern, parse_topology
-from repro.topology import MeshTopology, TorusTopology
+from repro.topology import CirculantTopology, MeshTopology, TorusTopology
 
 try:
     from hypothesis import assume, given, settings
@@ -65,6 +65,34 @@ class TestRoundTripProperties:
         assert isinstance(topology, TorusTopology)
         assert topology.num_nodes == rows * cols
 
+    @given(
+        st.integers(min_value=4, max_value=128).flatmap(
+            lambda n: st.tuples(
+                st.just(n), st.integers(min_value=2, max_value=n // 2)
+            )
+        )
+    )
+    def test_circulant_round_trips_through_its_name(self, params):
+        """spec -> topology -> .name -> topology is the identity, so
+        the name can serve as a campaign cache-key component."""
+        n, s = params
+        topology = parse_topology(f"circulant{n}s{s}")
+        assert isinstance(topology, CirculantTopology)
+        assert (topology.num_nodes, topology.skip) == (n, s)
+        assert topology.name == f"circulant{n}s{s}"
+        again = parse_topology(topology.name)
+        assert (again.num_nodes, again.skip) == (n, s)
+
+    @given(st.integers(min_value=0, max_value=300), st.data())
+    def test_circulant_bad_parameters_raise_value_error(self, n, data):
+        s = data.draw(st.integers(min_value=0, max_value=300))
+        spec = f"circulant{n}s{s}"
+        try:
+            topology = parse_topology(spec)
+        except ValueError:
+            return
+        assert 2 <= topology.skip <= topology.num_nodes // 2
+
     @given(st.text(max_size=30))
     @settings(max_examples=200)
     def test_arbitrary_text_raises_value_error_or_parses(self, text):
@@ -110,6 +138,10 @@ class TestMalformedSpecs:
             "mesh-irregular",
             "hypercube",
             "8ring",
+            "circulant16",
+            "circulant16s",
+            "circulants4",
+            "circulant16x4",
         ],
     )
     def test_malformed_topology_raises_value_error(self, spec):
@@ -119,7 +151,9 @@ class TestMalformedSpecs:
     @pytest.mark.parametrize(
         "spec",
         ["ring2", "spidergon7", "spidergon2", "torus2x4",
-         "hypercube12", "mesh-irregular1", "mesh0x4"],
+         "hypercube12", "mesh-irregular1", "mesh0x4",
+         "circulant16s0", "circulant16s1", "circulant16s9",
+         "circulant3s2"],
     )
     def test_impossible_parameters_raise_value_error(self, spec):
         with pytest.raises(ValueError):
@@ -135,8 +169,20 @@ class TestMalformedSpecs:
         with pytest.raises(ValueError):
             parse_pattern(spec, topology)
 
+    @pytest.mark.parametrize("spec", ["shuffle", "bit-reverse"])
+    def test_bit_permutation_patterns_parse_on_power_of_two(self, spec):
+        pattern = parse_pattern(spec, parse_topology("ring16"))
+        assert pattern.name == spec
+
+    @pytest.mark.parametrize("spec", ["shuffle", "bit-reverse"])
+    def test_bit_permutation_patterns_reject_other_sizes(self, spec):
+        with pytest.raises(ValueError, match="power-of-two"):
+            parse_pattern(spec, parse_topology("ring12"))
+
     def test_error_messages_name_the_spec(self):
         with pytest.raises(ValueError, match="butterfly8"):
             parse_topology("butterfly8")
         with pytest.raises(ValueError, match="randomly"):
             parse_pattern("randomly", parse_topology("ring8"))
+        with pytest.raises(ValueError, match="circulant9x9"):
+            parse_topology("circulant9x9")

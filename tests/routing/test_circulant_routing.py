@@ -1,0 +1,194 @@
+"""Oracle-verified tests for the circulant routing algorithms.
+
+The acceptance bar for the family: table-based routing is *provably
+minimal* on every tested ``C(N; 1, s)`` — property-tested against the
+BFS distances of :mod:`repro.topology.graph` for N up to 64 with
+randomly drawn chords — and the analytic multiplicative scheme agrees
+with the table everywhere it is defined.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.packet import Packet
+from repro.routing import (
+    CirculantTableRouting,
+    MultiplicativeCirculantRouting,
+    routing_for,
+)
+from repro.topology import CirculantTopology, RingTopology
+
+
+def circulant_params(max_nodes=64):
+    return st.integers(min_value=4, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n), st.integers(min_value=2, max_value=n // 2)
+        )
+    )
+
+
+def walk(topology, routing, src, dst):
+    """(nodes visited, VC sequence) of one fully routed packet."""
+    pkt = Packet(src, dst, 6, created_at=0)
+    node, nodes, vcs = src, [src], []
+    for _ in range(2 * topology.num_nodes):
+        decision = routing.decide(node, pkt)
+        if decision.is_local:
+            return nodes, vcs
+        vcs.append(decision.vc)
+        node = topology.out_ports(node)[decision.port]
+        nodes.append(node)
+    raise AssertionError(f"route {src}->{dst} did not terminate")
+
+
+class TestTableMinimality:
+    @given(circulant_params(), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_hops_equal_bfs_distance(self, params, data):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        routing = CirculantTableRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        dist = topology.to_graph().bfs_distances(src)[dst]
+        assert routing.path_length(src, dst) == dist
+
+    @pytest.mark.parametrize(
+        "n,s", [(8, 2), (10, 4), (16, 4), (16, 8), (25, 5), (64, 8)]
+    )
+    def test_exhaustive_minimality(self, n, s):
+        topology = CirculantTopology(n, s)
+        routing = CirculantTableRouting(topology)
+        graph = topology.to_graph()
+        for src in range(n):
+            distances = graph.bfs_distances(src)
+            for dst in range(n):
+                assert routing.path_length(src, dst) == distances[dst]
+
+    @given(circulant_params(max_nodes=40), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_walk_reaches_destination(self, params, data):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        routing = CirculantTableRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(
+            st.integers(0, n - 1).filter(lambda d: d != src)
+        )
+        nodes, _ = walk(topology, routing, src, dst)
+        assert nodes[-1] == dst
+
+    def test_rejects_non_circulant_topology(self):
+        with pytest.raises(TypeError):
+            CirculantTableRouting(RingTopology(8))
+
+
+class TestTwoPhaseDiscipline:
+    @given(circulant_params(max_nodes=48), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_chords_never_follow_ring_steps(self, params, data):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        routing = CirculantTableRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(
+            st.integers(0, n - 1).filter(lambda d: d != src)
+        )
+        nodes, _ = walk(topology, routing, src, dst)
+        hop_kinds = [
+            "ring"
+            if (b - a) % n in (1, n - 1)
+            else "chord"
+            for a, b in zip(nodes, nodes[1:])
+        ]
+        # All chord hops strictly precede all ring hops.
+        assert hop_kinds == sorted(hop_kinds)
+
+    @given(circulant_params(max_nodes=48), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_vc_monotone_within_each_phase(self, params, data):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        routing = CirculantTableRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(
+            st.integers(0, n - 1).filter(lambda d: d != src)
+        )
+        nodes, vcs = walk(topology, routing, src, dst)
+        kinds = [
+            "ring" if (b - a) % n in (1, n - 1) else "chord"
+            for a, b in zip(nodes, nodes[1:])
+        ]
+        assert all(vc in (0, 1) for vc in vcs)
+        for phase in ("chord", "ring"):
+            phase_vcs = [
+                vc for vc, kind in zip(vcs, kinds) if kind == phase
+            ]
+            assert all(
+                a <= b for a, b in zip(phase_vcs, phase_vcs[1:])
+            ), (nodes, vcs, kinds)
+
+    @given(circulant_params(max_nodes=48), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_at_most_one_dateline_crossing_per_phase(
+        self, params, data
+    ):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        routing = CirculantTableRouting(topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(
+            st.integers(0, n - 1).filter(lambda d: d != src)
+        )
+        nodes, vcs = walk(topology, routing, src, dst)
+        kinds = [
+            "ring" if (b - a) % n in (1, n - 1) else "chord"
+            for a, b in zip(nodes, nodes[1:])
+        ]
+        for phase in ("chord", "ring"):
+            phase_vcs = [
+                vc for vc, kind in zip(vcs, kinds) if kind == phase
+            ]
+            # 0 -> 1 at most once means at most one crossing.
+            assert sum(
+                1
+                for a, b in zip([0] + phase_vcs, phase_vcs)
+                if b > a
+            ) <= 1
+
+
+class TestMultiplicativeRouting:
+    @given(st.integers(min_value=2, max_value=8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bfs_distance(self, base, data):
+        topology = CirculantTopology.multiplicative(base)
+        routing = MultiplicativeCirculantRouting(topology)
+        n = topology.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        distances = topology.to_graph().bfs_distances(src)
+        for dst in range(n):
+            assert routing.path_length(src, dst) == distances[dst]
+
+    @pytest.mark.parametrize("base", [2, 3, 4, 5, 6, 7, 8])
+    def test_decompose_agrees_with_table(self, base):
+        topology = CirculantTopology.multiplicative(base)
+        analytic = MultiplicativeCirculantRouting(topology)
+        table = CirculantTableRouting(topology)
+        for offset in range(topology.num_nodes):
+            assert analytic.decompose(offset) == table.decompose(offset)
+
+    def test_rejects_non_multiplicative(self):
+        with pytest.raises(ValueError, match="circulant16s5"):
+            MultiplicativeCirculantRouting(CirculantTopology(16, 5))
+
+
+class TestRegistration:
+    def test_routing_for_picks_table(self):
+        topology = CirculantTopology(20, 6)
+        routing = routing_for(topology)
+        assert isinstance(routing, CirculantTableRouting)
+
+    def test_required_vcs(self):
+        assert CirculantTableRouting(
+            CirculantTopology(12, 3)
+        ).required_vcs == 2

@@ -1,0 +1,174 @@
+"""Channel-dependency-graph regression tests (docs/deadlock.md).
+
+Dally & Seitz: a routing function is deadlock-free iff its channel
+dependency graph (CDG) — nodes are (link, virtual channel) pairs,
+edges connect channels a packet may hold simultaneously — is acyclic.
+These tests rebuild the CDG for the dateline-routed topologies by
+walking ``decide()`` over every (src, dst) pair and asserting
+acyclicity, so any future change to the dateline placement or the VC
+discipline that reintroduces a cycle fails here, not in a wedged
+simulation.
+
+``TableRouting`` on the Spidergon is the detector's positive control:
+docs/deadlock.md documents its CDG as cyclic (single VC around the
+ring), and the checker must say so.
+"""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.routing import (
+    CirculantTableRouting,
+    MultiplicativeCirculantRouting,
+    RingShortestRouting,
+    SpidergonAcrossFirstRouting,
+    TableRouting,
+)
+from repro.topology import (
+    CirculantTopology,
+    RingTopology,
+    SpidergonTopology,
+)
+
+
+def channel_walk(topology, routing, src, dst):
+    """The (link, vc) channels a packet from src to dst occupies, in
+    order.  A link is identified as (node, port)."""
+    pkt = Packet(src, dst, 6, created_at=0)
+    node, channels = src, []
+    for _ in range(2 * topology.num_nodes):
+        decision = routing.decide(node, pkt)
+        if decision.is_local:
+            return channels
+        channels.append(((node, decision.port), decision.vc))
+        node = topology.out_ports(node)[decision.port]
+    raise AssertionError(f"route {src}->{dst} did not terminate")
+
+
+def channel_dependency_graph(topology, routing):
+    """CDG edges over all (src, dst) pairs: channel -> next channel."""
+    edges = {}
+    n = topology.num_nodes
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            channels = channel_walk(topology, routing, src, dst)
+            for a, b in zip(channels, channels[1:]):
+                edges.setdefault(a, set()).add(b)
+    return edges
+
+
+def find_cycle(edges):
+    """A channel on some CDG cycle, or None if the graph is acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {}
+
+    def visit(channel):
+        color[channel] = GREY
+        for succ in edges.get(channel, ()):
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                return succ
+            if state == WHITE:
+                found = visit(succ)
+                if found is not None:
+                    return found
+        color[channel] = BLACK
+        return None
+
+    for channel in list(edges):
+        if color.get(channel, WHITE) == WHITE:
+            found = visit(channel)
+            if found is not None:
+                return found
+    return None
+
+
+CIRCULANT_GRID = [
+    (8, 2), (8, 3), (8, 4), (9, 3), (10, 4), (12, 3), (12, 5),
+    (15, 6), (16, 4), (16, 5), (16, 8), (20, 6), (21, 7), (25, 5),
+    (36, 6),
+]
+
+
+class TestCirculantAcyclicity:
+    @pytest.mark.parametrize("n,s", CIRCULANT_GRID)
+    def test_table_routing_cdg_acyclic(self, n, s):
+        topology = CirculantTopology(n, s)
+        edges = channel_dependency_graph(
+            topology, CirculantTableRouting(topology)
+        )
+        assert find_cycle(edges) is None
+
+    @pytest.mark.parametrize("base", [3, 4, 5, 6])
+    def test_multiplicative_routing_cdg_acyclic(self, base):
+        topology = CirculantTopology.multiplicative(base)
+        edges = channel_dependency_graph(
+            topology, MultiplicativeCirculantRouting(topology)
+        )
+        assert find_cycle(edges) is None
+
+
+class TestPaperSchemesStayAcyclic:
+    @pytest.mark.parametrize("n", [5, 8, 13, 16])
+    def test_ring_dateline_cdg_acyclic(self, n):
+        topology = RingTopology(n)
+        edges = channel_dependency_graph(
+            topology, RingShortestRouting(topology)
+        )
+        assert find_cycle(edges) is None
+
+    @pytest.mark.parametrize("n", [8, 12, 16])
+    def test_spidergon_dateline_cdg_acyclic(self, n):
+        topology = SpidergonTopology(n)
+        edges = channel_dependency_graph(
+            topology, SpidergonAcrossFirstRouting(topology)
+        )
+        assert find_cycle(edges) is None
+
+
+class TestDetectorPositiveControl:
+    def test_single_vc_table_routing_on_spidergon_is_cyclic(self):
+        # Documented in docs/deadlock.md: shortest-path table routing
+        # with one VC closes a dependency cycle around the ring.  If
+        # the checker cannot see that cycle it proves nothing above.
+        topology = SpidergonTopology(12)
+        edges = channel_dependency_graph(
+            topology, TableRouting(topology)
+        )
+        assert find_cycle(edges) is not None
+
+    def test_single_vc_table_routing_on_ring_is_cyclic(self):
+        topology = RingTopology(8)
+        edges = channel_dependency_graph(
+            topology, TableRouting(topology)
+        )
+        assert find_cycle(edges) is not None
+
+
+class TestSaturatedLoadSmoke:
+    """End-to-end backstop: a saturating run on the circulant must
+    finish without the stall watchdog firing."""
+
+    @pytest.mark.parametrize("n,s", [(16, 4), (15, 6), (16, 8)])
+    def test_no_stall_at_saturation(self, n, s):
+        from repro.experiments.runner import (
+            SimulationSettings,
+            run_simulation,
+        )
+        from repro.experiments.specs import parse_pattern
+
+        topology = CirculantTopology(n, s)
+        settings = SimulationSettings(
+            cycles=6_000, warmup=1_000, seed=3, stall_cycles=1_500
+        )
+        result = run_simulation(
+            topology,
+            parse_pattern("uniform", topology),
+            0.9,  # far past saturation
+            settings,
+        )
+        assert not result.degraded
+        assert "stall" not in result.extra
+        assert result.packets_delivered > 0

@@ -4,19 +4,107 @@ from hypothesis import given, settings, strategies as st
 
 from repro.noc.packet import Packet
 from repro.routing import (
+    CirculantTableRouting,
+    HypercubeEcubeRouting,
     MeshXYRouting,
+    MultiplicativeCirculantRouting,
     RingShortestRouting,
     SpidergonAcrossFirstRouting,
     TableRouting,
+    TorusXYRouting,
 )
 from repro.topology import (
+    CirculantTopology,
+    HypercubeTopology,
     MeshTopology,
     RingTopology,
     SpidergonTopology,
+    TorusTopology,
     all_pairs_distances,
 )
 
 even_sizes = st.integers(min_value=2, max_value=24).map(lambda x: 2 * x)
+
+
+# One strategy per registered routing algorithm, each producing a
+# ready-to-oracle (topology, routing) pair over randomized parameters.
+ROUTED_TOPOLOGIES = {
+    "ring": st.integers(min_value=3, max_value=40).map(
+        lambda n: (lambda t: (t, RingShortestRouting(t)))(
+            RingTopology(n)
+        )
+    ),
+    "spidergon": even_sizes.map(
+        lambda n: (lambda t: (t, SpidergonAcrossFirstRouting(t)))(
+            SpidergonTopology(n)
+        )
+    ),
+    "mesh-xy": st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    .filter(lambda rc: rc[0] * rc[1] >= 2)
+    .map(
+        lambda rc: (lambda t: (t, MeshXYRouting(t)))(
+            MeshTopology(*rc)
+        )
+    ),
+    "torus-xy": st.tuples(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=3, max_value=8),
+    ).map(
+        lambda rc: (lambda t: (t, TorusXYRouting(t)))(
+            TorusTopology(*rc)
+        )
+    ),
+    "hypercube": st.integers(min_value=1, max_value=6).map(
+        lambda d: (lambda t: (t, HypercubeEcubeRouting(t)))(
+            HypercubeTopology(d)
+        )
+    ),
+    "circulant-table": st.integers(min_value=4, max_value=64)
+    .flatmap(
+        lambda n: st.tuples(
+            st.just(n), st.integers(min_value=2, max_value=n // 2)
+        )
+    )
+    .map(
+        lambda ns: (lambda t: (t, CirculantTableRouting(t)))(
+            CirculantTopology(*ns)
+        )
+    ),
+    "circulant-mult": st.integers(min_value=2, max_value=8).map(
+        lambda s: (lambda t: (t, MultiplicativeCirculantRouting(t)))(
+            CirculantTopology.multiplicative(s)
+        )
+    ),
+    "table": st.integers(min_value=2, max_value=30).map(
+        lambda n: (lambda t: (t, TableRouting(t)))(
+            MeshTopology.irregular(n)
+        )
+    ),
+}
+
+
+class TestBfsOracle:
+    """Every algorithm's hop count equals the BFS shortest-path
+    distance of :meth:`repro.topology.graph.Graph.bfs_distances` —
+    one oracle for the whole registry."""
+
+    @given(
+        st.sampled_from(sorted(ROUTED_TOPOLOGIES)), st.data()
+    )
+    @settings(max_examples=250, deadline=None)
+    def test_path_length_equals_bfs_distance(self, kind, data):
+        topology, routing = data.draw(ROUTED_TOPOLOGIES[kind])
+        n = topology.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        dist = topology.to_graph().bfs_distances(src)[dst]
+        assert routing.path_length(src, dst) == dist, (
+            f"{kind}: {routing.name} routes {src}->{dst} in "
+            f"{routing.path_length(src, dst)} hops, BFS says {dist}"
+        )
 
 
 def walk_vcs(topology, routing, src, dst):

@@ -1,0 +1,188 @@
+"""Unit and property tests for the circulant family C(N; 1, s)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    CirculantTopology,
+    SpidergonTopology,
+    TopologyError,
+    average_distance,
+    diameter,
+)
+from repro.topology.circulant import (
+    CHORD_CLOCKWISE,
+    CHORD_COUNTERCLOCKWISE,
+    minimal_decomposition,
+)
+from repro.topology.spidergon import ACROSS
+
+
+def circulant_params(max_nodes=64):
+    """(N, s) pairs with 4 <= N and 2 <= s <= N//2."""
+    return st.integers(min_value=4, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n), st.integers(min_value=2, max_value=n // 2)
+        )
+    )
+
+
+class TestConstruction:
+    def test_name_encodes_parameters(self):
+        assert CirculantTopology(16, 4).name == "circulant16s4"
+
+    def test_rejects_tiny_networks(self):
+        with pytest.raises(TopologyError):
+            CirculantTopology(3, 2)
+
+    @pytest.mark.parametrize("skip", [0, 1, 9, 15, 16])
+    def test_rejects_non_canonical_skip(self, skip):
+        with pytest.raises(TopologyError):
+            CirculantTopology(16, skip)
+
+    def test_non_canonical_error_explains_mirror(self):
+        with pytest.raises(TopologyError, match="C\\(N; 1, N-s\\)"):
+            CirculantTopology(16, 12)
+
+    def test_multiplicative_classmethod(self):
+        topology = CirculantTopology.multiplicative(5)
+        assert topology.num_nodes == 25
+        assert topology.skip == 5
+        assert topology.is_multiplicative
+
+    def test_multiplicative_rejects_small_base(self):
+        with pytest.raises(TopologyError):
+            CirculantTopology.multiplicative(1)
+
+    def test_is_multiplicative_false_otherwise(self):
+        assert CirculantTopology(16, 4).is_multiplicative  # 16 == 4^2
+        assert not CirculantTopology(16, 5).is_multiplicative
+        assert not CirculantTopology(20, 6).is_multiplicative
+
+    @given(circulant_params())
+    @settings(max_examples=60, deadline=None)
+    def test_links_paired_and_connected(self, params):
+        CirculantTopology(*params).validate()
+
+    @given(circulant_params())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_constant(self, params):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        expected = 3 if 2 * s == n else 4
+        assert all(
+            topology.degree(v) == expected for v in range(n)
+        )
+
+
+class TestSpidergonEquivalence:
+    """s = N/2 is exactly the Spidergon, ports and all."""
+
+    @pytest.mark.parametrize("n", [4, 8, 12, 16, 24])
+    def test_same_ports_as_spidergon(self, n):
+        circulant = CirculantTopology(n, n // 2)
+        spidergon = SpidergonTopology(n)
+        assert circulant.has_diametral_chord
+        for node in range(n):
+            assert circulant.out_ports(node) == spidergon.out_ports(node)
+
+    def test_proper_chord_uses_chord_ports(self):
+        topology = CirculantTopology(16, 4)
+        ports = topology.out_ports(0)
+        assert ports[CHORD_CLOCKWISE] == 4
+        assert ports[CHORD_COUNTERCLOCKWISE] == 12
+        assert ACROSS not in ports
+
+    def test_chord_port_selector(self):
+        proper = CirculantTopology(16, 4)
+        assert proper.chord_port(+1) == CHORD_CLOCKWISE
+        assert proper.chord_port(-1) == CHORD_COUNTERCLOCKWISE
+        diametral = CirculantTopology(16, 8)
+        assert diametral.chord_port(+1) == ACROSS
+        assert diametral.chord_port(-1) == ACROSS
+
+
+class TestChordCycles:
+    def test_cycle_length_is_n_over_gcd(self):
+        assert CirculantTopology(16, 4).chord_cycle_length() == 4
+        assert CirculantTopology(15, 6).chord_cycle_length() == 5
+        assert CirculantTopology(16, 5).chord_cycle_length() == 16
+
+    @given(circulant_params(max_nodes=40))
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_partition_the_nodes(self, params):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        cycles = {
+            tuple(sorted(topology.chord_cycle_nodes(v)))
+            for v in range(n)
+        }
+        assert len(cycles) == math.gcd(n, s)
+        covered = sorted(v for cycle in cycles for v in cycle)
+        assert covered == list(range(n))
+        assert all(
+            len(cycle) == topology.chord_cycle_length()
+            for cycle in cycles
+        )
+
+    def test_cycle_min_max(self):
+        topology = CirculantTopology(16, 4)
+        # cycle through 1: 1, 5, 9, 13
+        assert topology.chord_cycle_min(5) == 1
+        assert topology.chord_cycle_max(5) == 13
+
+
+class TestMinimalDecomposition:
+    @given(circulant_params(), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_decomposition_is_congruent_and_minimal(self, params, data):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        graph = topology.to_graph()
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        chords, steps = minimal_decomposition(n, s, dst - src)
+        assert (chords * s + steps) % n == (dst - src) % n
+        assert abs(chords) + abs(steps) == graph.bfs_distances(src)[dst]
+        assert abs(chords) < topology.chord_cycle_length()
+
+    @given(circulant_params(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_analytic_distance_matches_bfs(self, params, data):
+        n, s = params
+        topology = CirculantTopology(n, s)
+        src = data.draw(st.integers(0, n - 1))
+        distances = topology.to_graph().bfs_distances(src)
+        for dst in range(n):
+            assert topology.analytic_distance(src, dst) == distances[dst]
+
+    def test_diametral_ties_break_clockwise(self):
+        # +1 and -1 chords always tie on the Spidergon; the canonical
+        # choice must be clockwise so only one across port exists.
+        for offset in range(16):
+            chords, _ = minimal_decomposition(16, 8, offset)
+            assert chords >= 0
+
+
+class TestMetrics:
+    @given(circulant_params(max_nodes=40))
+    @settings(max_examples=30, deadline=None)
+    def test_no_worse_than_plain_ring(self, params):
+        # A chord can only shrink ring distances.
+        n, s = params
+        assert average_distance(CirculantTopology(n, s)) <= (
+            n / 4 + 1e-9
+        )
+
+    def test_multiplicative_diameter_near_sqrt(self):
+        # C(s^2; 1, s) has diameter about s — the family's sweet spot.
+        for s in (4, 5, 6, 8):
+            topology = CirculantTopology.multiplicative(s)
+            assert diameter(topology) <= s
+
+    def test_ring_distance(self):
+        topology = CirculantTopology(10, 3)
+        assert topology.ring_distance(0, 4) == 4
+        assert topology.ring_distance(0, 7) == 3

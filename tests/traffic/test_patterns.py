@@ -11,8 +11,10 @@ from repro.topology import (
 )
 from repro.traffic import (
     BitComplementTraffic,
+    BitReverseTraffic,
     HotspotTraffic,
     NearestNeighborTraffic,
+    ShuffleTraffic,
     TornadoTraffic,
     TransposeTraffic,
     UniformTraffic,
@@ -201,3 +203,66 @@ class TestSyntheticPatterns:
             for _ in range(20):
                 dst = pattern.destination_for(src, r)
                 assert dst in topology.neighbors(src)
+
+
+class TestBitPermutationPatterns:
+    def test_shuffle_rotates_bits_left(self):
+        pattern = ShuffleTraffic(RingTopology(8))
+        # 3 bits: 0b011 -> 0b110, 0b110 -> 0b101, 0b100 -> 0b001
+        assert pattern.destination_for(0b011, rng()) == 0b110
+        assert pattern.destination_for(0b110, rng()) == 0b101
+        assert pattern.destination_for(0b100, rng()) == 0b001
+
+    def test_shuffle_is_a_permutation(self):
+        for n in (4, 8, 16, 32, 64):
+            pattern = ShuffleTraffic(RingTopology(n))
+            targets = [
+                pattern.destination_for(s, rng()) for s in range(n)
+            ]
+            assert sorted(targets) == list(range(n))
+
+    def test_shuffle_excludes_fixed_points(self):
+        # All-zeros and all-ones addresses map to themselves.
+        pattern = ShuffleTraffic(RingTopology(16))
+        sources = pattern.sources()
+        assert 0 not in sources
+        assert 15 not in sources
+        assert all(
+            pattern.destination_for(s, rng()) != s for s in sources
+        )
+
+    def test_bit_reverse_reverses_bits(self):
+        pattern = BitReverseTraffic(RingTopology(16))
+        # 4 bits: 0b0001 -> 0b1000, 0b0011 -> 0b1100
+        assert pattern.destination_for(0b0001, rng()) == 0b1000
+        assert pattern.destination_for(0b0011, rng()) == 0b1100
+
+    def test_bit_reverse_is_an_involution(self):
+        for n in (4, 8, 16, 64):
+            pattern = BitReverseTraffic(RingTopology(n))
+            for src in range(n):
+                dst = pattern.destination_for(src, rng())
+                assert pattern.destination_for(dst, rng()) == src
+
+    def test_bit_reverse_excludes_palindromes(self):
+        pattern = BitReverseTraffic(RingTopology(16))
+        sources = pattern.sources()
+        # 4-bit palindromes: 0000, 0110, 1001, 1111
+        assert set(range(16)) - set(sources) == {0, 0b0110, 0b1001, 0b1111}
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 12, 15])
+    def test_power_of_two_guard(self, n):
+        with pytest.raises(ValueError, match="power-of-two"):
+            ShuffleTraffic(RingTopology(n))
+        with pytest.raises(ValueError, match="power-of-two"):
+            BitReverseTraffic(RingTopology(n))
+
+    def test_guard_names_the_pattern_and_size(self):
+        with pytest.raises(ValueError, match="shuffle.*12"):
+            ShuffleTraffic(RingTopology(12))
+        with pytest.raises(ValueError, match="bit-reverse.*12"):
+            BitReverseTraffic(RingTopology(12))
+
+    def test_names(self):
+        assert ShuffleTraffic(RingTopology(8)).name == "shuffle"
+        assert BitReverseTraffic(RingTopology(8)).name == "bit-reverse"

@@ -7,6 +7,8 @@
     python -m repro ablations vcs ...    # == repro.experiments.ablations
     python -m repro campaign SPEC CSV    # declarative sweep
     python -m repro circulant 16         # equal-cost chord study
+    python -m repro mesh3d               # 2D vs 3D TSV stacking study
+    python -m repro topologies           # registered topology specs
     python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
     python -m repro chaos mesh4x4 uniform 0.1 --fail 5:6@2000
 """
@@ -34,7 +36,7 @@ def _info() -> int:
     print(
         "usage: python -m repro "
         "{info|figures|ablations|campaign SPEC.json OUT.csv"
-        "|circulant [N]"
+        "|circulant [N]|mesh3d [SIDE]|topologies"
         "|trace TOPOLOGY PATTERN RATE"
         "|chaos TOPOLOGY PATTERN RATE} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
@@ -46,6 +48,20 @@ def _info() -> int:
         "        --random-faults N@T, --stall N, --audit N, --json "
         "FILE)"
     )
+    return 0
+
+
+def _topologies() -> int:
+    from repro.experiments.specs import available_topologies
+
+    families = available_topologies()
+    width = max(len(f.prefix) for f in families)
+    example_width = max(len(f.example) for f in families)
+    for family in families:
+        print(
+            f"{family.prefix:<{width}}  "
+            f"{family.example:<{example_width}}  {family.description}"
+        )
     return 0
 
 
@@ -498,12 +514,15 @@ def _trace(rest: list[str]) -> int:
         for node, port, dst, utilization in timeline.busiest_links(
             count=len(timeline.links)
         ):
+            attrs = network.link_attrs_of(node, port)
             sink.write(
                 {
                     "type": "link",
                     "node": node,
                     "port": port,
                     "dst": dst,
+                    "kind": attrs.kind,
+                    "latency": attrs.latency,
                     "flits": timeline.link_totals()[(node, port)],
                     "utilization": round(utilization, 6),
                 }
@@ -564,6 +583,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.circulant import main as circulant_main
 
         return circulant_main(rest)
+    if command == "mesh3d":
+        from repro.experiments.mesh3d import main as mesh3d_main
+
+        return mesh3d_main(rest)
+    if command == "topologies":
+        return _topologies()
     if command == "trace":
         return _trace(rest)
     if command == "chaos":

@@ -5,6 +5,10 @@ Ring, 2D Mesh and Spidergon, plus the series behind figures 2 and 3.
 """
 
 from repro.analysis.formulas import (
+    mesh3d_average_distance,
+    mesh3d_diameter,
+    mesh3d_num_links,
+    mesh3d_num_tsv_links,
     mesh_average_distance,
     mesh_average_distance_paper,
     mesh_diameter,
@@ -17,6 +21,10 @@ from repro.analysis.formulas import (
     spidergon_diameter,
     spidergon_distance_sum,
     spidergon_num_links,
+    torus3d_average_distance,
+    torus3d_diameter,
+    torus3d_num_links,
+    torus3d_num_tsv_links,
 )
 from repro.analysis.capacity import (
     channel_loads,
@@ -46,6 +54,10 @@ __all__ = [
     "predicted_hotspot_latency",
     "uniform_capacity",
     "uniform_saturation_rate",
+    "mesh3d_average_distance",
+    "mesh3d_diameter",
+    "mesh3d_num_links",
+    "mesh3d_num_tsv_links",
     "mesh_average_distance",
     "mesh_average_distance_paper",
     "mesh_diameter",
@@ -58,4 +70,8 @@ __all__ = [
     "spidergon_diameter",
     "spidergon_distance_sum",
     "spidergon_num_links",
+    "torus3d_average_distance",
+    "torus3d_diameter",
+    "torus3d_num_links",
+    "torus3d_num_tsv_links",
 ]

@@ -98,6 +98,98 @@ def mesh_num_links(rows: int, cols: int) -> int:
     return 2 * (rows - 1) * cols + 2 * (cols - 1) * rows
 
 
+# -- 3D mesh / torus -------------------------------------------------------
+
+
+def _require_grid3d_dims(size_x: int, size_y: int, size_z: int) -> None:
+    if size_x < 1 or size_y < 1 or size_z < 2:
+        raise ValueError(
+            f"3D grid needs planar extents >= 1 and >= 2 layers, "
+            f"got {size_x}x{size_y}x{size_z}"
+        )
+
+
+def _ring_mean_offset(size: int) -> float:
+    # Mean wrap distance over all ordered pairs of one ring
+    # dimension, self pairs included: k/4 for even k, (k^2-1)/(4k)
+    # for odd k (the ring_average_distance cases, per dimension).
+    if size % 2 == 0:
+        return size / 4
+    return (size * size - 1) / (4 * size)
+
+
+def mesh3d_diameter(size_x: int, size_y: int, size_z: int) -> int:
+    """Diameter of an ``X x Y x Z`` mesh: ``X + Y + Z - 3`` (exact)."""
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return size_x + size_y + size_z - 3
+
+
+def mesh3d_average_distance(
+    size_x: int, size_y: int, size_z: int
+) -> float:
+    """Exact all-pairs mean distance of an ``X x Y x Z`` mesh.
+
+    The 2D argument verbatim with one more additive dimension: per
+    dimension of size k the mean ordered-pair offset (self pairs
+    included) is ``(k^2 - 1) / (3k)``.
+    """
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return sum(
+        (k * k - 1) / (3 * k) for k in (size_x, size_y, size_z)
+    )
+
+
+def mesh3d_num_links(size_x: int, size_y: int, size_z: int) -> int:
+    """Unidirectional links of an ``X x Y x Z`` mesh:
+    ``2[(X-1)YZ + (Y-1)XZ + (Z-1)XY]``."""
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return 2 * (
+        (size_x - 1) * size_y * size_z
+        + (size_y - 1) * size_x * size_z
+        + (size_z - 1) * size_x * size_y
+    )
+
+
+def mesh3d_num_tsv_links(size_x: int, size_y: int, size_z: int) -> int:
+    """Unidirectional vertical (TSV) links of an ``X x Y x Z`` mesh:
+    ``2(Z-1)XY``."""
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return 2 * (size_z - 1) * size_x * size_y
+
+
+def torus3d_diameter(size_x: int, size_y: int, size_z: int) -> int:
+    """Diameter of an ``X x Y x Z`` torus:
+    ``floor(X/2) + floor(Y/2) + floor(Z/2)`` (exact)."""
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return size_x // 2 + size_y // 2 + size_z // 2
+
+
+def torus3d_average_distance(
+    size_x: int, size_y: int, size_z: int
+) -> float:
+    """Exact all-pairs mean distance of an ``X x Y x Z`` torus.
+
+    Each dimension is an independent ring, so the per-dimension means
+    (``k/4`` even, ``(k^2 - 1)/(4k)`` odd — the ring formula) add.
+    """
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return sum(_ring_mean_offset(k) for k in (size_x, size_y, size_z))
+
+
+def torus3d_num_links(size_x: int, size_y: int, size_z: int) -> int:
+    """Unidirectional links of an ``X x Y x Z`` torus: ``6XYZ``
+    (every node drives one link per direction per dimension)."""
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return 6 * size_x * size_y * size_z
+
+
+def torus3d_num_tsv_links(size_x: int, size_y: int, size_z: int) -> int:
+    """Unidirectional vertical (TSV) links of an ``X x Y x Z`` torus:
+    ``2 X Y Z`` (the z wrap is a TSV too)."""
+    _require_grid3d_dims(size_x, size_y, size_z)
+    return 2 * size_x * size_y * size_z
+
+
 # -- Spidergon ------------------------------------------------------------
 
 

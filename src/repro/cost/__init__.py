@@ -23,7 +23,7 @@ comparisons across topologies are the point.
 
 from repro.cost.area import RouterArea, network_area, router_area
 from repro.cost.energy import EnergyModel, EnergyReport
-from repro.cost.wires import link_length, total_wire_length
+from repro.cost.wires import link_length, total_wire_area, total_wire_length
 
 __all__ = [
     "EnergyModel",
@@ -32,5 +32,6 @@ __all__ = [
     "link_length",
     "network_area",
     "router_area",
+    "total_wire_area",
     "total_wire_length",
 ]

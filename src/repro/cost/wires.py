@@ -22,15 +22,24 @@ topology family:
   Spidergon model (``s = N/2`` gives the diameter ``N / pi``) and the
   ring (``s -> 1`` approaches 1), so equal-cost comparisons across
   the whole family use one geometry.
+* **3D mesh / torus** — each layer is a planar grid (mesh links unit
+  length, torus links folded to 2.0 including the planar wraps); a
+  vertical hop is a through-silicon via, far shorter than any planar
+  wire (:data:`TSV_LINK_LENGTH`), and the z wrap of a 3D torus folds
+  like the planar wraps (``2 * TSV_LINK_LENGTH``).  Wire *area*
+  additionally weights each link by its width attribute
+  (:func:`total_wire_area`), so narrow TSV bundles are cheaper than
+  their count suggests.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.topology.base import Link, Topology
+from repro.topology.base import TSV, Link, Topology
 from repro.topology.circulant import CirculantTopology
 from repro.topology.mesh import MeshTopology
+from repro.topology.mesh3d import Mesh3DTopology, Torus3DTopology
 from repro.topology.ring import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
 from repro.topology.spidergon import ACROSS, SpidergonTopology
 from repro.topology.torus import TorusTopology
@@ -38,9 +47,23 @@ from repro.topology.torus import TorusTopology
 #: Length of every link in a folded-torus layout.
 FOLDED_TORUS_LINK_LENGTH = 2.0
 
+#: Length of a vertical (TSV) hop between adjacent layers, in planar
+#: grid-hop units.  Die-to-die spacing is tens of microns against a
+#: planar hop of millimetres; 0.1 is a deliberately conservative
+#: (pessimistic) round figure.
+TSV_LINK_LENGTH = 0.1
+
 
 def link_length(topology: Topology, link: Link) -> float:
     """Physical length of *link* under the topology's floorplan."""
+    if isinstance(topology, Mesh3DTopology):
+        if link.kind == TSV:
+            return TSV_LINK_LENGTH
+        return 1.0
+    if isinstance(topology, Torus3DTopology):
+        if link.kind == TSV:
+            return 2 * TSV_LINK_LENGTH
+        return FOLDED_TORUS_LINK_LENGTH
     if isinstance(topology, SpidergonTopology):
         if link.port == ACROSS:
             return topology.num_nodes / math.pi
@@ -68,4 +91,17 @@ def total_wire_length(topology: Topology) -> float:
     """Sum of all unidirectional link lengths (wire-area proxy)."""
     return sum(
         link_length(topology, link) for link in topology.links()
+    )
+
+
+def total_wire_area(topology: Topology) -> float:
+    """Width-weighted wire length: ``sum(length * width)``.
+
+    Equal to :func:`total_wire_length` on uniform topologies
+    (``width == 1.0`` everywhere); differs when a topology narrows
+    some channels, e.g. TSV bundles via ``tsv_width``.
+    """
+    return sum(
+        link_length(topology, link) * link.width
+        for link in topology.links()
     )

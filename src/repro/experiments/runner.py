@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -48,6 +49,12 @@ class SimulationSettings:
             :class:`~repro.noc.invariants.InvariantChecker` suite
             every this many cycles during the run (0 = off; audits
             are O(model state) each).
+        link_delay: **Deprecated.** Global link-latency multiplier,
+            folded into ``config.link_delay`` for back compatibility.
+            It can only retime *every* link at once; per-link timing
+            (TSV penalties, slow chords) belongs to the topology via
+            :meth:`~repro.topology.base.Topology.link_attrs` — see
+            docs/timing_model.md for the migration.
     """
 
     cycles: int = 20_000
@@ -58,6 +65,28 @@ class SimulationSettings:
     fault_plan: FaultPlan | None = None
     stall_cycles: int | None = None
     invariant_check_interval: int = 0
+    link_delay: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.link_delay is not None:
+            warnings.warn(
+                "SimulationSettings.link_delay is deprecated: it is a "
+                "uniform multiplier over every link and cannot express "
+                "non-uniform timing; set per-link latencies via "
+                "Topology.link_attrs (or NocConfig.link_delay for a "
+                "deliberate global scale) — see docs/timing_model.md",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(
+                self,
+                "config",
+                replace(self.config, link_delay=self.link_delay),
+            )
+            # Folded: config.link_delay is the single source of truth
+            # from here on (also keeps scaled()/replace() from
+            # re-warning on every copy).
+            object.__setattr__(self, "link_delay", None)
 
     def scaled(self, factor: float) -> "SimulationSettings":
         """A copy with run length scaled by *factor* (for quick tests)."""

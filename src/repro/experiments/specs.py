@@ -5,21 +5,28 @@ describe a sweep point as plain data (strings and numbers) so that it
 can be hashed for the result cache and pickled to worker processes;
 these parsers rebuild the model objects on the other side.
 
-Topology strings: ``ring<N>``, ``spidergon<N>``, ``mesh<R>x<C>``,
-``mesh<N>`` (factorized), ``mesh-irregular<N>``, ``torus<R>x<C>``,
-``hypercube<N>``, ``circulant<N>s<s>`` (the circulant ring
-``C(N; 1, s)``), and ``faulty:<base>:<count>@<seed>`` — any base
-spec degraded by *count* random build-time link faults picked with
-*seed* (see :class:`~repro.topology.faults.FaultyTopology`).
+Topology specs are handled by a registry: each family registers a
+``(prefix, regex, parser)`` triple via the
+:func:`register_topology` decorator, :func:`parse_topology` tries the
+registered patterns in registration order, and
+:func:`available_topologies` lists them for the CLI
+(``python -m repro topologies``).  Built-in specs: ``ring<N>``,
+``spidergon<N>``, ``circulant<N>s<s>``, ``hypercube<N>``,
+``mesh<R>x<C>``, ``mesh<N>`` (factorized), ``mesh-irregular<N>``,
+``torus<R>x<C>``, ``mesh3d<X>x<Y>x<Z>[@tsv<L>]``,
+``torus3d<X>x<Y>x<Z>[@tsv<L>]`` (3D grids whose vertical TSV links
+take ``L`` cycles, default 1), and ``faulty:<base>:<count>@<seed>``.
 
 Pattern strings: ``uniform``, ``hotspot:<n>[,<n>...]``, ``tornado``,
-``bit-complement``, ``nearest-neighbor``, ``transpose``,
-``shuffle``, ``bit-reverse``.
+``bit-complement``, ``nearest-neighbor``, ``transpose`` (2D mesh or
+cubic 3D grid), ``shuffle``, ``bit-reverse``.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.topology import (
     MeshTopology,
@@ -36,9 +43,74 @@ from repro.traffic import (
     ShuffleTraffic,
     TornadoTraffic,
     TrafficPattern,
+    Transpose3DTraffic,
     TransposeTraffic,
     UniformTraffic,
 )
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyFamily:
+    """One registered topology spec family.
+
+    Attributes:
+        prefix: Registry key, e.g. ``"mesh3d"``.
+        pattern: Compiled regex a spec must fullmatch.
+        parser: ``Match -> Topology`` builder.
+        example: A representative spec string for help output.
+        description: One-line summary for ``repro topologies``.
+    """
+
+    prefix: str
+    pattern: re.Pattern[str]
+    parser: Callable[[re.Match[str]], Topology]
+    example: str
+    description: str
+
+
+_TOPOLOGY_FAMILIES: dict[str, TopologyFamily] = {}
+
+
+def register_topology(
+    prefix: str,
+    pattern: str,
+    *,
+    example: str,
+    description: str,
+) -> Callable[
+    [Callable[[re.Match[str]], Topology]],
+    Callable[[re.Match[str]], Topology],
+]:
+    """Register a topology spec family under *prefix*.
+
+    The decorated function receives the ``re.fullmatch`` result of
+    *pattern* against the spec string and returns the built topology.
+    Registration order is match order, so register more specific
+    patterns (``mesh3d...``) before catch-all ones (``mesh<N>``).
+
+    Raises:
+        ValueError: if *prefix* is already registered.
+    """
+    compiled = re.compile(pattern)
+
+    def decorator(
+        parser: Callable[[re.Match[str]], Topology],
+    ) -> Callable[[re.Match[str]], Topology]:
+        if prefix in _TOPOLOGY_FAMILIES:
+            raise ValueError(
+                f"topology prefix {prefix!r} is already registered"
+            )
+        _TOPOLOGY_FAMILIES[prefix] = TopologyFamily(
+            prefix, compiled, parser, example, description
+        )
+        return parser
+
+    return decorator
+
+
+def available_topologies() -> list[TopologyFamily]:
+    """All registered spec families, sorted by prefix."""
+    return sorted(_TOPOLOGY_FAMILIES.values(), key=lambda f: f.prefix)
 
 
 def parse_topology(spec: str) -> Topology:
@@ -50,35 +122,136 @@ def parse_topology(spec: str) -> Topology:
             subclass) for a recognized spec with impossible
             parameters, e.g. ``spidergon7`` or ``ring2``.
     """
-    if match := re.fullmatch(r"ring(\d+)", spec):
-        return RingTopology(int(match.group(1)))
-    if match := re.fullmatch(r"spidergon(\d+)", spec):
-        return SpidergonTopology(int(match.group(1)))
-    if match := re.fullmatch(r"circulant(\d+)s(\d+)", spec):
-        from repro.topology import CirculantTopology
-
-        return CirculantTopology(int(match.group(1)), int(match.group(2)))
-    if match := re.fullmatch(r"mesh(\d+)x(\d+)", spec):
-        return MeshTopology(int(match.group(1)), int(match.group(2)))
-    if match := re.fullmatch(r"mesh-irregular(\d+)", spec):
-        return MeshTopology.irregular(int(match.group(1)))
-    if match := re.fullmatch(r"mesh(\d+)", spec):
-        return MeshTopology.factorized(int(match.group(1)))
-    if match := re.fullmatch(r"torus(\d+)x(\d+)", spec):
-        return TorusTopology(int(match.group(1)), int(match.group(2)))
-    if match := re.fullmatch(r"hypercube(\d+)", spec):
-        from repro.topology import HypercubeTopology
-
-        return HypercubeTopology.with_nodes(int(match.group(1)))
-    if match := re.fullmatch(r"faulty:(.+):(\d+)@(\d+)", spec):
-        from repro.topology.faults import FaultyTopology
-
-        return FaultyTopology.with_random_faults(
-            parse_topology(match.group(1)),
-            int(match.group(2)),
-            seed=int(match.group(3)),
-        )
+    for family in _TOPOLOGY_FAMILIES.values():
+        if match := family.pattern.fullmatch(spec):
+            return family.parser(match)
     raise ValueError(f"unknown topology spec {spec!r}")
+
+
+@register_topology(
+    "ring",
+    r"ring(\d+)",
+    example="ring16",
+    description="bidirectional ring (paper baseline)",
+)
+def _parse_ring(match: re.Match[str]) -> Topology:
+    return RingTopology(int(match.group(1)))
+
+
+@register_topology(
+    "spidergon",
+    r"spidergon(\d+)",
+    example="spidergon16",
+    description="ring plus across links (paper's Spidergon)",
+)
+def _parse_spidergon(match: re.Match[str]) -> Topology:
+    return SpidergonTopology(int(match.group(1)))
+
+
+@register_topology(
+    "circulant",
+    r"circulant(\d+)s(\d+)",
+    example="circulant16s4",
+    description="circulant ring C(N; 1, s)",
+)
+def _parse_circulant(match: re.Match[str]) -> Topology:
+    from repro.topology import CirculantTopology
+
+    return CirculantTopology(int(match.group(1)), int(match.group(2)))
+
+
+@register_topology(
+    "hypercube",
+    r"hypercube(\d+)",
+    example="hypercube16",
+    description="binary hypercube with N = 2^k nodes",
+)
+def _parse_hypercube(match: re.Match[str]) -> Topology:
+    from repro.topology import HypercubeTopology
+
+    return HypercubeTopology.with_nodes(int(match.group(1)))
+
+
+@register_topology(
+    "mesh3d",
+    r"mesh3d(\d+)x(\d+)x(\d+)(?:@tsv(\d+))?",
+    example="mesh3d4x4x4@tsv2",
+    description="3D mesh; @tsvL sets vertical-link latency",
+)
+def _parse_mesh3d(match: re.Match[str]) -> Topology:
+    from repro.topology import Mesh3DTopology
+
+    return Mesh3DTopology(
+        int(match.group(1)),
+        int(match.group(2)),
+        int(match.group(3)),
+        tsv_latency=int(match.group(4) or 1),
+    )
+
+
+@register_topology(
+    "torus3d",
+    r"torus3d(\d+)x(\d+)x(\d+)(?:@tsv(\d+))?",
+    example="torus3d4x4x4@tsv2",
+    description="3D torus; @tsvL sets vertical-link latency",
+)
+def _parse_torus3d(match: re.Match[str]) -> Topology:
+    from repro.topology import Torus3DTopology
+
+    return Torus3DTopology(
+        int(match.group(1)),
+        int(match.group(2)),
+        int(match.group(3)),
+        tsv_latency=int(match.group(4) or 1),
+    )
+
+
+@register_topology(
+    "mesh-irregular",
+    r"mesh-irregular(\d+)",
+    example="mesh-irregular11",
+    description="largest-square mesh with leftover nodes attached",
+)
+def _parse_mesh_irregular(match: re.Match[str]) -> Topology:
+    return MeshTopology.irregular(int(match.group(1)))
+
+
+@register_topology(
+    "mesh",
+    r"mesh(\d+)(?:x(\d+))?",
+    example="mesh4x4",
+    description="2D mesh; meshN picks the best factorization",
+)
+def _parse_mesh(match: re.Match[str]) -> Topology:
+    if match.group(2) is not None:
+        return MeshTopology(int(match.group(1)), int(match.group(2)))
+    return MeshTopology.factorized(int(match.group(1)))
+
+
+@register_topology(
+    "torus",
+    r"torus(\d+)x(\d+)",
+    example="torus4x4",
+    description="2D torus (mesh with wraparound links)",
+)
+def _parse_torus(match: re.Match[str]) -> Topology:
+    return TorusTopology(int(match.group(1)), int(match.group(2)))
+
+
+@register_topology(
+    "faulty",
+    r"faulty:(.+):(\d+)@(\d+)",
+    example="faulty:mesh4x4:2@7",
+    description="any base spec with random build-time link faults",
+)
+def _parse_faulty(match: re.Match[str]) -> Topology:
+    from repro.topology.faults import FaultyTopology
+
+    return FaultyTopology.with_random_faults(
+        parse_topology(match.group(1)),
+        int(match.group(2)),
+        seed=int(match.group(3)),
+    )
 
 
 def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:
@@ -110,6 +283,10 @@ def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:
     if spec == "bit-reverse":
         return BitReverseTraffic(topology)
     if spec == "transpose":
+        from repro.topology.mesh3d import Mesh3DTopology, Torus3DTopology
+
+        if isinstance(topology, (Mesh3DTopology, Torus3DTopology)):
+            return Transpose3DTraffic(topology)
         if not isinstance(topology, MeshTopology):
             raise ValueError("transpose needs a mesh topology")
         return TransposeTraffic(topology)

@@ -20,7 +20,13 @@ class NocConfig:
             (paper: 1).
         output_buffer_flits: Capacity of each output queue
             (paper: 3).
-        link_delay: Link traversal time in cycles (>= 1).
+        link_delay: Global link-latency multiplier (>= 1).  Every
+            data link's traversal time is its topology-assigned
+            latency (:meth:`~repro.topology.base.Topology.link_attrs`,
+            1 for all paper topologies) times this factor — so on
+            uniform topologies it behaves exactly as the historical
+            "link traversal time in cycles".  Non-uniform timing
+            belongs to the topology, not this knob.
         num_vcs: Output queues (virtual channels) per link; ``None``
             defers to the routing algorithm's requirement (2 for the
             dateline schemes on Ring/Spidergon, 1 for Mesh XY).

@@ -8,14 +8,17 @@
     result = network.run(cycles=20_000, warmup=5_000)
     print(result.throughput, result.avg_latency)
 
-Data links carry ``config.link_delay`` cycles of latency; credit links
-are zero-delay (signal-based flow control).  The routing algorithm
+Each data link carries the latency its topology assigns it
+(:meth:`~repro.topology.base.Topology.link_attrs`, default one cycle)
+multiplied by the global ``config.link_delay`` knob; credit links are
+zero-delay (signal-based flow control).  The routing algorithm
 defaults to the paper's scheme for the given topology
 (:func:`repro.routing.routing_for`).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 
 from repro.noc.config import NocConfig
@@ -91,6 +94,20 @@ class Network:
     def _build(self) -> None:
         topology = self.topology
         config = self.config
+        if config.link_delay != 1 and not topology.is_uniform:
+            # The global knob predates per-link attributes; scaling a
+            # heterogeneous topology with it multiplies *every*
+            # latency, which is rarely what a caller reaching for a
+            # "slow links" effect wants any more.
+            warnings.warn(
+                "config.link_delay != 1 on a topology with "
+                "heterogeneous link latencies: the global knob now "
+                "acts as a multiplier on the per-link values; express "
+                "non-uniform timing via Topology.link_attrs instead "
+                "(see docs/timing_model.md)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         for node in range(topology.num_nodes):
             self.routers.append(
                 Router(
@@ -111,7 +128,9 @@ class Network:
                     self.stats,
                 )
             )
-        # Inter-router links: data forward, credit backward.
+        # Inter-router links: data forward, credit backward.  Each
+        # data link carries the latency its topology assigns it,
+        # scaled by the global config.link_delay multiplier.
         for link in topology.links():
             src_router = self.routers[link.src]
             dst_router = self.routers[link.dst]
@@ -120,7 +139,9 @@ class Network:
             data_out, credit_in = src_router.add_output_port(
                 link.port, config.input_buffer_flits
             )
-            data_out.connect(data_in, delay=config.link_delay)
+            data_out.connect(
+                data_in, delay=link.latency * config.link_delay
+            )
             credit_out.connect(credit_in, delay=0)
         # Local ports: router <-> NI, both directions.
         for node in range(topology.num_nodes):
@@ -210,6 +231,20 @@ class Network:
                     (router.node, port_name, peer.module.node, peer)
                 )
         return links
+
+    def link_attrs_of(self, node: int, port_name: str):
+        """The :class:`~repro.topology.base.LinkAttrs` of the data
+        link leaving *node* via *port_name*.
+
+        Injection/ejection links (port ``"local"``) are not topology
+        links; they report ``kind="local"`` with the configured
+        uniform delay, so observers can label every link they see.
+        """
+        from repro.topology.base import LinkAttrs
+
+        if port_name == LOCAL_PORT:
+            return LinkAttrs(latency=1, width=1.0, kind="local")
+        return self.topology.link_attrs(node, port_name)
 
     def link_flit_counts(self) -> dict[tuple[int, str], int]:
         """Flits forwarded per (node, output port) over the whole run.

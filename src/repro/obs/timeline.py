@@ -143,6 +143,7 @@ class TimelineObserver(Observer):
         for key in sorted(self._counts):
             node, port, dst, vc = key
             windows = self._counts[key]
+            attrs = self.network.link_attrs_of(node, port)
             links.append(
                 LinkWindowSeries(
                     node=node,
@@ -153,6 +154,8 @@ class TimelineObserver(Observer):
                         windows.get(index, 0)
                         for index in range(num_windows)
                     ),
+                    kind=attrs.kind,
+                    latency=attrs.latency,
                 )
             )
         occupancy = tuple(

@@ -12,6 +12,10 @@
   shortest-path next hops; works on any topology (including irregular
   meshes) and serves as the ablation baseline for the specialised
   schemes.
+* :class:`~repro.routing.mesh3d.Mesh3DXYZRouting` /
+  :class:`~repro.routing.mesh3d.Torus3DXYZRouting` — dimension-order
+  XYZ on the 3D mesh and torus (per-dimension datelines on the
+  torus), deadlock-free by dimension ordering.
 * :class:`~repro.routing.circulant.CirculantTableRouting` /
   :class:`~repro.routing.circulant.MultiplicativeCirculantRouting` —
   minimal two-phase (chords, then ring steps) routing on circulant
@@ -37,6 +41,7 @@ from repro.routing.circulant import (
 )
 from repro.routing.hypercube import HypercubeEcubeRouting
 from repro.routing.mesh import MeshXYRouting
+from repro.routing.mesh3d import Mesh3DXYZRouting, Torus3DXYZRouting
 from repro.routing.ring import RingShortestRouting
 from repro.routing.source import SourceRouting
 from repro.routing.spidergon import SpidergonAcrossFirstRouting
@@ -58,8 +63,13 @@ def routing_for(topology) -> RoutingAlgorithm:
     )
     from repro.topology.circulant import CirculantTopology
     from repro.topology.hypercube import HypercubeTopology
+    from repro.topology.mesh3d import Mesh3DTopology, Torus3DTopology
     from repro.topology.torus import TorusTopology
 
+    if isinstance(topology, Torus3DTopology):
+        return Torus3DXYZRouting(topology)
+    if isinstance(topology, Mesh3DTopology):
+        return Mesh3DXYZRouting(topology)
     if isinstance(topology, CirculantTopology):
         return CirculantTableRouting(topology)
     if isinstance(topology, HypercubeTopology):
@@ -80,8 +90,10 @@ __all__ = [
     "HypercubeEcubeRouting",
     "MultiplicativeCirculantRouting",
     "LOCAL_PORT",
+    "Mesh3DXYZRouting",
     "MeshXYRouting",
     "RingShortestRouting",
+    "Torus3DXYZRouting",
     "RouteDecision",
     "RoutingAlgorithm",
     "RoutingError",

@@ -1,0 +1,131 @@
+"""Dimension-order (XYZ) routing on the 3D mesh and torus.
+
+The 2D arguments lift verbatim to three dimensions:
+
+* **Mesh3D** — finish x (east/west), then y (south/north), then z
+  (up/down).  Inter-dimension dependencies flow one way (x channels
+  are never revisited after a y or z hop, y never after z), and
+  within a dimension a mesh path is monotone, so the channel
+  dependency graph is acyclic with a single virtual channel — exactly
+  the XY proof with one more stage.
+* **Torus3D** — each dimension is a ring handled like
+  :mod:`repro.routing.torus`: shortest direction, promotion to VC 1
+  on the hop crossing the dimension's wraparound edge, VC class reset
+  when the packet turns into the next dimension.  X, y and z channels
+  are disjoint resource sets, so each dimension's dateline argument
+  applies independently and two VCs suffice for the whole scheme
+  (``tests/routing/test_deadlock_freedom.py`` rebuilds the CDG and
+  asserts acyclicity).
+
+Both schemes are minimal; the BFS-oracle property suite
+(``tests/routing/test_properties.py``) checks hop counts against
+shortest-path distances over randomized sizes.  Note minimality is in
+*hops*: with a TSV latency penalty the lowest-latency path is still
+the same one, because every minimal path uses the identical number of
+vertical hops (|Δz|).
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.routing.base import (
+    LOCAL_PORT,
+    RouteDecision,
+    RoutingAlgorithm,
+)
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+from repro.topology.mesh3d import (
+    DOWN,
+    UP,
+    Mesh3DTopology,
+    Torus3DTopology,
+)
+
+_DIM_KEY = "torus3d_dimension"
+
+#: Per dimension: (axis name, forward port, backward port).  Forward
+#: means the +1 coordinate direction.
+_DIMENSIONS = (
+    ("x", EAST, WEST),
+    ("y", SOUTH, NORTH),
+    ("z", UP, DOWN),
+)
+
+
+class Mesh3DXYZRouting(RoutingAlgorithm):
+    """Deterministic x-then-y-then-z routing on a 3D mesh."""
+
+    required_vcs = 1
+
+    def __init__(self, topology: Mesh3DTopology) -> None:
+        super().__init__(topology, f"xyz/{topology.name}")
+        self._grid = topology
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, 0)
+        position = self._grid.coordinates(node)
+        target = self._grid.coordinates(packet.dst)
+        for axis, (_, forward, backward) in enumerate(_DIMENSIONS):
+            if position[axis] < target[axis]:
+                return RouteDecision(forward, 0)
+            if position[axis] > target[axis]:
+                return RouteDecision(backward, 0)
+        raise AssertionError("unreachable: node != dst")  # pragma: no cover
+
+
+class Torus3DXYZRouting(RoutingAlgorithm):
+    """Shortest-direction XYZ routing with per-dimension datelines."""
+
+    required_vcs = 2
+
+    def __init__(self, topology: Torus3DTopology) -> None:
+        super().__init__(topology, f"torus-xyz/{topology.name}")
+        self._grid = topology
+
+    def decide(self, node: int, packet: Packet) -> RouteDecision:
+        if node == packet.dst:
+            return RouteDecision(LOCAL_PORT, packet.vc)
+        position = self._grid.coordinates(node)
+        target = self._grid.coordinates(packet.dst)
+        sizes = self._grid.sizes
+        for axis, (name, forward, backward) in enumerate(_DIMENSIONS):
+            if position[axis] != target[axis]:
+                return self._ring_hop(
+                    packet,
+                    name,
+                    position[axis],
+                    target[axis],
+                    sizes[axis],
+                    forward,
+                    backward,
+                )
+        raise AssertionError("unreachable: node != dst")  # pragma: no cover
+
+    def _ring_hop(
+        self,
+        packet: Packet,
+        dimension: str,
+        position: int,
+        target: int,
+        size: int,
+        forward_port: str,
+        backward_port: str,
+    ) -> RouteDecision:
+        # Entering a new dimension resets the dateline class: the
+        # previous dimension's channels can never be revisited.
+        if packet.route_state.get(_DIM_KEY) != dimension:
+            packet.route_state[_DIM_KEY] = dimension
+            packet.vc = 0
+        forward = (target - position) % size
+        if forward <= size - forward:
+            port = forward_port
+            # Moving forward wraps on the hop leaving the last
+            # coordinate — that edge is the dimension's dateline.
+            crossing = position == size - 1
+        else:
+            port = backward_port
+            crossing = position == 0
+        if crossing:
+            packet.vc = 1
+        return RouteDecision(port, packet.vc)

@@ -143,6 +143,11 @@ class LinkWindowSeries:
             self-describing).
         vc: Virtual channel the flits travelled on.
         counts: Flits forwarded per window, window 0 first.
+        kind: Link kind from the topology's
+            :class:`~repro.topology.base.LinkAttrs` ("planar", "tsv",
+            "local", ...), carried so exported timelines distinguish
+            TSV traffic without the topology at hand.
+        latency: Link traversal latency in cycles (same source).
     """
 
     node: int
@@ -150,6 +155,8 @@ class LinkWindowSeries:
     dst: int
     vc: int
     counts: tuple[int, ...]
+    kind: str = "planar"
+    latency: int = 1
 
     @property
     def total_flits(self) -> int:
@@ -268,6 +275,8 @@ class UtilizationTimeline:
                     "dst": series.dst,
                     "vc": series.vc,
                     "counts": list(series.counts),
+                    "kind": series.kind,
+                    "latency": series.latency,
                 }
                 for series in self.links
             ],
@@ -294,6 +303,9 @@ class UtilizationTimeline:
                     dst=entry["dst"],
                     vc=entry["vc"],
                     counts=tuple(entry["counts"]),
+                    # Absent in pre-heterogeneous-link exports.
+                    kind=entry.get("kind", "planar"),
+                    latency=entry.get("latency", 1),
                 )
                 for entry in data["links"]
             ),
@@ -325,12 +337,25 @@ class UtilizationTimeline:
             f"(shade: '{HEAT_CHARS[0]}'=idle .. "
             f"'{HEAT_CHARS[-1]}'=saturated)"
         ]
+        # Non-planar links carry their kind in the label so TSV rows
+        # stand out; planar labels are unchanged.
+        kind_of = {
+            (series.node, series.port): series.kind
+            for series in self.links
+        }
+
+        def link_label(node: int, port: str, dst: int) -> str:
+            kind = kind_of.get((node, port), "planar")
+            if kind == "planar":
+                return f"{node}->{dst} ({port})"
+            return f"{node}->{dst} ({port}, {kind})"
+
         label_width = max(
-            len(f"{node}->{dst} ({port})")
+            len(link_label(node, port, dst))
             for node, port, dst, _ in ranked
         )
         for node, port, dst, utilization in ranked:
-            label = f"{node}->{dst} ({port})".ljust(label_width)
+            label = link_label(node, port, dst).ljust(label_width)
             cells = "".join(
                 HEAT_CHARS[
                     min(

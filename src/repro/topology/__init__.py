@@ -5,16 +5,25 @@ Provides the three topology families compared in the paper —
 :class:`~repro.topology.spidergon.SpidergonTopology` and
 :class:`~repro.topology.mesh.MeshTopology` (ideal, factorized and
 irregular variants) — plus the extension families (torus, hypercube,
-and the circulant rings ``C(N; 1, s)`` generalizing both Ring and
-Spidergon), on top of a small dependency-free graph type with
-BFS-based shortest-path metrics.
+the circulant rings ``C(N; 1, s)`` generalizing both Ring and
+Spidergon, and the 3D mesh/torus with TSV vertical links), on top of
+a small dependency-free graph type with BFS-based shortest-path
+metrics.  Links carry per-link attributes (latency, width, kind) via
+:class:`~repro.topology.base.LinkAttrs` and the
+:meth:`~repro.topology.base.Topology.link_attrs` hook.
 """
 
-from repro.topology.base import Link, Topology, TopologyError
+from repro.topology.base import (
+    Link,
+    LinkAttrs,
+    Topology,
+    TopologyError,
+)
 from repro.topology.circulant import CirculantTopology
 from repro.topology.faults import FaultyTopology
 from repro.topology.graph import Graph
 from repro.topology.mesh import MeshTopology, best_factorization
+from repro.topology.mesh3d import Mesh3DTopology, Torus3DTopology
 from repro.topology.metrics import (
     all_pairs_distances,
     average_distance,
@@ -33,8 +42,11 @@ __all__ = [
     "Graph",
     "HypercubeTopology",
     "Link",
+    "LinkAttrs",
+    "Mesh3DTopology",
     "MeshTopology",
     "RingTopology",
+    "Torus3DTopology",
     "SpidergonTopology",
     "Topology",
     "TopologyError",

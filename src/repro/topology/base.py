@@ -8,6 +8,17 @@ node and one channel per directed link from this description, and the
 routing algorithms in :mod:`repro.routing` return port names chosen
 from the same namespace.
 
+Links are *attribute carriers*, not bare triples: every link has a
+latency (cycles), a width (relative to the standard planar channel)
+and a kind (``"planar"``, ``"tsv"``...).  The topology owns link
+timing through the overridable :meth:`Topology.link_attrs` hook —
+uniform one-cycle links by default, so the paper's three
+architectures need nothing — and :meth:`Network.build
+<repro.noc.network.Network>` consumes the per-link latency, scaled by
+``config.link_delay`` as a global multiplier.  Heterogeneous families
+(the 3D mesh/torus with through-silicon-via vertical links) override
+the hook instead of faking non-uniform timing with the global knob.
+
 Following the paper, channels are unidirectional pairs: every physical
 connection contributes two directed links, so a Ring has ``2N`` links,
 a Spidergon ``3N`` and an ``m*n`` mesh ``2(m-1)n + 2(n-1)m``.
@@ -25,13 +36,77 @@ class TopologyError(ValueError):
     """Raised on invalid topology parameters (odd Spidergon size...)."""
 
 
+#: Link kind of ordinary in-plane wiring.
+PLANAR = "planar"
+#: Link kind of vertical through-silicon-via connections (3D stacks).
+TSV = "tsv"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkAttrs:
+    """Physical attributes of one directed link.
+
+    Attributes:
+        latency: Traversal time in cycles (>= 1).  The network builder
+            multiplies it by the global ``config.link_delay`` knob.
+        width: Channel width relative to a standard planar link
+            (> 0).  Purely a cost-model input today — the flit-level
+            model moves one flit per link per cycle regardless.
+        kind: Link technology tag, e.g. ``"planar"`` or ``"tsv"``;
+            free-form, surfaced in exports, traces and cost models.
+    """
+
+    latency: int = 1
+    width: float = 1.0
+    kind: str = PLANAR
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise TopologyError(
+                f"link latency must be >= 1, got {self.latency}"
+            )
+        if not self.width > 0:
+            raise TopologyError(
+                f"link width must be > 0, got {self.width}"
+            )
+
+
+#: The uniform one-cycle link every paper topology uses.
+DEFAULT_LINK_ATTRS = LinkAttrs()
+
+
 @dataclass(frozen=True, slots=True)
 class Link:
-    """A unidirectional link ``src -> dst`` leaving *src* via *port*."""
+    """A unidirectional link ``src -> dst`` leaving *src* via *port*.
+
+    Carries its physical attributes inline (defaulting to the uniform
+    one-cycle planar link), so consumers — the network builder, wire
+    cost models, graph exports — never re-derive them.
+    """
 
     src: int
     dst: int
     port: str
+    latency: int = 1
+    width: float = 1.0
+    kind: str = PLANAR
+
+    @property
+    def attrs(self) -> LinkAttrs:
+        """The link's attributes as a standalone :class:`LinkAttrs`."""
+        return LinkAttrs(self.latency, self.width, self.kind)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when the link *behaves* like the default one-cycle
+        full-width channel the paper assumes everywhere.
+
+        ``kind`` is an advisory technology tag and deliberately not
+        part of the predicate: a latency-1 full-width TSV is
+        indistinguishable from a planar link to the flit model and
+        must not, e.g., trigger the mixed-timing deprecation warning.
+        """
+        return self.latency == 1 and self.width == 1.0
 
 
 class Topology(ABC):
@@ -52,6 +127,41 @@ class Topology(ABC):
     @abstractmethod
     def out_ports(self, node: int) -> dict[str, int]:
         """Map each output-port name of *node* to the neighbor node."""
+
+    # -- link attributes ----------------------------------------------
+
+    def link_attrs(self, src: int, port: str) -> LinkAttrs:
+        """Physical attributes of the link leaving *src* via *port*.
+
+        The topology is the single owner of link timing: subclasses
+        with heterogeneous links (e.g. TSV vertical hops in a 3D
+        stack) override this hook, and every consumer — the network
+        builder, wire-cost models, exports, observers — reads through
+        it.  The default is the paper's uniform one-cycle planar link.
+        """
+        return DEFAULT_LINK_ATTRS
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every link behaves like the default channel
+        (latency 1, full width; see :attr:`Link.is_uniform`)."""
+        return all(link.is_uniform for link in self.links())
+
+    def link(self, src: int, port: str) -> Link:
+        """The full :class:`Link` leaving *src* via *port*.
+
+        Raises:
+            TopologyError: if *src* has no such port.
+        """
+        dst = self.out_ports(src).get(port)
+        if dst is None:
+            raise TopologyError(
+                f"{self.name}: node {src} has no port {port!r}"
+            )
+        attrs = self.link_attrs(src, port)
+        return Link(
+            src, dst, port, attrs.latency, attrs.width, attrs.kind
+        )
 
     # -- derived structure --------------------------------------------
 
@@ -84,12 +194,23 @@ class Topology(ABC):
         )
 
     def links(self) -> list[Link]:
-        """Every directed link, ordered by source node then port name."""
+        """Every directed link, ordered by source node then port name,
+        carrying the attributes :meth:`link_attrs` assigns."""
         result = []
         for node in range(self.num_nodes):
             ports = self.out_ports(node)
             for port in sorted(ports):
-                result.append(Link(node, ports[port], port))
+                attrs = self.link_attrs(node, port)
+                result.append(
+                    Link(
+                        node,
+                        ports[port],
+                        port,
+                        attrs.latency,
+                        attrs.width,
+                        attrs.kind,
+                    )
+                )
         return result
 
     @property

@@ -3,21 +3,41 @@
 No plotting stack is assumed — the DOT text can be rendered elsewhere
 (``dot -Tsvg``), and :func:`to_adjacency_text` gives a greppable
 plain-text form used in docs and debugging sessions.
+
+Links with non-default attributes (latency != 1, width != 1 or a
+non-planar kind) carry them in both formats; uniform topologies
+render exactly as before the heterogeneous-link model.
 """
 
 from __future__ import annotations
 
-from repro.topology.base import Topology
+from repro.topology.base import DEFAULT_LINK_ATTRS, Link, Topology
 from repro.topology.mesh import MeshTopology
+
+
+def _attr_note(link: Link) -> str:
+    """Compact attribute annotation, empty for a default link."""
+    if link.attrs == DEFAULT_LINK_ATTRS:
+        return ""
+    parts = [link.kind]
+    if link.latency != 1:
+        parts.append(f"lat={link.latency}")
+    if link.width != 1.0:
+        parts.append(f"w={link.width:g}")
+    return " ".join(parts)
 
 
 def to_dot(topology: Topology, name: str | None = None) -> str:
     """Graphviz DOT for *topology*.
 
     Paired unidirectional links are emitted as one undirected edge
-    labelled with the forward port name; meshes get grid positions so
-    ``neato -n`` reproduces the floorplan.
+    labelled with the forward port name (plus the link's attributes
+    when non-default — TSVs additionally render dashed); meshes and
+    3D grids get grid positions so ``neato -n`` reproduces the
+    floorplan, with 3D layers laid out side by side.
     """
+    from repro.topology.mesh3d import Mesh3DTopology, Torus3DTopology
+
     graph_name = (name or topology.name).replace("-", "_")
     lines = [f"graph {graph_name} {{"]
     lines.append("  node [shape=circle];")
@@ -26,6 +46,13 @@ def to_dot(topology: Topology, name: str | None = None) -> str:
             row, col = topology.coordinates(node)
             lines.append(
                 f'  n{node} [label="{node}", pos="{col},{-row}!"];'
+            )
+    elif isinstance(topology, (Mesh3DTopology, Torus3DTopology)):
+        for node in range(topology.num_nodes):
+            x, y, z = topology.coordinates(node)
+            lines.append(
+                f'  n{node} [label="{node}", '
+                f'pos="{x + z * (topology.size_x + 1)},{-y}!"];'
             )
     else:
         for node in range(topology.num_nodes):
@@ -36,21 +63,30 @@ def to_dot(topology: Topology, name: str | None = None) -> str:
         if key in seen:
             continue
         seen.add(key)
+        note = _attr_note(link)
+        label = f"{link.port} [{note}]" if note else link.port
+        style = ', style=dashed' if link.kind == "tsv" else ""
         lines.append(
-            f'  n{link.src} -- n{link.dst} [label="{link.port}"];'
+            f'  n{link.src} -- n{link.dst} [label="{label}"{style}];'
         )
     lines.append("}")
     return "\n".join(lines) + "\n"
 
 
 def to_adjacency_text(topology: Topology) -> str:
-    """One line per node: ``node: port->neighbor ...``."""
+    """One line per node: ``node: port->neighbor ...``.
+
+    Non-default link attributes follow the neighbor in parentheses,
+    e.g. ``up->20 (tsv lat=2)``.
+    """
     lines = [f"# {topology.name}: {topology.num_nodes} nodes, "
              f"{topology.num_links} links"]
     for node in range(topology.num_nodes):
-        ports = topology.out_ports(node)
-        parts = " ".join(
-            f"{port}->{dst}" for port, dst in sorted(ports.items())
-        )
-        lines.append(f"{node}: {parts}")
+        parts = []
+        for port in sorted(topology.out_ports(node)):
+            link = topology.link(node, port)
+            note = _attr_note(link)
+            suffix = f" ({note})" if note else ""
+            parts.append(f"{port}->{link.dst}{suffix}")
+        lines.append(f"{node}: {' '.join(parts)}")
     return "\n".join(lines) + "\n"

@@ -98,3 +98,8 @@ class FaultyTopology(Topology):
             for port, dst in self.base.out_ports(node).items()
             if _normalise((node, dst)) not in self.failed_links
         }
+
+    def link_attrs(self, src: int, port: str):
+        # Surviving links keep the base topology's physical
+        # attributes (a fault removes wires, it does not retime them).
+        return self.base.link_attrs(src, port)

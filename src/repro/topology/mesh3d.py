@@ -1,0 +1,220 @@
+"""3D mesh and torus topologies with TSV vertical links.
+
+The paper's three architectures are planar; stacked dies add a third
+dimension whose vertical hops ride through-silicon vias (TSVs) —
+physically short but electrically distinct channels, so their latency
+and width are *first-class link attributes* rather than more of the
+same wire.  Both topologies here assign ``kind="tsv"`` with a
+configurable latency/width to every ``up``/``down`` link via the
+:meth:`~repro.topology.base.Topology.link_attrs` hook; with the
+default ``tsv_latency=1`` they degenerate to the uniform-link model
+byte-for-byte (the regression suite pins this).
+
+Nodes are addressed ``(x, y, z)`` — x varies fastest, z is the layer
+index — and port names extend the 2D mesh compass: ``east``/``west``
+move along x, ``south``/``north`` along y, ``up``/``down`` along z
+(``up`` = higher layer).
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import (
+    TSV,
+    LinkAttrs,
+    Topology,
+    TopologyError,
+)
+from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+
+UP = "up"
+DOWN = "down"
+
+#: (port, coordinate axis, direction) in dimension order x, y, z.
+_PORT_STEPS = (
+    (EAST, 0, 1),
+    (WEST, 0, -1),
+    (SOUTH, 1, 1),
+    (NORTH, 1, -1),
+    (UP, 2, 1),
+    (DOWN, 2, -1),
+)
+
+
+class _Grid3DTopology(Topology):
+    """Shared coordinate machinery of the 3D grid families."""
+
+    def __init__(
+        self,
+        size_x: int,
+        size_y: int,
+        size_z: int,
+        name: str,
+        tsv_latency: int = 1,
+        tsv_width: float = 1.0,
+    ) -> None:
+        if size_z < 2:
+            raise TopologyError(
+                f"a 3D topology needs >= 2 layers, got {size_z} "
+                "(use MeshTopology/TorusTopology for planar designs)"
+            )
+        if tsv_latency >= 2:
+            name = f"{name}@tsv{tsv_latency}"
+        super().__init__(size_x * size_y * size_z, name)
+        self.size_x = size_x
+        self.size_y = size_y
+        self.size_z = size_z
+        self._tsv_attrs = LinkAttrs(
+            latency=tsv_latency, width=tsv_width, kind=TSV
+        )
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        """Dimension extents ``(X, Y, Z)``."""
+        return (self.size_x, self.size_y, self.size_z)
+
+    @property
+    def tsv_latency(self) -> int:
+        """Traversal time of every vertical (TSV) link, in cycles."""
+        return self._tsv_attrs.latency
+
+    @property
+    def tsv_width(self) -> float:
+        """Width of every vertical (TSV) link, relative to planar."""
+        return self._tsv_attrs.width
+
+    def coordinates(self, node: int) -> tuple[int, int, int]:
+        """Grid position ``(x, y, z)`` of *node*."""
+        self.check_node(node)
+        x = node % self.size_x
+        y = (node // self.size_x) % self.size_y
+        z = node // (self.size_x * self.size_y)
+        return (x, y, z)
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        """Node id at ``(x, y, z)``.
+
+        Raises:
+            TopologyError: if the position is outside the grid.
+        """
+        if not (
+            0 <= x < self.size_x
+            and 0 <= y < self.size_y
+            and 0 <= z < self.size_z
+        ):
+            raise TopologyError(
+                f"{self.name}: no node at ({x}, {y}, {z})"
+            )
+        return (z * self.size_y + y) * self.size_x + x
+
+    def link_attrs(self, src: int, port: str) -> LinkAttrs:
+        if port in (UP, DOWN):
+            return self._tsv_attrs
+        return super().link_attrs(src, port)
+
+
+class Mesh3DTopology(_Grid3DTopology):
+    """An ``X x Y x Z`` 3D mesh; vertical links are TSVs.
+
+    Args:
+        size_x / size_y / size_z: Grid extents; ``size_z >= 2`` (a
+            single layer is a plain 2D mesh), planar extents >= 1.
+        tsv_latency: Traversal cycles of every vertical link (>= 1;
+            1 reproduces the uniform-link model exactly).
+        tsv_width: Vertical channel width relative to a planar link
+            (cost-model input only).
+    """
+
+    def __init__(
+        self,
+        size_x: int,
+        size_y: int,
+        size_z: int,
+        tsv_latency: int = 1,
+        tsv_width: float = 1.0,
+    ) -> None:
+        if size_x < 1 or size_y < 1:
+            raise TopologyError(
+                f"mesh3d planar extents must be >= 1, got "
+                f"{size_x}x{size_y}"
+            )
+        super().__init__(
+            size_x,
+            size_y,
+            size_z,
+            f"mesh3d{size_x}x{size_y}x{size_z}",
+            tsv_latency,
+            tsv_width,
+        )
+
+    @classmethod
+    def cube(
+        cls, side: int, tsv_latency: int = 1, tsv_width: float = 1.0
+    ) -> "Mesh3DTopology":
+        """The symmetric ``side x side x side`` mesh."""
+        return cls(side, side, side, tsv_latency, tsv_width)
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        position = self.coordinates(node)
+        sizes = self.sizes
+        ports = {}
+        for port, axis, step in _PORT_STEPS:
+            coordinate = position[axis] + step
+            if 0 <= coordinate < sizes[axis]:
+                moved = list(position)
+                moved[axis] = coordinate
+                ports[port] = self.node_at(*moved)
+        return ports
+
+
+class Torus3DTopology(_Grid3DTopology):
+    """An ``X x Y x Z`` 3D torus (every dimension wraps).
+
+    Every dimension must be >= 3 so wrap links never duplicate mesh
+    links, matching :class:`~repro.topology.torus.TorusTopology`.
+    Vertical links — including the z wrap — are TSVs.
+    """
+
+    def __init__(
+        self,
+        size_x: int,
+        size_y: int,
+        size_z: int,
+        tsv_latency: int = 1,
+        tsv_width: float = 1.0,
+    ) -> None:
+        if size_x < 3 or size_y < 3 or size_z < 3:
+            raise TopologyError(
+                f"torus3d dimensions must be >= 3 (wraparound links "
+                f"would duplicate mesh links), got "
+                f"{size_x}x{size_y}x{size_z}"
+            )
+        super().__init__(
+            size_x,
+            size_y,
+            size_z,
+            f"torus3d{size_x}x{size_y}x{size_z}",
+            tsv_latency,
+            tsv_width,
+        )
+
+    @classmethod
+    def cube(
+        cls, side: int, tsv_latency: int = 1, tsv_width: float = 1.0
+    ) -> "Torus3DTopology":
+        """The symmetric ``side x side x side`` torus."""
+        return cls(side, side, side, tsv_latency, tsv_width)
+
+    def out_ports(self, node: int) -> dict[str, int]:
+        position = self.coordinates(node)
+        sizes = self.sizes
+        ports = {}
+        for port, axis, step in _PORT_STEPS:
+            moved = list(position)
+            moved[axis] = (position[axis] + step) % sizes[axis]
+            ports[port] = self.node_at(*moved)
+        return ports
+
+    def ring_distance(self, size: int, a: int, b: int) -> int:
+        """Shortest wrap distance between coordinates on one dimension."""
+        forward = (b - a) % size
+        return min(forward, size - forward)

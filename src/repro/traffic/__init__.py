@@ -31,6 +31,7 @@ from repro.traffic.patterns import (
     NearestNeighborTraffic,
     ShuffleTraffic,
     TornadoTraffic,
+    Transpose3DTraffic,
     TransposeTraffic,
     UniformTraffic,
     double_hotspot_targets,
@@ -52,6 +53,7 @@ __all__ = [
     "TraceEntry",
     "TrafficPattern",
     "TrafficSpec",
+    "Transpose3DTraffic",
     "TransposeTraffic",
     "UniformTraffic",
     "double_hotspot_targets",

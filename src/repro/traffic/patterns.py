@@ -121,6 +121,43 @@ class TransposeTraffic(TrafficPattern):
         return self._mesh.node_at(col, row)
 
 
+class Transpose3DTraffic(TrafficPattern):
+    """Coordinate-rotation traffic on a cubic 3D grid:
+    ``(x, y, z) -> (y, z, x)``.
+
+    The 3D analogue of matrix transpose — every packet changes all
+    three coordinates (unless it sits on the main diagonal), so it
+    stresses each dimension-order stage in turn.  Main-diagonal nodes
+    (``x == y == z``) are fixed points and generate nothing.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        from repro.topology.mesh3d import Mesh3DTopology, Torus3DTopology
+
+        if not isinstance(topology, (Mesh3DTopology, Torus3DTopology)):
+            raise TopologyError(
+                "3D transpose traffic is defined on 3D grids only"
+            )
+        if len(set(topology.sizes)) != 1:
+            raise TopologyError(
+                f"3D transpose traffic needs a cubic grid, "
+                f"got {topology.name}"
+            )
+        super().__init__(topology, "transpose3d")
+        self._grid = topology
+
+    def sources(self) -> list[int]:
+        return [
+            node
+            for node in range(self._grid.num_nodes)
+            if len(set(self._grid.coordinates(node))) > 1
+        ]
+
+    def destination_for(self, src: int, rng: RngStream) -> int:
+        x, y, z = self._grid.coordinates(src)
+        return self._grid.node_at(y, z, x)
+
+
 def _require_power_of_two(num_nodes: int, pattern: str) -> None:
     if num_nodes < 2 or num_nodes & (num_nodes - 1):
         raise ValueError(

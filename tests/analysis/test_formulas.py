@@ -207,3 +207,81 @@ class TestCirculantFormulas:
             assert formulas.circulant_num_links(n, s) == len(
                 CirculantTopology(n, s).links()
             )
+
+
+class TestMesh3DFormulas:
+    DIMS = [(2, 2, 2), (3, 3, 3), (4, 3, 2), (1, 4, 3), (4, 4, 4)]
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_diameter_exact(self, dims):
+        from repro.topology import Mesh3DTopology
+
+        assert formulas.mesh3d_diameter(*dims) == diameter(
+            Mesh3DTopology(*dims)
+        )
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_average_distance_exact(self, dims):
+        from repro.topology import Mesh3DTopology
+
+        expected = average_distance(Mesh3DTopology(*dims))
+        assert formulas.mesh3d_average_distance(*dims) == pytest.approx(
+            expected
+        )
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_link_counts_exact(self, dims):
+        from repro.topology import Mesh3DTopology
+        from repro.topology.base import TSV
+
+        topology = Mesh3DTopology(*dims)
+        assert formulas.mesh3d_num_links(*dims) == topology.num_links
+        assert formulas.mesh3d_num_tsv_links(*dims) == sum(
+            1 for link in topology.links() if link.kind == TSV
+        )
+
+    def test_single_layer_rejected(self):
+        with pytest.raises(ValueError):
+            formulas.mesh3d_diameter(4, 4, 1)
+        with pytest.raises(ValueError):
+            formulas.mesh3d_average_distance(0, 4, 2)
+
+
+class TestTorus3DFormulas:
+    DIMS = [(3, 3, 3), (4, 3, 3), (3, 4, 5), (4, 4, 4), (5, 3, 4)]
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_diameter_exact(self, dims):
+        from repro.topology import Torus3DTopology
+
+        assert formulas.torus3d_diameter(*dims) == diameter(
+            Torus3DTopology(*dims)
+        )
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_average_distance_exact(self, dims):
+        from repro.topology import Torus3DTopology
+
+        expected = average_distance(Torus3DTopology(*dims))
+        assert formulas.torus3d_average_distance(*dims) == pytest.approx(
+            expected
+        )
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_link_counts_exact(self, dims):
+        from repro.topology import Torus3DTopology
+        from repro.topology.base import TSV
+
+        topology = Torus3DTopology(*dims)
+        assert formulas.torus3d_num_links(*dims) == topology.num_links
+        assert formulas.torus3d_num_tsv_links(*dims) == sum(
+            1 for link in topology.links() if link.kind == TSV
+        )
+
+    def test_cube_beats_planar_mesh_on_distance(self):
+        # The stacking study's static story: at N=64 the 3D forms
+        # shorten paths (mesh8x8 E[D]=5.25 > mesh3d4x4x4 > torus3d).
+        planar = formulas.mesh_average_distance(8, 8)
+        cube = formulas.mesh3d_average_distance(4, 4, 4)
+        wrapped = formulas.torus3d_average_distance(4, 4, 4)
+        assert planar > cube > wrapped

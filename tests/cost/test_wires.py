@@ -112,3 +112,77 @@ class TestCirculantWireModel:
         assert lengths == sorted(lengths)
         # sin is bounded: no chord is longer than the diameter.
         assert all(length <= n / math.pi for length in lengths)
+
+
+class TestTsvWireModel:
+    def test_mesh3d_link_lengths(self):
+        from repro.cost.wires import TSV_LINK_LENGTH
+        from repro.topology import Mesh3DTopology
+        from repro.topology.base import TSV
+
+        topology = Mesh3DTopology(3, 3, 2)
+        for link in topology.links():
+            expected = TSV_LINK_LENGTH if link.kind == TSV else 1.0
+            assert link_length(topology, link) == expected
+
+    def test_torus3d_folds_planar_and_vertical_wraps(self):
+        from repro.cost.wires import (
+            FOLDED_TORUS_LINK_LENGTH,
+            TSV_LINK_LENGTH,
+        )
+        from repro.topology import Torus3DTopology
+        from repro.topology.base import TSV
+
+        topology = Torus3DTopology(3, 3, 3)
+        for link in topology.links():
+            expected = (
+                2 * TSV_LINK_LENGTH
+                if link.kind == TSV
+                else FOLDED_TORUS_LINK_LENGTH
+            )
+            assert link_length(topology, link) == expected
+
+    def test_total_wire_length_closed_form(self):
+        from repro.cost.wires import TSV_LINK_LENGTH
+        from repro.topology import Mesh3DTopology
+
+        topology = Mesh3DTopology(4, 4, 4)
+        planar = 2 * (3 * 4 * 4) * 2  # x links + y links
+        tsv = 2 * (3 * 4 * 4)
+        assert total_wire_length(topology) == pytest.approx(
+            planar + tsv * TSV_LINK_LENGTH
+        )
+
+    def test_stacking_spends_less_wire_than_planar(self):
+        # Same 64 nodes: folding into layers replaces long planar
+        # rows with near-free vertical hops.
+        from repro.topology import Mesh3DTopology
+
+        assert total_wire_length(
+            Mesh3DTopology(4, 4, 4)
+        ) < total_wire_length(MeshTopology(8, 8))
+
+
+class TestWireArea:
+    def test_equals_length_when_uniform(self):
+        from repro.cost import total_wire_area
+
+        for topology in (RingTopology(8), MeshTopology(3, 4)):
+            assert total_wire_area(topology) == pytest.approx(
+                total_wire_length(topology)
+            )
+
+    def test_narrow_tsv_discounts_vertical_wire(self):
+        from repro.cost import total_wire_area
+        from repro.cost.wires import TSV_LINK_LENGTH
+        from repro.topology import Mesh3DTopology
+
+        wide = Mesh3DTopology(3, 3, 3)
+        narrow = Mesh3DTopology(3, 3, 3, tsv_width=0.25)
+        tsv_wire = 2 * (2 * 3 * 3) * TSV_LINK_LENGTH
+        assert total_wire_area(wide) == pytest.approx(
+            total_wire_length(wide)
+        )
+        assert total_wire_area(narrow) == pytest.approx(
+            total_wire_area(wide) - 0.75 * tsv_wire
+        )

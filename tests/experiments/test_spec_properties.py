@@ -186,3 +186,107 @@ class TestMalformedSpecs:
             parse_pattern("randomly", parse_topology("ring8"))
         with pytest.raises(ValueError, match="circulant9x9"):
             parse_topology("circulant9x9")
+
+
+class TestMesh3DSpecs:
+    @pytest.mark.parametrize(
+        "spec, dims, tsv",
+        [
+            ("mesh3d4x4x4", (4, 4, 4), 1),
+            ("mesh3d4x4x4@tsv2", (4, 4, 4), 2),
+            ("mesh3d2x3x4@tsv10", (2, 3, 4), 10),
+            ("torus3d3x3x3", (3, 3, 3), 1),
+            ("torus3d4x4x4@tsv4", (4, 4, 4), 4),
+        ],
+    )
+    def test_parse_3d_grid(self, spec, dims, tsv):
+        from repro.topology import Mesh3DTopology, Torus3DTopology
+
+        topology = parse_topology(spec)
+        expected = (
+            Torus3DTopology if spec.startswith("torus") else Mesh3DTopology
+        )
+        assert isinstance(topology, expected)
+        assert topology.sizes == dims
+        assert topology.tsv_latency == tsv
+
+    def test_name_round_trips(self):
+        for spec in ("mesh3d4x4x4", "mesh3d3x3x2@tsv2", "torus3d3x4x5"):
+            assert parse_topology(spec).name == spec
+
+    def test_mesh3d_not_swallowed_by_mesh(self):
+        # The catch-all mesh<N> pattern must not shadow mesh3d...
+        from repro.topology import Mesh3DTopology
+
+        assert isinstance(parse_topology("mesh3d4x4x4"), Mesh3DTopology)
+        assert isinstance(parse_topology("mesh16"), MeshTopology)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["mesh3d4x4", "mesh3d4x4x1", "torus3d2x3x3", "mesh3d4x4x4@tsv0"],
+    )
+    def test_bad_3d_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            parse_topology(spec)
+
+    def test_faulty_wraps_3d_specs(self):
+        from repro.topology.faults import FaultyTopology
+
+        topology = parse_topology("faulty:mesh3d3x3x3:2@7")
+        assert isinstance(topology, FaultyTopology)
+
+    def test_transpose_dispatches_by_dimensionality(self):
+        from repro.traffic import Transpose3DTraffic, TransposeTraffic
+
+        three_d = parse_pattern("transpose", parse_topology("mesh3d4x4x4"))
+        assert isinstance(three_d, Transpose3DTraffic)
+        two_d = parse_pattern("transpose", parse_topology("mesh4x4"))
+        assert isinstance(two_d, TransposeTraffic)
+
+
+class TestTopologyRegistry:
+    def test_available_topologies_sorted_and_complete(self):
+        from repro.experiments.specs import available_topologies
+
+        families = available_topologies()
+        prefixes = [family.prefix for family in families]
+        assert prefixes == sorted(prefixes)
+        for expected in ("ring", "spidergon", "mesh", "mesh3d",
+                         "torus3d", "faulty"):
+            assert expected in prefixes
+
+    def test_examples_parse(self):
+        from repro.experiments.specs import available_topologies
+
+        for family in available_topologies():
+            assert family.pattern.fullmatch(family.example)
+            assert parse_topology(family.example) is not None
+            assert family.description
+
+    def test_duplicate_prefix_rejected(self):
+        from repro.experiments.specs import register_topology
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology(
+                "ring", r"ring(\d+)", example="ring8", description="dup"
+            )(lambda match: None)
+
+    def test_new_registration_is_parseable(self):
+        from repro.experiments import specs
+
+        @specs.register_topology(
+            "testonly-star",
+            r"testonly-star(\d+)",
+            example="testonly-star5",
+            description="registry extension test fixture",
+        )
+        def _parse_star(match):
+            from repro.topology import SpidergonTopology
+
+            return SpidergonTopology(int(match.group(1)) * 2)
+
+        try:
+            topology = parse_topology("testonly-star5")
+            assert topology.num_nodes == 10
+        finally:
+            del specs._TOPOLOGY_FAMILIES["testonly-star"]

@@ -170,3 +170,54 @@ class TestDataModel:
         table = timeline.heat_table(max_links=3)
         node, _, dst, _ = timeline.busiest_links(1)[0]
         assert f"{node}->{dst}" in table
+
+
+class TestLinkAttrLabels:
+    def _3d_timeline(self):
+        from repro.topology import Mesh3DTopology
+
+        topology = Mesh3DTopology(2, 2, 2, tsv_latency=2)
+        _, timeline = run_with_timeline(
+            topology, UniformTraffic(topology), 0.1
+        )
+        return timeline
+
+    def test_series_carry_kind_and_latency(self):
+        timeline = self._3d_timeline()
+        by_port = {}
+        for series in timeline.links:
+            by_port.setdefault(series.port, series)
+        assert by_port["up"].kind == "tsv"
+        assert by_port["up"].latency == 2
+        assert by_port["east"].kind == "planar"
+        assert by_port["east"].latency == 1
+
+    def test_attrs_survive_json_round_trip(self):
+        timeline = self._3d_timeline()
+        blob = json.dumps(timeline.to_dict())
+        restored = UtilizationTimeline.from_dict(json.loads(blob))
+        assert restored == timeline
+        assert any(s.kind == "tsv" for s in restored.links)
+
+    def test_legacy_dict_defaults_to_planar(self):
+        # Blobs written before the heterogeneous-link model load with
+        # the uniform attributes.
+        timeline = self._3d_timeline()
+        blob = timeline.to_dict()
+        for entry in blob["links"]:
+            del entry["kind"], entry["latency"]
+        restored = UtilizationTimeline.from_dict(blob)
+        assert all(s.kind == "planar" for s in restored.links)
+        assert all(s.latency == 1 for s in restored.links)
+
+    def test_heat_table_tags_tsv_links(self):
+        timeline = self._3d_timeline()
+        table = timeline.heat_table(max_links=len(timeline.links))
+        assert ", tsv" in table
+
+    def test_heat_table_unchanged_for_uniform(self):
+        topology = RingTopology(8)
+        _, timeline = run_with_timeline(
+            topology, UniformTraffic(topology), 0.15
+        )
+        assert ", planar" not in timeline.heat_table(max_links=4)

@@ -6,19 +6,23 @@ from repro.noc.packet import Packet
 from repro.routing import (
     CirculantTableRouting,
     HypercubeEcubeRouting,
+    Mesh3DXYZRouting,
     MeshXYRouting,
     MultiplicativeCirculantRouting,
     RingShortestRouting,
     SpidergonAcrossFirstRouting,
     TableRouting,
+    Torus3DXYZRouting,
     TorusXYRouting,
 )
 from repro.topology import (
     CirculantTopology,
     HypercubeTopology,
+    Mesh3DTopology,
     MeshTopology,
     RingTopology,
     SpidergonTopology,
+    Torus3DTopology,
     TorusTopology,
     all_pairs_distances,
 )
@@ -81,6 +85,28 @@ ROUTED_TOPOLOGIES = {
     "table": st.integers(min_value=2, max_value=30).map(
         lambda n: (lambda t: (t, TableRouting(t)))(
             MeshTopology.irregular(n)
+        )
+    ),
+    # TSV latency is drawn too: routing must be latency-oblivious
+    # (every minimal path has the same vertical hop count).
+    "mesh3d-xyz": st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    ).map(
+        lambda args: (lambda t: (t, Mesh3DXYZRouting(t)))(
+            Mesh3DTopology(*args[:3], tsv_latency=args[3])
+        )
+    ),
+    "torus3d-xyz": st.tuples(
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    ).map(
+        lambda args: (lambda t: (t, Torus3DXYZRouting(t)))(
+            Torus3DTopology(*args[:3], tsv_latency=args[3])
         )
     ),
 }

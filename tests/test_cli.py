@@ -86,6 +86,36 @@ class TestMain:
         assert (tmp_path / "cache").is_dir()
         assert not (tmp_path / ".repro-cache").exists()
 
+    def test_topologies_dispatch(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh3d" in out
+        assert "torus3d4x4x4@tsv2" in out
+        assert "faulty" in out
+
+    def test_mesh3d_dispatch(self, capsys):
+        assert main(
+            [
+                "mesh3d", "3",
+                "--patterns", "uniform",
+                "--tsv", "2",
+                "--rates", "0.1",
+                "--cycles", "400",
+                "--warmup", "100",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mesh3d3x3x3@tsv2" in out
+        assert "torus3d3x3x3@tsv2" in out
+        assert "uniform traffic" in out
+
+    def test_mesh3d_usage_errors(self, capsys):
+        # Side below the torus3d minimum fails fast...
+        assert main(["mesh3d", "2"]) == 2
+        assert "side >= 3" in capsys.readouterr().out
+        # ...and malformed sweeps are caught before any run.
+        assert main(["mesh3d", "--tsv", "abc"]) == 2
+
     def test_campaign_usage_error(self, capsys):
         assert main(["campaign", "only-one-arg"]) == 2
 

@@ -39,3 +39,43 @@ class TestAdjacencyText:
     def test_header_has_counts(self):
         text = to_adjacency_text(SpidergonTopology(8))
         assert "8 nodes, 24 links" in text
+
+
+class TestLinkAttrAnnotations:
+    def test_uniform_topologies_render_without_notes(self):
+        for topology in (RingTopology(6), MeshTopology(3, 3)):
+            assert "lat=" not in to_dot(topology)
+            assert "(" not in to_adjacency_text(topology)
+
+    def test_tsv_links_annotated_and_dashed(self):
+        from repro.topology import Mesh3DTopology
+
+        topology = Mesh3DTopology(2, 2, 2, tsv_latency=2)
+        dot = to_dot(topology)
+        assert "[tsv lat=2]" in dot
+        assert "style=dashed" in dot
+        text = to_adjacency_text(topology)
+        assert "up->4 (tsv lat=2)" in text
+        assert "east->1\n" in text or "east->1 " in text
+
+    def test_penalty_one_tsv_still_tagged(self):
+        # Latency-1 TSVs are timing-uniform but the kind tag is
+        # still worth surfacing in exports.
+        from repro.topology import Mesh3DTopology
+
+        text = to_adjacency_text(Mesh3DTopology(2, 2, 2))
+        assert "up->4 (tsv)" in text
+
+    def test_width_annotation(self):
+        from repro.topology import Mesh3DTopology
+
+        dot = to_dot(Mesh3DTopology(2, 2, 2, tsv_width=0.5))
+        assert "[tsv w=0.5]" in dot
+
+    def test_3d_grid_gets_layered_positions(self):
+        from repro.topology import Mesh3DTopology
+
+        dot = to_dot(Mesh3DTopology(2, 2, 2))
+        # Layer z=1 is offset by size_x + 1 = 3 on the x axis.
+        assert 'pos="0,0!"' in dot
+        assert 'pos="3,0!"' in dot

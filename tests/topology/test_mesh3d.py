@@ -1,0 +1,149 @@
+"""3D mesh/torus construction, addressing and link attributes."""
+
+import pytest
+
+from repro.topology import (
+    LinkAttrs,
+    Mesh3DTopology,
+    Torus3DTopology,
+    TopologyError,
+    diameter,
+)
+from repro.topology.base import PLANAR, TSV
+from repro.topology.mesh3d import DOWN, UP
+
+
+class TestConstruction:
+    def test_mesh3d_name_and_counts(self):
+        topo = Mesh3DTopology(4, 3, 2)
+        assert topo.name == "mesh3d4x3x2"
+        assert topo.num_nodes == 24
+        topo.validate()
+
+    def test_torus3d_name_and_counts(self):
+        topo = Torus3DTopology(3, 4, 5)
+        assert topo.name == "torus3d3x4x5"
+        assert topo.num_nodes == 60
+        topo.validate()
+
+    def test_tsv_latency_suffixes_name(self):
+        assert Mesh3DTopology(3, 3, 3, tsv_latency=2).name == (
+            "mesh3d3x3x3@tsv2"
+        )
+        assert Torus3DTopology(3, 3, 3, tsv_latency=4).name == (
+            "torus3d3x3x3@tsv4"
+        )
+        # Penalty 1 is the uniform model: no suffix.
+        assert Mesh3DTopology(3, 3, 3, tsv_latency=1).name == (
+            "mesh3d3x3x3"
+        )
+
+    def test_cube_classmethods(self):
+        assert Mesh3DTopology.cube(4).num_nodes == 64
+        assert Torus3DTopology.cube(3, tsv_latency=2).tsv_latency == 2
+
+    def test_single_layer_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh3DTopology(4, 4, 1)
+
+    def test_mesh3d_planar_extent_zero_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh3DTopology(0, 4, 2)
+
+    def test_torus3d_small_dimension_rejected(self):
+        # Wraparound links would duplicate mesh links below size 3.
+        with pytest.raises(TopologyError):
+            Torus3DTopology(2, 3, 3)
+
+    def test_bad_tsv_attrs_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh3DTopology(3, 3, 3, tsv_latency=0)
+        with pytest.raises(TopologyError):
+            Mesh3DTopology(3, 3, 3, tsv_width=0.0)
+
+
+class TestAddressing:
+    def test_coordinates_node_at_round_trip(self):
+        topo = Mesh3DTopology(4, 3, 2)
+        for node in range(topo.num_nodes):
+            assert topo.node_at(*topo.coordinates(node)) == node
+
+    def test_x_varies_fastest(self):
+        topo = Mesh3DTopology(4, 3, 2)
+        assert topo.coordinates(0) == (0, 0, 0)
+        assert topo.coordinates(1) == (1, 0, 0)
+        assert topo.coordinates(4) == (0, 1, 0)
+        assert topo.coordinates(12) == (0, 0, 1)
+
+    def test_node_at_out_of_grid(self):
+        topo = Mesh3DTopology(4, 3, 2)
+        for bad in [(-1, 0, 0), (4, 0, 0), (0, 3, 0), (0, 0, 2)]:
+            with pytest.raises(TopologyError):
+                topo.node_at(*bad)
+
+    def test_mesh_boundary_has_no_wrap_ports(self):
+        topo = Mesh3DTopology(3, 3, 3)
+        corner = topo.out_ports(0)
+        assert sorted(corner) == ["east", "south", "up"]
+        far_corner = topo.out_ports(topo.num_nodes - 1)
+        assert sorted(far_corner) == ["down", "north", "west"]
+
+    def test_torus_every_node_has_six_ports(self):
+        topo = Torus3DTopology(3, 3, 3)
+        for node in range(topo.num_nodes):
+            assert len(topo.out_ports(node)) == 6
+
+    def test_torus_wraparound(self):
+        topo = Torus3DTopology(3, 3, 3)
+        # Node (2, 0, 0) -> east wraps to (0, 0, 0).
+        assert topo.out_ports(topo.node_at(2, 0, 0))["east"] == 0
+        # Top layer's up wraps to the bottom layer.
+        assert topo.out_ports(topo.node_at(0, 0, 2))[UP] == 0
+
+    def test_ring_distance(self):
+        topo = Torus3DTopology(5, 3, 3)
+        assert topo.ring_distance(5, 0, 3) == 2
+        assert topo.ring_distance(5, 4, 0) == 1
+
+
+class TestLinkAttrs:
+    def test_vertical_links_are_tsv(self):
+        topo = Mesh3DTopology(3, 3, 3, tsv_latency=2, tsv_width=0.5)
+        for port in (UP, DOWN):
+            attrs = topo.link_attrs(topo.node_at(1, 1, 1), port)
+            assert attrs == LinkAttrs(latency=2, width=0.5, kind=TSV)
+        planar = topo.link_attrs(0, "east")
+        assert planar.kind == PLANAR
+        assert planar.latency == 1
+
+    def test_links_carry_attrs(self):
+        topo = Torus3DTopology(3, 3, 3, tsv_latency=4)
+        tsv_links = [l for l in topo.links() if l.kind == TSV]
+        planar_links = [l for l in topo.links() if l.kind == PLANAR]
+        assert len(tsv_links) == 2 * 27  # up + down per node
+        assert len(planar_links) == 4 * 27
+        assert all(l.latency == 4 for l in tsv_links)
+        assert all(l.latency == 1 for l in planar_links)
+
+    def test_is_uniform(self):
+        assert Mesh3DTopology(3, 3, 2).is_uniform
+        assert not Mesh3DTopology(3, 3, 2, tsv_latency=2).is_uniform
+        assert not Mesh3DTopology(3, 3, 2, tsv_width=0.5).is_uniform
+
+
+class TestGraphShape:
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (3, 2, 4), (4, 4, 4)])
+    def test_mesh3d_diameter_is_manhattan(self, dims):
+        topo = Mesh3DTopology(*dims)
+        assert diameter(topo) == sum(d - 1 for d in dims)
+
+    @pytest.mark.parametrize("dims", [(3, 3, 3), (4, 3, 5), (4, 4, 4)])
+    def test_torus3d_diameter_is_wrap_manhattan(self, dims):
+        topo = Torus3DTopology(*dims)
+        assert diameter(topo) == sum(d // 2 for d in dims)
+
+    def test_mesh3d_degenerates_to_stacked_grid(self):
+        # 1x1xZ is a path graph of Z nodes joined purely by TSVs.
+        topo = Mesh3DTopology(1, 1, 4)
+        assert topo.num_links == 6
+        assert all(l.port in (UP, DOWN) for l in topo.links())

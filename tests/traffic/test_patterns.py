@@ -266,3 +266,53 @@ class TestBitPermutationPatterns:
     def test_names(self):
         assert ShuffleTraffic(RingTopology(8)).name == "shuffle"
         assert BitReverseTraffic(RingTopology(8)).name == "bit-reverse"
+
+
+class TestTranspose3D:
+    def _pattern(self, side=3, torus=False):
+        from repro.topology import Mesh3DTopology, Torus3DTopology
+        from repro.traffic import Transpose3DTraffic
+
+        cls = Torus3DTopology if torus else Mesh3DTopology
+        return Transpose3DTraffic(cls(side, side, side))
+
+    def test_rotates_coordinates(self):
+        pattern = self._pattern(side=4)
+        grid = pattern.topology
+        src = grid.node_at(1, 2, 3)
+        assert pattern.destination_for(src, rng()) == grid.node_at(
+            2, 3, 1
+        )
+
+    def test_rotation_has_period_three(self):
+        pattern = self._pattern(side=3)
+        r = rng()
+        for src in pattern.sources():
+            node = src
+            for _ in range(3):
+                node = pattern.destination_for(node, r)
+            assert node == src
+
+    def test_diagonal_nodes_excluded_from_sources(self):
+        pattern = self._pattern(side=3)
+        grid = pattern.topology
+        diagonal = {grid.node_at(i, i, i) for i in range(3)}
+        sources = set(pattern.sources())
+        assert sources == set(range(27)) - diagonal
+
+    def test_works_on_torus(self):
+        pattern = self._pattern(side=3, torus=True)
+        assert len(pattern.sources()) == 24
+
+    def test_rejects_non_cubic_grid(self):
+        from repro.topology import Mesh3DTopology
+        from repro.traffic import Transpose3DTraffic
+
+        with pytest.raises(TopologyError):
+            Transpose3DTraffic(Mesh3DTopology(4, 4, 2))
+
+    def test_rejects_planar_topology(self):
+        from repro.traffic import Transpose3DTraffic
+
+        with pytest.raises(TopologyError):
+            Transpose3DTraffic(MeshTopology(4, 4))

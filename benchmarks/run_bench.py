@@ -16,17 +16,24 @@ What it measures:
   queue at a realistic depth;
 * ``figure_points`` — for one representative figure point per paper
   topology (ring16, spidergon16, mesh4x4 under uniform traffic),
-  simulated cycles/second and kernel events/second.
+  simulated cycles/second and kernel events/second **per engine**
+  (the ``wheel`` event kernel and the ``batched`` cycle-synchronous
+  engine), plus the batched-over-wheel speedup per point.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --min-speedup 1.3
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --min-batched-speedup 2.0
     PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/b.json
 
 Exit codes: 0 ok, 1 the ping-pong speedup vs the recorded baseline
-fell below ``--min-speedup`` (default 0: informational only, since
-absolute rates are machine-dependent and CI runners vary).
+fell below ``--min-speedup``, or the batched engine's mesh4x4
+speedup over the wheel fell below ``--min-batched-speedup`` (both
+default 0: informational only for absolute rates, but the batched
+ratio is machine-independent, so CI pins it — see
+``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
@@ -100,8 +107,14 @@ def bench_queue_churn() -> float:
     return best
 
 
+FIGURE_ENGINES = ("wheel", "batched")
+
+
 def bench_figure_points() -> dict:
-    """One representative figure point per paper topology."""
+    """One representative figure point per paper topology, measured
+    once per engine; both engines produce byte-identical results
+    (the equivalence suite pins that), so the comparison is purely
+    cycles/second."""
     from repro.noc.config import NocConfig
     from repro.noc.network import Network
     from repro.topology import (
@@ -118,31 +131,44 @@ def bench_figure_points() -> dict:
     }
     points = {}
     for name, factory in factories.items():
-        best_cycles = 0.0
-        events = 0
-        for _ in range(3):
-            topology = factory()
-            network = Network(
-                topology,
-                config=NocConfig(source_queue_packets=16),
-                traffic=TrafficSpec(
-                    UniformTraffic(topology), FIGURE_RATE
+        engines = {}
+        for engine in FIGURE_ENGINES:
+            best_cycles = 0.0
+            events = 0
+            for _ in range(3):
+                topology = factory()
+                network = Network(
+                    topology,
+                    config=NocConfig(source_queue_packets=16),
+                    traffic=TrafficSpec(
+                        UniformTraffic(topology), FIGURE_RATE
+                    ),
+                    seed=FIGURE_SEED,
+                    engine=engine,
+                )
+                start = time.perf_counter()
+                network.run(cycles=FIGURE_CYCLES)
+                elapsed = time.perf_counter() - start
+                events = network.simulator.events_processed
+                best_cycles = max(
+                    best_cycles, FIGURE_CYCLES / elapsed
+                )
+            engines[engine] = {
+                "cycles_per_second": round(best_cycles),
+                "events_per_second": round(
+                    best_cycles * events / FIGURE_CYCLES
                 ),
-                seed=FIGURE_SEED,
-            )
-            start = time.perf_counter()
-            network.run(cycles=FIGURE_CYCLES)
-            elapsed = time.perf_counter() - start
-            events = network.simulator.events_processed
-            best_cycles = max(best_cycles, FIGURE_CYCLES / elapsed)
+            }
         points[name] = {
             "cycles": FIGURE_CYCLES,
             "injection_rate": FIGURE_RATE,
             "seed": FIGURE_SEED,
             "events": events,
-            "cycles_per_second": round(best_cycles),
-            "events_per_second": round(
-                best_cycles * events / FIGURE_CYCLES
+            "engines": engines,
+            "batched_speedup": round(
+                engines["batched"]["cycles_per_second"]
+                / engines["wheel"]["cycles_per_second"],
+                3,
             ),
         }
     return points
@@ -165,6 +191,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "fail (exit 1) if ping-pong events/sec divided by the "
             "recorded baseline is below this (default 0: report only)"
+        ),
+    )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=0.0,
+        help=(
+            "fail (exit 1) if the batched engine's mesh4x4 "
+            "cycles/sec divided by the wheel engine's is below this "
+            "(default 0: report only); the ratio is machine-"
+            "independent, so CI can pin it"
         ),
     )
     args = parser.parse_args(argv)
@@ -214,9 +251,13 @@ def main(argv: list[str] | None = None) -> int:
         print(" (no baseline recorded)")
     print(f"queue churn: {round(churn):,} ops/s")
     for name, point in points.items():
+        per_engine = ", ".join(
+            f"{engine} {stats['cycles_per_second']:,} cy/s"
+            for engine, stats in point["engines"].items()
+        )
         print(
-            f"{name}: {point['cycles_per_second']:,} cycles/s, "
-            f"{point['events_per_second']:,} ev/s"
+            f"{name}: {per_engine} "
+            f"(batched {point['batched_speedup']:.2f}x)"
         )
     print(f"wrote {out_path}")
 
@@ -233,6 +274,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"OK: speedup {speedup:.2f}x meets the required "
             f"{args.min_speedup:.2f}x"
+        )
+    if args.min_batched_speedup > 0:
+        ratio = points["mesh4x4"]["batched_speedup"]
+        if ratio < args.min_batched_speedup:
+            print(
+                f"FAIL: batched mesh4x4 speedup {ratio:.2f}x is "
+                f"below the required {args.min_batched_speedup:.2f}x"
+            )
+            return 1
+        print(
+            f"OK: batched mesh4x4 speedup {ratio:.2f}x meets the "
+            f"required {args.min_batched_speedup:.2f}x"
         )
     return 0
 

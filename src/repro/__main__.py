@@ -9,6 +9,7 @@
     python -m repro circulant 16         # equal-cost chord study
     python -m repro mesh3d               # 2D vs 3D TSV stacking study
     python -m repro topologies           # registered topology specs
+    python -m repro engines              # registered simulation engines
     python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
     python -m repro chaos mesh4x4 uniform 0.1 --fail 5:6@2000
 """
@@ -36,7 +37,7 @@ def _info() -> int:
     print(
         "usage: python -m repro "
         "{info|figures|ablations|campaign SPEC.json OUT.csv"
-        "|circulant [N]|mesh3d [SIDE]|topologies"
+        "|circulant [N]|mesh3d [SIDE]|topologies|engines"
         "|trace TOPOLOGY PATTERN RATE"
         "|chaos TOPOLOGY PATTERN RATE} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
@@ -62,6 +63,16 @@ def _topologies() -> int:
             f"{family.prefix:<{width}}  "
             f"{family.example:<{example_width}}  {family.description}"
         )
+    return 0
+
+
+def _engines() -> int:
+    from repro.sim import available_engines
+
+    families = available_engines()
+    width = max(len(f.name) for f in families)
+    for family in families:
+        print(f"{family.name:<{width}}  {family.description}")
     return 0
 
 
@@ -589,6 +600,8 @@ def main(argv: list[str] | None = None) -> int:
         return mesh3d_main(rest)
     if command == "topologies":
         return _topologies()
+    if command == "engines":
+        return _engines()
     if command == "trace":
         return _trace(rest)
     if command == "chaos":

@@ -137,6 +137,7 @@ class Campaign:
             invariant_check_interval=int(
                 spec.get("invariant_check_interval", 0)
             ),
+            engine=str(spec.get("engine", "wheel")),
         )
         # Per-topology random fault plans are resolved lazily in
         # sweep_points (the picks depend on each topology's links):
@@ -156,13 +157,17 @@ class Campaign:
         return cls(json.loads(text))
 
     def validate(self) -> None:
-        """Parse every topology and pattern spec, failing fast.
+        """Parse every topology, pattern and engine spec, failing
+        fast.
 
         Raises:
             ValueError: naming the offending spec — so a typo aborts
                 the campaign before any simulation runs (and before
                 any CSV row is written), not mid-sweep.
         """
+        from repro.sim.engines import resolve_engine
+
+        resolve_engine(self.settings.engine)
         for topo_spec in self.spec["topologies"]:
             topology = parse_topology(topo_spec)
             for pattern_spec in self.spec["patterns"]:

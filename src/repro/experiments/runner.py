@@ -49,6 +49,14 @@ class SimulationSettings:
             :class:`~repro.noc.invariants.InvariantChecker` suite
             every this many cycles during the run (0 = off; audits
             are O(model state) each).
+        engine: Simulation engine name (``"wheel"``, ``"heap"`` or
+            ``"batched"`` — see :func:`repro.sim.available_engines`
+            and docs/engines.md).  Part of the settings so campaign
+            manifests and sweep cache keys record which engine
+            produced a result; every engine yields byte-identical
+            ``RunResult``s, so cached results stay valid across
+            engine switches only if the key distinguishes them
+            explicitly — which this field guarantees.
         link_delay: **Deprecated.** Global link-latency multiplier,
             folded into ``config.link_delay`` for back compatibility.
             It can only retime *every* link at once; per-link timing
@@ -65,6 +73,7 @@ class SimulationSettings:
     fault_plan: FaultPlan | None = None
     stall_cycles: int | None = None
     invariant_check_interval: int = 0
+    engine: str = "wheel"
     link_delay: int | None = None
 
     def __post_init__(self) -> None:
@@ -160,6 +169,7 @@ def run_simulation(
         config=settings.config,
         traffic=traffic,
         seed=settings.seed,
+        engine=settings.engine,
     )
     timeline_observer = None
     if settings.timeline_window is not None:

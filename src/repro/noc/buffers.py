@@ -73,9 +73,12 @@ class FlitFifo:
         """
         removed = [f for f in self._flits if f.packet is packet]
         if removed:
-            self._flits = deque(
-                f for f in self._flits if f.packet is not packet
-            )
+            # Mutate in place rather than rebinding: the batched
+            # engine's fast path holds direct references to this
+            # deque, which must stay valid across fault handling.
+            kept = [f for f in self._flits if f.packet is not packet]
+            self._flits.clear()
+            self._flits.extend(kept)
         return removed
 
 

@@ -73,6 +73,12 @@ class NetworkInterface(SimModule):
         # Installed by the Network: per-flit drop accounting for
         # runtime link failures (None on a fault-free run).
         self.drop_sink = None
+        # Batched fast path (all None on the event engines): the
+        # injection-link flit sink, the reusable ejection-credit
+        # records (per wire VC), and the current-cycle record channel.
+        self.flit_sink = None
+        self.credit_records = None
+        self._fast_append = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -153,26 +159,37 @@ class NetworkInterface(SimModule):
 
     def handle_message(self, message: Message) -> None:
         if isinstance(message, FlitMessage):
-            flit = message.flit
-            if flit.packet.killed:
-                # A runtime fault killed the packet while this flit
-                # was crossing the ejection link: return the credit
-                # and drop instead of consuming a partial packet.
-                self.send(CreditMessage(flit.wire_vc), self.credit_out)
-                if self.drop_sink is not None:
-                    self.drop_sink(flit)
-                return
-            self._consume(flit)
+            self.receive_flit(message.flit)
             return
         if isinstance(message, CreditMessage):
-            self._credits += 1
-            if self._backlog:
-                self.scheduler.activate(self)
+            self.receive_credit()
             return
         if isinstance(message, _GenerateMessage):
             self._generate_packet()
             return
         raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    def receive_flit(self, flit: Flit) -> None:
+        """A flit arrived on the ejection link (wire or record)."""
+        if flit.packet.killed:
+            # A runtime fault killed the packet while this flit was
+            # crossing the ejection link: return the credit and drop
+            # instead of consuming a partial packet.
+            records = self.credit_records
+            if records is None:
+                self.send(CreditMessage(flit.wire_vc), self.credit_out)
+            else:
+                self._fast_append(records[flit.wire_vc])
+            if self.drop_sink is not None:
+                self.drop_sink(flit)
+            return
+        self._consume(flit)
+
+    def receive_credit(self) -> None:
+        """The router freed one slot of its injection lane."""
+        self._credits += 1
+        if self._backlog:
+            self.scheduler.activate(self)
 
     def _consume(self, flit: Flit) -> None:
         if flit.packet.dst != self.node:
@@ -181,7 +198,11 @@ class NetworkInterface(SimModule):
                 f"{flit.packet.packet_id} bound for {flit.packet.dst}"
             )
         now = self.now
-        self.send(CreditMessage(flit.wire_vc), self.credit_out)
+        records = self.credit_records
+        if records is None:
+            self.send(CreditMessage(flit.wire_vc), self.credit_out)
+        else:
+            self._fast_append(records[flit.wire_vc])
         self.stats.record_consumed_flit(now)
         if flit.is_tail:
             self.stats.record_packet_delivered(flit.packet, now)
@@ -212,7 +233,11 @@ class NetworkInterface(SimModule):
             packet.injected_at = now
         self._credits -= 1
         self.stats.record_injected_flit(now)
-        self.send(FlitMessage(flit, flit.wire_vc), self.data_out)
+        sink = self.flit_sink
+        if sink is None:
+            self.send(FlitMessage(flit, flit.wire_vc), self.data_out)
+        else:
+            sink(flit, flit.wire_vc)
         if flit.is_tail:
             self._backlog.popleft()
             self._next_flit_index = 0

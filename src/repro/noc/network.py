@@ -45,6 +45,7 @@ class Network:
         config: NocConfig | None = None,
         traffic: TrafficSpec | None = None,
         seed: int = 0,
+        engine=None,
         event_queue=None,
     ) -> None:
         self.topology = topology
@@ -63,10 +64,12 @@ class Network:
             if self.config.num_vcs is not None
             else self.routing.required_vcs
         )
-        # event_queue is forwarded verbatim: the trace-equivalence
-        # tests run the same network on the wheel and the reference
-        # heap and require byte-identical results.
-        self.simulator = Simulator(event_queue=event_queue)
+        # engine/event_queue are forwarded verbatim: the equivalence
+        # tests run the same network on every engine and require
+        # byte-identical results.
+        self.simulator = Simulator(
+            engine=engine, event_queue=event_queue
+        )
         self.scheduler = CycleScheduler(self.simulator)
         self.stats = NetworkStats()
         self.routers: list[Router] = []
@@ -88,6 +91,9 @@ class Network:
             router.reroute_sink = self._record_reroute
         for interface in self.interfaces:
             interface.drop_sink = self._record_dropped_flit
+        # The model is fully wired: let the engine install any fast
+        # paths (the batched engine builds its link tables here).
+        self.simulator.engine.prepare_network(self)
 
     # -- construction -----------------------------------------------------
 

@@ -60,6 +60,7 @@ class _InputPort:
         "lanes",
         "switching",
         "credit_gate",
+        "credit_records",
         "rr_next_lane",
         "pending",
     )
@@ -75,6 +76,9 @@ class _InputPort:
         self.lanes = [FlitFifo(lane_capacity) for _ in range(num_lanes)]
         self.switching = SwitchingState()
         self.credit_gate = credit_gate
+        # Batched fast path: per-VC reusable credit records replacing
+        # CreditMessage sends (None on the event engines).
+        self.credit_records = None
         self.rr_next_lane = 0
         # Routing decision taken for a head flit that has not yet won
         # its output queue (one per lane); routing algorithms are
@@ -93,6 +97,7 @@ class _OutputPort:
         "queues",
         "credits",
         "data_gate",
+        "flit_sink",
         "rr_next_vc",
         "flits_sent",
         "flits_sent_by_vc",
@@ -112,6 +117,9 @@ class _OutputPort:
         ]
         self.credits = [downstream_capacity] * num_vcs
         self.data_gate = data_gate
+        # Batched fast path: callable replacing the FlitMessage send
+        # (None on the event engines).
+        self.flit_sink = None
         self.rr_next_vc = 0
         self.flits_sent = 0
         self.flits_sent_by_vc = [0] * num_vcs
@@ -138,6 +146,9 @@ class Router(SimModule):
         self.config = config
         self.scheduler = scheduler
         self.num_vcs = num_vcs
+        # Batched fast path: files a record into the current cycle
+        # (the zero-delay credit channel); None on the event engines.
+        self._fast_append = None
         # Runtime-fault state, managed by the owning Network: output
         # ports currently severed by a link failure, the residual
         # routing table that detours around them, and the callbacks
@@ -194,27 +205,40 @@ class Router(SimModule):
 
     def handle_message(self, message: Message) -> None:
         if isinstance(message, FlitMessage):
-            port = self._input_of_gate[message.arrival_gate]
-            flit = message.flit
-            if flit.packet.killed:
-                # The packet was declared undeliverable while this
-                # flit was on the wire: drop it on arrival, returning
-                # the credit so upstream bookkeeping stays exact.
-                self.send(
-                    CreditMessage(message.wire_vc), port.credit_gate
-                )
-                if self.drop_sink is not None:
-                    self.drop_sink(flit)
-                return
-            port.lanes[message.wire_vc].push(flit)
-            self.scheduler.activate(self)
+            self.receive_flit(
+                self._input_of_gate[message.arrival_gate],
+                message.wire_vc,
+                message.flit,
+            )
             return
         if isinstance(message, CreditMessage):
-            port = self._output_of_gate[message.arrival_gate]
-            port.credits[message.vc] += 1
-            self.scheduler.activate(self)
+            self.receive_credit(
+                self._output_of_gate[message.arrival_gate], message.vc
+            )
             return
         raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    def receive_flit(self, port: _InputPort, wire_vc: int, flit) -> None:
+        """A flit arrived on input *port* (wire or batched record)."""
+        if flit.packet.killed:
+            # The packet was declared undeliverable while this flit
+            # was on the wire: drop it on arrival, returning the
+            # credit so upstream bookkeeping stays exact.
+            records = port.credit_records
+            if records is None:
+                self.send(CreditMessage(wire_vc), port.credit_gate)
+            else:
+                self._fast_append(records[wire_vc])
+            if self.drop_sink is not None:
+                self.drop_sink(flit)
+            return
+        port.lanes[wire_vc].push(flit)
+        self.scheduler.activate(self)
+
+    def receive_credit(self, port: _OutputPort, vc: int) -> None:
+        """A downstream credit returned for output *port*."""
+        port.credits[vc] += 1
+        self.scheduler.activate(self)
 
     # -- cycle phases ----------------------------------------------------
 
@@ -331,7 +355,11 @@ class Router(SimModule):
         if flit.is_tail:
             port.switching.clear(wire_vc)
         port.rr_next_lane = (wire_vc + 1) % len(port.lanes)
-        self.send(CreditMessage(wire_vc), port.credit_gate)
+        records = port.credit_records
+        if records is None:
+            self.send(CreditMessage(wire_vc), port.credit_gate)
+        else:
+            self._fast_append(records[wire_vc])
 
     def send_phase(self) -> None:
         """Forward up to one ready flit per output port."""
@@ -360,7 +388,13 @@ class Router(SimModule):
                 if flit.is_head and port.name != LOCAL_PORT:
                     flit.packet.hops += 1
                 flit.wire_vc = queue.vc
-                self.send(FlitMessage(flit, queue.vc), port.data_gate)
+                sink = port.flit_sink
+                if sink is None:
+                    self.send(
+                        FlitMessage(flit, queue.vc), port.data_gate
+                    )
+                else:
+                    sink(flit, queue.vc)
                 break
 
     # -- runtime faults --------------------------------------------------
@@ -420,8 +454,14 @@ class Router(SimModule):
                     continue
                 dropped += len(removed)
                 port.pending.pop(wire_vc, None)
+                records = port.credit_records
                 for flit in removed:
-                    self.send(CreditMessage(wire_vc), port.credit_gate)
+                    if records is None:
+                        self.send(
+                            CreditMessage(wire_vc), port.credit_gate
+                        )
+                    else:
+                        self._fast_append(records[wire_vc])
                     if self.drop_sink is not None:
                         self.drop_sink(flit)
             port.switching.clear_packet(packet)

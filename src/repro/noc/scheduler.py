@@ -73,6 +73,10 @@ class CycleScheduler(SimModule):
         # identity instead of string comparison.
         self._advance_msg = _PhaseMessage("advance")
         self._send_msg = _PhaseMessage("send")
+        # Batched fast path: called once per cycle after every agent's
+        # send_phase, to flush the cycle's link traversals in one
+        # batched update (None on the event engines).
+        self.flush_hook = None
 
     def activate(self, agent: CycleAgent) -> None:
         """Ensure *agent* participates in the next cycle's phases.
@@ -115,6 +119,9 @@ class CycleScheduler(SimModule):
         # re-arm for the next cycle if anyone still has work.
         for agent in self._agents:
             agent.send_phase()
+        hook = self.flush_hook
+        if hook is not None:
+            hook()
         self._tick_time = None
         idle = [
             agent

@@ -10,8 +10,8 @@ or patched, and with nothing attached it runs at full speed.
   a hot link saturates, not just that it did.
 * :class:`FlitTracer` + :class:`TraceSink` — flit-lifecycle tracing
   (generate → inject → per-hop → consume) streamed as bounded JSONL.
-* :class:`KernelProfiler` — events/sec, heap depth and per-module
-  event counts of the kernel itself.
+* :class:`KernelProfiler` — events/sec, future-event-set depth and
+  per-module event counts of the kernel itself.
 
 Quickstart::
 

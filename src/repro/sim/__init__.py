@@ -23,6 +23,13 @@ from repro.sim.errors import (
     SchedulingError,
     SimulationError,
 )
+from repro.sim.engines import (
+    Engine,
+    EngineFamily,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
 from repro.sim.events import Event, EventQueue
 from repro.sim.kernel import Simulator
 from repro.sim.messages import Message
@@ -32,6 +39,8 @@ from repro.sim.rng import RngStream
 from repro.sim.tracing import EventTracer, TraceRecord
 
 __all__ = [
+    "Engine",
+    "EngineFamily",
     "Event",
     "EventQueue",
     "EventTracer",
@@ -45,4 +54,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "TraceRecord",
+    "available_engines",
+    "register_engine",
+    "resolve_engine",
 ]

@@ -1,0 +1,1294 @@
+"""The batched cycle-synchronous engine (``engine="batched"``).
+
+The NoC model is cycle-synchronous: every delivery is either a wire
+arrival (flit/credit), a per-cycle phase event, or a timer.  The event
+kernel pays one :class:`~repro.sim.events.Event` — allocation, heap
+discipline, dispatch — per flit hop.  This engine exploits the
+structure instead and advances the whole network one cycle at a time:
+
+1. **deliveries** — the cycle's arrivals drain in FIFO order from a
+   per-cycle lane (append order equals the kernel's sequence order,
+   because pushes happen chronologically);
+2. **routing / VC allocation** — the scheduler's advance event runs
+   every active router's allocation, with zero-delay credits landing
+   back in the same cycle's lane;
+3. **link traversal** — the send phase collects every flit put on a
+   wire this cycle and a single batched flush computes all arrival
+   cycles from the per-link latency table (numpy when available and
+   the batch is large enough, a pure-python loop otherwise) and files
+   pre-resolved *records* into the arrival lanes — no ``Message``, no
+   ``Event``, no heap;
+4. **credit return / ejection** — records carry specialized receiver
+   closures (built per router port / NI at install time, semantically
+   identical to ``Router.receive_flit``, ``NetworkInterface.
+   receive_credit`` …; anomalous branches delegate to the canonical
+   methods), so dispatch is a plain call.
+
+Equivalence contract: the engine reproduces the event kernel's
+delivery order and ``events_processed`` count *exactly* — byte-
+identical ``RunResult``s on every registered topology family, which
+``tests/integration/test_kernel_equivalence.py`` asserts against the
+heap and wheel oracles.
+
+Fast path vs slow path
+----------------------
+
+Observer hooks fire per delivery, and the fast path has no per-event
+``Event`` to hand them.  The mode is decided at the **first**
+``run()``:
+
+* observers attached → **slow path**: the classic per-event loop
+  (:meth:`~repro.sim.kernel.Simulator._event_loop`) runs over the
+  :class:`CycleCalendar`, every send goes through gates as a real
+  ``Event``, and delivery traces are byte-identical to the wheel's.
+* no observers → **fast path**: sinks are installed on the model and
+  records replace messages.  Attaching an observer *after* that
+  raises :class:`~repro.sim.errors.SimulationError` — loudly, instead
+  of silently missing callbacks.
+
+Fault plans work on both paths (the injector uses timers, not
+observers); ``StallWatchdog``/``InvariantAuditor``/``KernelProfiler``/
+``TimelineObserver`` are observers and therefore imply the slow path.
+See docs/engines.md.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Iterator
+
+from repro.sim.engines import Engine, register_engine
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+try:  # optional accelerator: declared as the [perf] extra
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on environment
+    _np = None
+
+#: Sentinel upper bound, as in :mod:`repro.sim.events`.
+_NO_LIMIT = float("inf")
+
+
+class CycleCalendar:
+    """Per-cycle future-event store of the batched engine.
+
+    Implements the same queue protocol as the wheel and heap queues
+    (``push``/``pop_next``/``peek_time``/…), so the classic event loop
+    can drain it on the slow path — plus a fast drain interface the
+    batched engine uses directly.
+
+    Storage per slot (one slot per cycle, ring of :attr:`WINDOW`):
+
+    * ``lane0`` — priority-0 items in FIFO order.  Because pushes are
+      chronological and sequence numbers are assigned in push order,
+      append order *is* ``(priority=0, sequence)`` order; draining the
+      list front-to-back reproduces the kernel's heap order without a
+      heap.  The lane holds :class:`Event` objects and, on the fast
+      path, plain tuple *records* ``(bound_method, args...)``.
+    * ``rest`` — a small binary heap of events with priority ≠ 0
+      (normally just the scheduler's advance/send phase events).
+
+    Events beyond the window (far-future timers of low-rate sources)
+    live in an overflow heap and migrate when the window reaches them.
+    A migrated slot's events are *prepended*: an event could only
+    overflow while the slot was beyond the horizon, i.e. before any
+    in-window push for that slot existed, so it sorts strictly first.
+
+    The cursor ``_base`` is monotone and never passes a pending item;
+    pushes must be at or after it (the kernel's scheduling guard
+    already enforces times ≥ now ≥ base).
+    """
+
+    WINDOW = 4096  # power of two; must exceed every link latency
+
+    __slots__ = (
+        "_lane0",
+        "_rest",
+        "_mask",
+        "_size",
+        "_base",
+        "_cursor0",
+        "_ring_items",
+        "_overflow",
+        "_sequence",
+        "_live",
+    )
+
+    def __init__(self) -> None:
+        self._size = self.WINDOW
+        self._mask = self._size - 1
+        self._lane0: list[list] = [[] for _ in range(self._size)]
+        self._rest: list[list[Event]] = [[] for _ in range(self._size)]
+        self._base = 0
+        #: Drain index into the base slot's lane0 (partial drains
+        #: happen when ``run(max_events=...)`` stops mid-cycle).
+        self._cursor0 = 0
+        #: Undrained items currently in ring slots (records and
+        #: events, lazily-cancelled ones included).
+        self._ring_items = 0
+        self._overflow: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    # -- queue protocol -----------------------------------------------
+
+    def push(self, event: Event) -> Event:
+        """Insert *event*, stamping its sequence number."""
+        event.sequence = self._sequence
+        self._sequence += 1
+        offset = event.time - self._base
+        if 0 <= offset < self._size:
+            if event.priority == 0:
+                self._lane0[event.time & self._mask].append(event)
+            else:
+                heappush(self._rest[event.time & self._mask], event)
+            self._ring_items += 1
+        elif offset >= self._size:
+            heappush(self._overflow, event)
+        else:
+            raise SimulationError(
+                f"CycleCalendar requires monotone pushes: t="
+                f"{event.time} is before the cursor ({self._base})"
+            )
+        self._live += 1
+        return event
+
+    def pop_next(self, limit: int | float | None = None) -> Event | None:
+        """Remove and return the earliest live event, or ``None`` when
+        empty or when its time exceeds *limit* (slow-path interface)."""
+        if limit is None:
+            limit = _NO_LIMIT
+        t = self._peek(limit)
+        if t is None:
+            return None
+        i = t & self._mask
+        l0 = self._lane0[i]
+        rest = self._rest[i]
+        i0 = self._cursor0
+        head0 = l0[i0] if i0 < len(l0) else None
+        if head0 is not None and head0.__class__ is tuple:
+            raise SimulationError(
+                "CycleCalendar holds batched fast-path records; only "
+                "the batched engine's fast loop can drain them"
+            )
+        if rest and (head0 is None or rest[0] < head0):
+            event = heappop(rest)
+        else:
+            self._cursor0 = i0 + 1
+            event = head0
+        self._ring_items -= 1
+        self._live -= 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        event = self.pop_next()
+        if event is None:
+            raise IndexError("pop from empty event queue")
+        return event
+
+    def peek_time(self) -> int | None:
+        """Return the timestamp of the next live item, or None."""
+        return self._peek(_NO_LIMIT)
+
+    def discard_cancelled(self, event: Event) -> None:
+        """Account for a cancellation (keeps ``len`` accurate)."""
+        if not event.cancelled:
+            raise ValueError("event is not cancelled")
+        self._live -= 1
+
+    @property
+    def wheel_occupancy(self) -> int:
+        """Items sitting in ring slots (lazily-cancelled included)."""
+        return self._ring_items
+
+    @property
+    def overflow_occupancy(self) -> int:
+        """Events in the far-future overflow heap (same caveat)."""
+        return len(self._overflow)
+
+    def occupancy(self) -> dict[str, int]:
+        """JSON-ready occupancy: live items plus per-tier depths."""
+        return {
+            "pending": self._live,
+            "wheel": self._ring_items,
+            "overflow": len(self._overflow),
+        }
+
+    def live_events(self) -> Iterator[Event]:
+        """Iterate over live items, in storage order.
+
+        Fast-path records surface as synthesized read-only
+        :class:`Event` views carrying the time and target but no
+        message (the flit/credit payload is not materialised); full
+        in-flight introspection needs the slow path.
+        """
+        base = self._base
+        mask = self._mask
+        for offset in range(self._size):
+            t = base + offset
+            l0 = self._lane0[t & mask]
+            start = self._cursor0 if offset == 0 else 0
+            for index in range(start, len(l0)):
+                item = l0[index]
+                if item.__class__ is tuple:
+                    yield Event(
+                        time=t,
+                        priority=0,
+                        sequence=0,
+                        target=getattr(item[0], "__self__", None),
+                        message=None,
+                    )
+                elif not item.cancelled:
+                    yield item
+            for event in self._rest[t & mask]:
+                if not event.cancelled:
+                    yield event
+        for event in self._overflow:
+            if not event.cancelled:
+                yield event
+
+    def __iter__(self) -> Iterator[Event]:
+        return self.live_events()
+
+    def clear(self) -> None:
+        """Drop every pending item, marking events cancelled (see
+        :meth:`EventQueue.clear <repro.sim.events.EventQueue.clear>`
+        for why the mark matters).  Records are simply dropped."""
+        for l0 in self._lane0:
+            for item in l0:
+                if item.__class__ is not tuple:
+                    item.cancelled = True
+            l0.clear()
+        for rest in self._rest:
+            for event in rest:
+                event.cancelled = True
+            rest.clear()
+        for event in self._overflow:
+            event.cancelled = True
+        self._overflow.clear()
+        self._cursor0 = 0
+        self._ring_items = 0
+        self._live = 0
+
+    # -- fast drain interface -------------------------------------------
+
+    def append_now(self, record: tuple) -> None:
+        """File *record* into the cycle currently draining (the
+        zero-delay credit path)."""
+        self._lane0[self._base & self._mask].append(record)
+        self._ring_items += 1
+        self._live += 1
+
+    def begin_cycle(self, limit: int | float = _NO_LIMIT) -> int | None:
+        """Advance the cursor to the earliest slot still holding
+        items and return its time, or ``None`` when nothing is due at
+        or before *limit*.  Far-future events entering the window are
+        migrated first.  The returned slot may hold only cancelled
+        events; the drain handles (and the scan clears) those.
+        """
+        over = self._overflow
+        if over:
+            while over and over[0].cancelled:
+                heappop(over)
+            if over:
+                if not self._ring_items and over[0].time > self._base:
+                    # Idle gap: jump the window to the overflow front.
+                    self._base = over[0].time
+                    self._cursor0 = 0
+                if over[0].time < self._base + self._size:
+                    self._migrate()
+        if not self._ring_items:
+            return None
+        lane0 = self._lane0
+        rest = self._rest
+        mask = self._mask
+        t = self._base
+        cursor = self._cursor0
+        while True:
+            i = t & mask
+            l0 = lane0[i]
+            if len(l0) > cursor or rest[i]:
+                break
+            if l0:
+                # Fully consumed on a previous partial drain; release
+                # the references before the ring reuses the slot.
+                l0.clear()
+            cursor = 0
+            t += 1
+        if t > limit:
+            # Park no further than the horizon: the caller's clock
+            # stops at `limit` and later pushes must stay >= _base.
+            parked = int(limit)
+            if parked > self._base:
+                self._base = parked
+                self._cursor0 = 0
+            return None
+        self._base = t
+        self._cursor0 = cursor
+        return t
+
+    def finish_cycle(self, t: int) -> None:
+        """Mark slot *t* fully drained (its lane was emptied)."""
+        self._lane0[t & self._mask].clear()
+        self._cursor0 = 0
+        # _base stays at t: time only moves when the next begin_cycle
+        # finds work, and pushes at the current cycle remain legal.
+
+    def _migrate(self) -> None:
+        """Move overflow events now inside the window into their
+        slots, preserving exact ``(priority, sequence)`` order."""
+        over = self._overflow
+        horizon = self._base + self._size
+        mask = self._mask
+        base_index = self._base & mask
+        prefixes: dict[int, list[Event]] = {}
+        while over:
+            head = over[0]
+            if head.cancelled:
+                heappop(over)
+                continue
+            if head.time >= horizon:
+                break
+            heappop(over)
+            i = head.time & mask
+            if head.priority == 0:
+                prefixes.setdefault(i, []).append(head)
+            else:
+                heappush(self._rest[i], head)
+            self._ring_items += 1
+        for i, items in prefixes.items():
+            if i == base_index and self._cursor0:
+                # Cannot happen through the kernel API (the slot's
+                # overflow drains before its first delivery); guard
+                # against silent misordering all the same.
+                raise SimulationError(
+                    "overflow migration into a partially drained slot"
+                )
+            # Prepend: anything already in the slot was pushed while
+            # the slot was inside the window, i.e. strictly after
+            # every event that overflowed for it.
+            self._lane0[i][:0] = items
+
+    def _peek(self, limit: int | float) -> int | None:
+        """Time of the earliest *live* item at or before *limit*
+        (cancelled fronts are pruned), or ``None``."""
+        while True:
+            t = self.begin_cycle(limit)
+            if t is None:
+                return None
+            i = t & self._mask
+            l0 = self._lane0[i]
+            rest = self._rest[i]
+            i0 = self._cursor0
+            while i0 < len(l0):
+                item = l0[i0]
+                if item.__class__ is tuple or not item.cancelled:
+                    self._cursor0 = i0
+                    return t
+                i0 += 1
+                self._ring_items -= 1
+            self._cursor0 = i0
+            while rest and rest[0].cancelled:
+                heappop(rest)
+                self._ring_items -= 1
+            if rest:
+                return t
+            # The slot held only cancelled items; complete it.
+            self.finish_cycle(t)
+            self._base = t + 1 if self._ring_items else t
+
+
+@register_engine(
+    "batched",
+    description=(
+        "cycle-synchronous batched phases; fastest, observers force "
+        "the slow path"
+    ),
+)
+class BatchedEngine(Engine):
+    """Cycle-driven engine producing byte-identical results to the
+    event kernel (see the module docstring for the phase structure
+    and the fast/slow mode rules)."""
+
+    name = "batched"
+
+    def __init__(self, vector_threshold: int = 32) -> None:
+        #: Minimum send-phase batch size for the numpy arrival-time
+        #: computation; smaller batches use the pure-python loop
+        #: (identical integers either way).
+        self.vector_threshold = vector_threshold
+        self._network = None
+        self._calendar: CycleCalendar | None = None
+        self._mode: str | None = None  # None until the first run()
+        self._pending: list[tuple] = []
+        self._recv: list[tuple] = []
+        self._delays: list[int] = []
+        self._np_delays = None
+        #: Flush statistics (introspection and tests).
+        self.flush_batches = 0
+        self.flushed_flits = 0
+        self.vector_batches = 0
+
+    @property
+    def mode(self) -> str | None:
+        """``"fast"``, ``"slow"``, or ``None`` before the first run."""
+        return self._mode
+
+    def make_queue(self) -> CycleCalendar:
+        if self._calendar is not None:
+            raise SimulationError(
+                "a BatchedEngine instance drives one Simulator; "
+                "build a fresh engine (or pass the spec string)"
+            )
+        self._calendar = CycleCalendar()
+        return self._calendar
+
+    def prepare_network(self, network) -> None:
+        if self._network is not None and self._network is not network:
+            raise SimulationError(
+                "a BatchedEngine instance is bound to one network; "
+                "build a fresh engine per Network"
+            )
+        self._network = network
+
+    def on_observer_added(self, simulator) -> None:
+        if self._mode == "fast":
+            raise SimulationError(
+                "the batched engine committed to its fast path on the "
+                "first run() because no observers were attached; "
+                "attach observers before running, or select "
+                "engine='wheel'/'heap' (docs/engines.md)"
+            )
+
+    def run(self, simulator, until, max_events):
+        if self._mode is None:
+            # Decided once: the fast path rewires the model with
+            # record sinks and cannot honour per-event observers.
+            self._mode = "slow" if simulator._observers else "fast"
+            if self._mode == "fast" and self._network is not None:
+                self._install_fast_path()
+        if self._mode == "slow":
+            return simulator._event_loop(until, max_events)
+        return self._run_fast(simulator, until, max_events)
+
+    # -- fast path -------------------------------------------------------
+
+    def _run_fast(self, sim, until, max_events):
+        """The cycle loop.  Mirrors ``Simulator._event_loop``'s
+        unobserved contract exactly: stop/cap checks between
+        deliveries, time advanced only when something is delivered,
+        the end-of-run jump to ``until``, and ``events_processed``
+        committed when the loop ends."""
+        sim._ensure_initialized()
+        cal = self._calendar
+        mask = cal._mask
+        lane0_ring = cal._lane0
+        rest_ring = cal._rest
+        processed = 0
+        events_base = sim._events_processed
+        cap = -1 if max_events is None else max_events
+        limit = _NO_LIMIT if until is None else until
+        interrupted = False
+        try:
+            while not interrupted:
+                if sim._stop_requested or processed == cap:
+                    break
+                t = cal.begin_cycle(limit)
+                if t is None:
+                    break
+                i = t & mask
+                l0 = lane0_ring[i]
+                rest = rest_ring[i]
+                i0 = cal._cursor0
+                previous_now = sim._now
+                sim._now = t
+                before_slot = processed
+                consumed = 0
+                try:
+                    while True:
+                        if sim._stop_requested or processed == cap:
+                            cal._cursor0 = i0
+                            interrupted = True
+                            break
+                        if i0 < len(l0):
+                            if rest and rest[0].priority < 0:
+                                item = heappop(rest)
+                            else:
+                                item = l0[i0]
+                                i0 += 1
+                        elif rest:
+                            item = heappop(rest)
+                        else:
+                            break
+                        consumed += 1
+                        if item.__class__ is tuple:
+                            # Records: (receive, wire_vc, flit) for a
+                            # router arrival, (receive, flit) for an
+                            # NI arrival, (deliver,) for a credit.
+                            f = item[0]
+                            n = len(item)
+                            if n == 3:
+                                f(item[1], item[2])
+                            elif n == 2:
+                                f(item[1])
+                            else:
+                                f()
+                            processed += 1
+                        elif item.cancelled:
+                            continue
+                        else:
+                            processed += 1
+                            message = item.message
+                            if item.handler is not None:
+                                item.handler(message)
+                            else:
+                                item.target.handle_message(message)
+                finally:
+                    # Ring bookkeeping committed per slot, not per
+                    # item (the deltas compose with the increments
+                    # append_now/_flush make mid-slot).
+                    cal._ring_items -= consumed
+                    cal._live -= processed - before_slot
+                if processed == before_slot:
+                    # Nothing was delivered (cancelled items, or a
+                    # stop/cap hit first): the kernel would not have
+                    # advanced the clock to this cycle.
+                    sim._now = previous_now
+                if not interrupted:
+                    cal.finish_cycle(t)
+        finally:
+            sim._events_processed = events_base + processed
+        if (
+            until is not None
+            and sim._now < until
+            and not sim._stop_requested
+        ):
+            next_time = cal.peek_time() if processed == cap else None
+            if next_time is None or next_time > until:
+                previous = sim._now
+                sim._now = until
+                for observer in sim._observer_snapshot:
+                    observer.on_time_advanced(sim, previous, until)
+        return processed
+
+    # -- model wiring ----------------------------------------------------
+
+    def _install_fast_path(self) -> None:
+        """Rewire the model for the fast path.  Called once, at the
+        first fast run:
+
+        * gate sends become record sinks (flits collect in the
+          per-cycle pending buffer; credits become reusable one-tuple
+          records filed straight into the current cycle's lane);
+        * record delivery runs through per-port *specialised
+          closures* — the generic receive/activate call chain, the
+          buffer-layer method hops, and the router phase bodies are
+          inlined, with invariants (buffer overflow, misroute,
+          switching-state integrity) still enforced by delegating the
+          anomalous branches to the canonical methods;
+        * the scheduler's phase dispatch is replaced by a driver that
+          runs the specialised phase closures over the same agent
+          dict, preserving activation/pruning order exactly.
+
+        Only the batched engine pays for — and benefits from — this:
+        the canonical methods stay untouched for the event engines,
+        and the equivalence suite pins the two implementations
+        together byte for byte.
+        """
+        from repro.noc.interface import NetworkInterface  # noqa: F401
+        from repro.noc.router import Router
+
+        network = self._network
+        sched = network.scheduler
+        sim = network.simulator
+        cal = self._calendar
+        append_now = cal.append_now
+        pending_append = self._pending.append
+        agents = sched._agents
+        num_vcs = network.num_vcs
+        delays = self._delays
+        recv = self._recv
+
+        def credit_records_for(gate):
+            # The upstream end of a (zero-delay) credit link: one
+            # reusable record per VC — identical content every time,
+            # so the hot path never allocates for credits.
+            peer = gate.peer
+            target = peer.module
+            if isinstance(target, Router):
+                out_port = target._output_of_gate[peer]
+                return [
+                    _make_router_credit(
+                        target, out_port.credits, vc, sched, agents
+                    )
+                    for vc in range(num_vcs)
+                ]
+            record = _make_ni_credit(target, sched, agents)
+            return [record] * num_vcs
+
+        def receiver_for(gate):
+            peer = gate.peer
+            target = peer.module
+            if isinstance(target, Router):
+                return (
+                    _make_router_receiver(
+                        target,
+                        target._input_of_gate[peer],
+                        sched,
+                        agents,
+                    ),
+                    True,
+                )
+            return (
+                _make_ni_receiver(target, sched, agents, append_now),
+                False,
+            )
+
+        def make_sink(idx):
+            def sink(flit, vc, _append=pending_append, _idx=idx):
+                _append((_idx, flit, vc))
+
+            return sink
+
+        # Pass 1: credit records (receivers and phase closures read
+        # them) and the link table.
+        for router in network.routers:
+            router._fast_append = append_now
+            for port in router._input_order:
+                if port.credit_gate.delay != 0:
+                    raise SimulationError(
+                        "batched fast path requires zero-delay "
+                        "credit links"
+                    )
+                port.credit_records = credit_records_for(
+                    port.credit_gate
+                )
+            for port in router._output_order:
+                port.flit_sink = make_sink(len(delays))
+                delays.append(port.data_gate.delay)
+                recv.append(port.data_gate)  # resolved in pass 2
+        for ni in network.interfaces:
+            ni._fast_append = append_now
+            ni.credit_records = credit_records_for(ni.credit_out)
+            ni.flit_sink = make_sink(len(delays))
+            delays.append(ni.data_out.delay)
+            recv.append(ni.data_out)
+        # Pass 2: arrival-side receiver closures (credit records of
+        # every port exist now).
+        for idx, gate in enumerate(recv):
+            recv[idx] = receiver_for(gate)
+        if delays and max(delays) >= CycleCalendar.WINDOW:
+            raise SimulationError(
+                f"link latency {max(delays)} does not fit the "
+                f"batched calendar window ({CycleCalendar.WINDOW} "
+                f"cycles); use engine='wheel'"
+            )
+        if _np is not None:
+            self._np_delays = _np.asarray(delays, dtype=_np.int64)
+        # Pass 3: per-agent specialised phase closures and the
+        # pending-work deque lists the pruning step scans.
+        for router in network.routers:
+            router._fast_advance = _make_router_advance(
+                router, sim, append_now
+            )
+            router._fast_send = _make_router_send(router, sim)
+            router._fast_deques = [
+                lane._flits
+                for port in router._input_order
+                for lane in port.lanes
+            ] + [
+                queue._flits
+                for port in router._output_order
+                for queue in port.queues
+            ]
+        for ni in network.interfaces:
+            ni._fast_advance = None  # the NI has no advance stage
+            ni._fast_send = _make_ni_send(ni, sim)
+            ni._fast_deques = [ni._backlog]
+        self._install_phase_driver(sched, sim)
+
+    def _install_phase_driver(self, sched, sim) -> None:
+        """Shadow the scheduler's ``handle_message`` with a driver
+        running the specialised phase closures.  The phase *events*
+        stay real (priorities 1 and 2 in the calendar), so ordering
+        against user-scheduled events and ``events_processed`` are
+        untouched — only the per-agent bodies change."""
+        advance_msg = sched._advance_msg
+        send_msg = sched._send_msg
+        agents = sched._agents
+        flush = self._flush
+        push = self._calendar.push
+
+        def fast_activate(agent):
+            # CycleScheduler.activate with the two kernel.schedule
+            # calls inlined (tick_time >= now always holds, so the
+            # SchedulingError guard is dead here).
+            agents[agent] = None
+            if sched._tick_time is not None:
+                return
+            now = sim._now
+            if sched._advance_done_at < now:
+                tick_time = now
+            else:
+                tick_time = now + 1
+            sched._tick_time = tick_time
+            push(Event(tick_time, 1, 0, sched, advance_msg))
+            push(Event(tick_time, 2, 0, sched, send_msg))
+
+        sched.activate = fast_activate
+
+        def handle_phases(message):
+            if message is advance_msg:
+                sched._advance_done_at = sim._now
+                for agent in agents:
+                    step = agent._fast_advance
+                    if step is not None:
+                        step()
+                return
+            if message is not send_msg:
+                raise TypeError(f"unexpected message {message!r}")
+            for agent in agents:
+                agent._fast_send()
+            flush()
+            sched._tick_time = None
+            idle = [
+                agent
+                for agent in agents
+                if not any(agent._fast_deques)
+            ]
+            for agent in idle:
+                del agents[agent]
+            if agents:
+                sched.activate(next(iter(agents)))
+
+        sched.handle_message = handle_phases
+
+    def _flush(self) -> None:
+        """End-of-send-phase link traversal: file every flit sent
+        this cycle into its arrival lane in one batched update."""
+        pending = self._pending
+        count = len(pending)
+        if not count:
+            return
+        cal = self._calendar
+        lane0 = cal._lane0
+        mask = cal._mask
+        now = cal._base  # the cycle currently draining
+        recv = self._recv
+        self.flush_batches += 1
+        self.flushed_flits += count
+        np_delays = self._np_delays
+        if np_delays is not None and count >= self.vector_threshold:
+            self.vector_batches += 1
+            idx = _np.fromiter(
+                (entry[0] for entry in pending),
+                dtype=_np.int64,
+                count=count,
+            )
+            arrivals = (np_delays[idx] + now).tolist()
+        else:
+            local_delays = self._delays
+            arrivals = [
+                now + local_delays[entry[0]] for entry in pending
+            ]
+        for entry, t in zip(pending, arrivals):
+            fn, is_router = recv[entry[0]]
+            lane0[t & mask].append(
+                (fn, entry[2], entry[1])
+                if is_router
+                else (fn, entry[1])
+            )
+        cal._ring_items += count
+        cal._live += count
+        pending.clear()
+
+
+# -- specialised fast-path closures -------------------------------------
+#
+# Each builder compiles one router/NI role into a closure with the
+# canonical call chain inlined: no Message, no Event, no buffer-layer
+# method hops, activation folded into delivery.  The closures are
+# *semantically identical* to the canonical methods they shadow
+# (Router.advance_phase/_candidate/_execute_move, Router.send_phase,
+# NetworkInterface.send_phase, receive_flit/receive_credit), and the
+# anomalous branches — killed packets, buffer overflow, misrouted or
+# interleaved flits — delegate back to those methods so invariants
+# raise the exact same errors.  The equivalence suite pins the pair
+# together byte for byte on every topology family; change both or
+# neither.
+
+
+def _make_router_credit(router, credits, vc, sched, agents):
+    """Reusable record delivering one credit to an output port VC."""
+
+    def deliver():
+        credits[vc] += 1
+        agents[router] = None
+        if sched._tick_time is None:
+            sched.activate(router)
+
+    return (deliver,)
+
+
+def _make_ni_credit(ni, sched, agents):
+    """Reusable record returning one injection credit to *ni*."""
+
+    def deliver():
+        ni._credits += 1
+        if ni._backlog:
+            agents[ni] = None
+            if sched._tick_time is None:
+                sched.activate(ni)
+
+    return (deliver,)
+
+
+def _make_router_receiver(router, port, sched, agents):
+    """Arrival side of a data link into router input *port*."""
+    lanes = port.lanes
+
+    def receive(wire_vc, flit):
+        if flit.packet.killed:
+            router.receive_flit(port, wire_vc, flit)
+            return
+        lane = lanes[wire_vc]
+        dq = lane._flits
+        if len(dq) >= lane.capacity:
+            lane.push(flit)  # raises the canonical flow-control error
+            return
+        dq.append(flit)
+        occupancy = len(dq)
+        if occupancy > lane.peak:
+            lane.peak = occupancy
+        agents[router] = None
+        if sched._tick_time is None:
+            sched.activate(router)
+
+    return receive
+
+
+def _make_ni_receiver(ni, sched, agents, append_now):
+    """Arrival side of an ejection link into *ni* (the sink)."""
+    stats = ni.stats
+    node = ni.node
+    sim = ni.simulator
+    records = ni.credit_records
+
+    def receive(flit):
+        packet = flit.packet
+        if packet.killed:
+            ni.receive_flit(flit)
+            return
+        if packet.dst != node:
+            ni._consume(flit)  # raises the canonical misroute error
+            return
+        append_now(records[flit.wire_vc])
+        now = sim._now
+        stats.record_consumed_flit(now)
+        if flit.index == packet.size_flits - 1:
+            stats.record_packet_delivered(packet, now)
+
+    return receive
+
+
+def _make_router_advance(router, sim, append_now):
+    """Specialised Router.advance_phase (+_candidate/_execute_move)."""
+    input_order = router._input_order
+    num_inputs = len(input_order)
+    outputs = router._outputs
+    node = router.node
+    decide = router.routing.decide
+    max_vc = router.num_vcs - 1
+    dead_ports = router.dead_ports
+
+    if router.num_vcs == 1:
+        # Single-VC variant (the mesh family): one lane per input
+        # port, one queue per output port, so wire VC and output VC
+        # are both always 0 and the round-robin lane pointer is
+        # constant — the lane loop, the modular arithmetic and the
+        # per-call attribute walks all collapse.
+        inputs = [
+            (
+                index,
+                port,
+                port.lanes[0]._flits,
+                port.lanes[0],
+                port.switching._state,
+                port.switching,
+                port.pending,
+                port.credit_records[0],
+            )
+            for index, port in enumerate(input_order)
+        ]
+
+        def advance_single():
+            now = sim._now
+            claims = None
+            for entry in inputs:
+                dq = entry[2]
+                if not dq:
+                    continue
+                (
+                    index,
+                    port,
+                    dq,
+                    lane,
+                    state,
+                    switching,
+                    pending_map,
+                    record0,
+                ) = entry
+                flit = dq[0]
+                if flit.index == 0 and not state:
+                    pending = pending_map.get(0)
+                    if pending is None:
+                        decision = decide(node, flit.packet)
+                        pending = (decision.port, 0)
+                        if decision.port in dead_ports:
+                            pending = router._reroute(flit.packet)
+                            if pending is None:
+                                router.kill_sink(
+                                    flit.packet, node, decision.port
+                                )
+                                continue
+                        pending_map[0] = pending
+                    queue = outputs[pending[0]].queues[pending[1]]
+                    if (
+                        len(queue._flits) >= queue.capacity
+                        or queue.last_enqueue_cycle == now
+                        or queue.owner is not None
+                    ):
+                        continue
+                    if claims is None:
+                        claims = {}
+                    entry = claims.get(queue)
+                    if entry is None:
+                        claims[queue] = entry = []
+                    entry.append(
+                        (index, dq, state, switching, pending_map,
+                         record0, flit)
+                    )
+                    continue
+                # Body flit (an interleaved head raises in route_of,
+                # exactly as the canonical path does).
+                entry = state.get(0)
+                if entry is None or entry[0] is not flit.packet:
+                    switching.route_of(0, flit.packet)
+                queue = outputs[entry[1]].queues[entry[2]]
+                qd = queue._flits
+                if (
+                    len(qd) >= queue.capacity
+                    or queue.last_enqueue_cycle == now
+                    or queue.owner is not flit.packet
+                ):
+                    continue
+                # _execute_move, inlined (body flit: no ownership
+                # change on entry; rr_next_lane stays 0).
+                dq.popleft()
+                flit.enqueued_at = now
+                qd.append(flit)
+                occupancy = len(qd)
+                if occupancy > queue.peak:
+                    queue.peak = occupancy
+                queue.last_enqueue_cycle = now
+                if flit.index == flit.packet.size_flits - 1:
+                    queue.owner = None
+                    del state[0]
+                append_now(record0)
+            if claims is not None:
+                for queue, requests in claims.items():
+                    if len(requests) == 1:
+                        winner = requests[0]
+                    else:
+                        grant = queue.rr_grant
+                        winner = min(
+                            requests,
+                            key=lambda req: (
+                                (req[0] - grant) % num_inputs
+                            ),
+                        )
+                    (
+                        index,
+                        dq,
+                        state,
+                        switching,
+                        pending_map,
+                        record0,
+                        flit,
+                    ) = winner
+                    queue.rr_grant = (index + 1) % num_inputs
+                    del pending_map[0]
+                    switching.set_route(0, flit.packet, queue.port, 0)
+                    # _execute_move, inlined (head: takes ownership).
+                    dq.popleft()
+                    queue.owner = flit.packet
+                    flit.enqueued_at = now
+                    qd = queue._flits
+                    qd.append(flit)
+                    occupancy = len(qd)
+                    if occupancy > queue.peak:
+                        queue.peak = occupancy
+                    queue.last_enqueue_cycle = now
+                    if flit.index == flit.packet.size_flits - 1:
+                        queue.owner = None
+                        state.pop(0, None)
+                    append_now(record0)
+
+        return advance_single
+
+    def advance():
+        now = sim._now
+        claims = None
+        for index in range(num_inputs):
+            port = input_order[index]
+            lanes = port.lanes
+            lane_count = len(lanes)
+            lane_start = port.rr_next_lane % lane_count
+            state = port.switching._state
+            for lane_offset in range(lane_count):
+                wire_vc = (lane_start + lane_offset) % lane_count
+                lane = lanes[wire_vc]
+                dq = lane._flits
+                if not dq:
+                    continue
+                flit = dq[0]
+                if flit.is_head and wire_vc not in state:
+                    pending = port.pending.get(wire_vc)
+                    if pending is None:
+                        decision = decide(node, flit.packet)
+                        out_vc = decision.vc
+                        if out_vc > max_vc:
+                            out_vc = max_vc
+                        pending = (decision.port, out_vc)
+                        if decision.port in dead_ports:
+                            pending = router._reroute(flit.packet)
+                            if pending is None:
+                                router.kill_sink(
+                                    flit.packet, node, decision.port
+                                )
+                                continue
+                        port.pending[wire_vc] = pending
+                    queue = outputs[pending[0]].queues[pending[1]]
+                    if (
+                        len(queue._flits) >= queue.capacity
+                        or queue.last_enqueue_cycle == now
+                        or queue.owner is not None
+                    ):
+                        continue
+                    if claims is None:
+                        claims = {}
+                    claims.setdefault(queue, []).append(
+                        (index, port, wire_vc, flit)
+                    )
+                    break
+                # Body flit (an interleaved head raises in route_of,
+                # exactly as the canonical path does).
+                entry = state.get(wire_vc)
+                if entry is None or entry[0] is not flit.packet:
+                    port.switching.route_of(wire_vc, flit.packet)
+                queue = outputs[entry[1]].queues[entry[2]]
+                qd = queue._flits
+                if (
+                    len(qd) >= queue.capacity
+                    or queue.last_enqueue_cycle == now
+                    or queue.owner is not flit.packet
+                ):
+                    continue
+                # _execute_move, inlined (body flit: no ownership
+                # change on entry).
+                dq.popleft()
+                flit.enqueued_at = now
+                qd.append(flit)
+                occupancy = len(qd)
+                if occupancy > queue.peak:
+                    queue.peak = occupancy
+                queue.last_enqueue_cycle = now
+                if flit.is_tail:
+                    queue.owner = None
+                    del state[wire_vc]
+                port.rr_next_lane = (wire_vc + 1) % lane_count
+                append_now(port.credit_records[wire_vc])
+                break
+        if claims is not None:
+            for queue, requests in claims.items():
+                if len(requests) == 1:
+                    winner = requests[0]
+                else:
+                    grant = queue.rr_grant
+                    winner = min(
+                        requests,
+                        key=lambda req: (req[0] - grant) % num_inputs,
+                    )
+                index, port, wire_vc, flit = winner
+                queue.rr_grant = (index + 1) % num_inputs
+                del port.pending[wire_vc]
+                state = port.switching
+                state.set_route(
+                    wire_vc, flit.packet, queue.port, queue.vc
+                )
+                # _execute_move, inlined (head flit: takes ownership).
+                port.lanes[wire_vc]._flits.popleft()
+                queue.owner = flit.packet
+                flit.enqueued_at = now
+                qd = queue._flits
+                qd.append(flit)
+                occupancy = len(qd)
+                if occupancy > queue.peak:
+                    queue.peak = occupancy
+                queue.last_enqueue_cycle = now
+                if flit.is_tail:
+                    queue.owner = None
+                    state._state.pop(wire_vc, None)
+                port.rr_next_lane = (wire_vc + 1) % len(port.lanes)
+                append_now(port.credit_records[wire_vc])
+
+    return advance
+
+
+def _make_router_send(router, sim):
+    """Specialised Router.send_phase."""
+    from repro.routing.base import LOCAL_PORT
+
+    pipeline = router.config.router_pipeline
+    dead_ports = router.dead_ports
+
+    if router.num_vcs == 1:
+        # Single-VC variant: one queue per port, VC always 0, the
+        # round-robin VC pointer constant.  Reordered so the empty
+        # check (the common case) runs first — the skipped checks
+        # have no side effects, so the move set is unchanged.
+        singles = [
+            (
+                port,
+                port.queues[0],
+                port.queues[0]._flits,
+                port.credits,
+                port.name == LOCAL_PORT,
+                port.name,
+                port.flit_sink,
+                port.flits_sent_by_vc,
+            )
+            for port in router._output_order
+        ]
+
+        def send_single():
+            now = sim._now
+            for entry in singles:
+                qd = entry[2]
+                if not qd:
+                    continue
+                (
+                    port,
+                    queue,
+                    qd,
+                    credits,
+                    is_local,
+                    name,
+                    sink,
+                    by_vc,
+                ) = entry
+                if dead_ports and name in dead_ports:
+                    continue
+                if credits[0] <= 0:
+                    continue
+                flit = qd[0]
+                if pipeline and flit.enqueued_at == now:
+                    continue
+                qd.popleft()
+                credits[0] -= 1
+                port.flits_sent += 1
+                by_vc[0] += 1
+                if flit.index == 0 and not is_local:
+                    flit.packet.hops += 1
+                flit.wire_vc = 0
+                sink(flit, 0)
+
+        return send_single
+
+    ports = [
+        (
+            port,
+            port.queues,
+            port.credits,
+            port.name == LOCAL_PORT,
+            port.name,
+            port.flit_sink,
+        )
+        for port in router._output_order
+    ]
+
+    def send():
+        now = sim._now
+        for port, queues, credits, is_local, name, sink in ports:
+            if dead_ports and name in dead_ports:
+                continue
+            count = len(queues)
+            start = port.rr_next_vc % count
+            for offset in range(count):
+                queue = queues[(start + offset) % count]
+                vc = queue.vc
+                if credits[vc] <= 0:
+                    continue
+                qd = queue._flits
+                if not qd:
+                    continue
+                flit = qd[0]
+                if pipeline and flit.enqueued_at == now:
+                    continue
+                qd.popleft()
+                credits[vc] -= 1
+                port.rr_next_vc = (vc + 1) % count
+                port.flits_sent += 1
+                port.flits_sent_by_vc[vc] += 1
+                if flit.is_head and not is_local:
+                    flit.packet.hops += 1
+                flit.wire_vc = vc
+                sink(flit, vc)
+                break
+
+    return send
+
+
+def _make_ni_send(ni, sim):
+    """Specialised NetworkInterface.send_phase."""
+    from repro.noc.packet import Flit
+
+    backlog = ni._backlog
+    stats = ni.stats
+    sink = ni.flit_sink
+
+    def send():
+        while backlog and backlog[0].killed:
+            backlog.popleft()
+            ni._next_flit_index = 0
+        if not backlog or ni._credits <= 0:
+            return
+        packet = backlog[0]
+        index = ni._next_flit_index
+        flit = Flit(packet, index)
+        flit.wire_vc = 0
+        now = sim._now
+        if index == 0:
+            packet.injected_at = now
+        ni._credits -= 1
+        stats.record_injected_flit(now)
+        sink(flit, 0)
+        if index == packet.size_flits - 1:
+            backlog.popleft()
+            ni._next_flit_index = 0
+        else:
+            ni._next_flit_index = index + 1
+
+    return send

@@ -1,0 +1,198 @@
+"""Simulation engines: how a :class:`~repro.sim.kernel.Simulator`
+stores and drains its future-event set.
+
+An :class:`Engine` bundles two choices that used to be smeared across
+``Simulator(event_queue=...)`` and the ``REPRO_EVENT_QUEUE``
+environment variable:
+
+* the **future-event store** (:meth:`Engine.make_queue`) — timing
+  wheel, reference heap, or the batched engine's per-cycle calendar;
+* the **drive loop** (:meth:`Engine.run`) — the classic per-event
+  loop, or the batched engine's cycle-synchronous fast path.
+
+Engines are registered by name, mirroring the topology spec registry
+(:func:`repro.experiments.specs.register_topology`)::
+
+    sim = Simulator(engine="batched")      # spec string
+    sim = Simulator(engine=BatchedEngine())  # or an instance
+
+``python -m repro engines`` lists the registered families.  The old
+spellings — ``Simulator(event_queue=...)``, ``REPRO_EVENT_QUEUE`` —
+still work but emit :class:`DeprecationWarning`; the migration table
+lives in docs/engines.md.
+
+Engine instances hold per-simulation state (the batched engine caches
+a network's link tables), so the registry stores *factories*:
+:func:`resolve_engine` builds a fresh instance per spec-string lookup
+and never shares one between simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.events import EventQueue, HeapEventQueue
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+
+class Engine:
+    """Strategy object owning the event store and the run loop.
+
+    Subclasses override :meth:`make_queue` and, when their drive loop
+    differs from the classic per-event loop, :meth:`run`.  The model
+    layer may additionally use :meth:`prepare_network` (called once by
+    :class:`~repro.noc.network.Network` after wiring) to install
+    engine-specific fast paths, and :meth:`on_observer_added` to
+    restrict observer attachment where the fast path cannot honour it.
+    """
+
+    #: Registry name; informational on ad-hoc instances.
+    name = "custom"
+
+    def make_queue(self):
+        """Build this engine's future-event store (queue protocol:
+        ``push/pop_next/pop/peek_time/discard_cancelled/occupancy/
+        live_events/clear/__len__``)."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        simulator: "Simulator",
+        until: int | None,
+        max_events: int | None,
+    ) -> int:
+        """Drive *simulator* until a stop condition; return the number
+        of deliveries.  The default is the kernel's classic event loop,
+        whose semantics every engine must preserve exactly."""
+        return simulator._event_loop(until, max_events)
+
+    def prepare_network(self, network) -> None:
+        """Hook called by :class:`~repro.noc.network.Network` once the
+        model is fully wired (before any run)."""
+
+    def on_observer_added(self, simulator: "Simulator") -> None:
+        """Hook called before an observer registers; raise to refuse
+        (the batched engine does, once its fast path has started)."""
+
+
+@dataclass(frozen=True, slots=True)
+class EngineFamily:
+    """One registered engine, for the registry and CLI listing.
+
+    Attributes:
+        name: Registry key, e.g. ``"batched"``.
+        factory: Zero-argument builder returning a fresh engine.
+        description: One-line summary for ``repro engines``.
+    """
+
+    name: str
+    factory: Callable[[], Engine]
+    description: str
+
+
+_ENGINES: dict[str, EngineFamily] = {}
+
+
+def register_engine(
+    name: str, *, description: str
+) -> Callable[[Callable[[], Engine]], Callable[[], Engine]]:
+    """Register an engine factory under *name*.
+
+    The decorated callable takes no arguments and returns a fresh
+    :class:`Engine`; decorating a class works (its constructor is the
+    factory).
+
+    Raises:
+        ValueError: if *name* is already registered.
+    """
+
+    def decorator(factory: Callable[[], Engine]) -> Callable[[], Engine]:
+        if name in _ENGINES:
+            raise ValueError(
+                f"engine name {name!r} is already registered"
+            )
+        _ENGINES[name] = EngineFamily(name, factory, description)
+        return factory
+
+    return decorator
+
+
+def available_engines() -> list[EngineFamily]:
+    """All registered engines, sorted by name."""
+    _ensure_builtin()
+    return sorted(_ENGINES.values(), key=lambda f: f.name)
+
+
+def resolve_engine(spec: "str | Engine") -> Engine:
+    """Build an engine from a spec string, or pass an instance through.
+
+    Raises:
+        ValueError: for an unknown spec name.
+        TypeError: for anything that is neither a string nor an
+            :class:`Engine`.
+    """
+    if isinstance(spec, Engine):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"engine must be a spec string or an Engine instance, "
+            f"got {spec!r}"
+        )
+    _ensure_builtin()
+    family = _ENGINES.get(spec)
+    if family is None:
+        known = ", ".join(sorted(_ENGINES))
+        raise ValueError(
+            f"unknown engine spec {spec!r} (registered: {known})"
+        )
+    return family.factory()
+
+
+@register_engine(
+    "wheel",
+    description="event kernel on the timing-wheel queue (default)",
+)
+class WheelEngine(Engine):
+    """The default: classic event loop over the calendar-queue wheel."""
+
+    name = "wheel"
+
+    def make_queue(self) -> EventQueue:
+        return EventQueue()
+
+
+@register_engine(
+    "heap",
+    description="event kernel on the reference binary-heap queue",
+)
+class HeapEngine(Engine):
+    """Reference engine: classic event loop over a single binary heap,
+    kept as the oracle the other engines are verified against."""
+
+    name = "heap"
+
+    def make_queue(self) -> HeapEventQueue:
+        return HeapEventQueue()
+
+
+class ExplicitQueueEngine(Engine):
+    """Back-compat shim wrapping a caller-supplied queue instance
+    (the deprecated ``Simulator(event_queue=...)`` spelling)."""
+
+    name = "custom-queue"
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    def make_queue(self):
+        return self._queue
+
+
+def _ensure_builtin() -> None:
+    """Late-register engines living in other modules (the batched
+    engine imports back into this module for its base class)."""
+    if "batched" not in _ENGINES:
+        import repro.sim.batched  # noqa: F401  (registers itself)

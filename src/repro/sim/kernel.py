@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, Iterator
 
+from repro.sim.engines import Engine, ExplicitQueueEngine, resolve_engine
 from repro.sim.errors import SchedulingError, SimulationError
-from repro.sim.events import Event, EventQueue, HeapEventQueue
+from repro.sim.events import Event
 from repro.sim.messages import Message
 from repro.sim.module import SimModule
 from repro.sim.observers import Observer
@@ -32,24 +34,54 @@ class Simulator:
     order.  With zero observers attached the event loop is the plain
     fast path.
 
-    The future-event set defaults to the timing-wheel
-    :class:`~repro.sim.events.EventQueue`; pass *event_queue* (or set
-    ``REPRO_EVENT_QUEUE=heap`` in the environment) to run on the
-    reference :class:`~repro.sim.events.HeapEventQueue` instead — both
-    deliver any schedule in the identical ``(time, priority,
-    sequence)`` order, which the equivalence tests assert end to end.
+    The event store and drive loop are an :class:`~repro.sim.engines.
+    Engine`, selected by spec string or instance: ``engine="wheel"``
+    (default), ``"heap"`` (reference oracle) or ``"batched"`` (the
+    cycle-synchronous fast engine) — see :mod:`repro.sim.engines` and
+    docs/engines.md.  Every engine delivers any schedule in the
+    identical ``(time, priority, sequence)`` order, which the
+    equivalence tests assert end to end.  The environment variable
+    ``REPRO_ENGINE`` selects a default engine for the process.
+
+    Deprecated spellings (kept as shims that warn): the
+    ``event_queue=`` argument wraps the given queue instance, and
+    ``REPRO_EVENT_QUEUE=heap`` maps to ``engine="heap"``.
     """
 
-    def __init__(self, event_queue=None) -> None:
-        if event_queue is None:
+    def __init__(
+        self, engine: "str | Engine | None" = None, event_queue=None
+    ) -> None:
+        if event_queue is not None:
+            if engine is not None:
+                raise ValueError(
+                    "pass engine= or event_queue=, not both"
+                )
+            warnings.warn(
+                "Simulator(event_queue=...) is deprecated; select an "
+                "engine instead: Simulator(engine='wheel'|'heap'|"
+                "'batched') — see docs/engines.md",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = ExplicitQueueEngine(event_queue)
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE") or None
+        if engine is None:
             if os.environ.get("REPRO_EVENT_QUEUE", "").lower() in (
                 "heap",
                 "reference",
             ):
-                event_queue = HeapEventQueue()
+                warnings.warn(
+                    "REPRO_EVENT_QUEUE is deprecated; set "
+                    "REPRO_ENGINE=heap instead — see docs/engines.md",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                engine = "heap"
             else:
-                event_queue = EventQueue()
-        self._queue = event_queue
+                engine = "wheel"
+        self._engine = resolve_engine(engine)
+        self._queue = self._engine.make_queue()
         self._now = 0
         self._modules: list[SimModule] = []
         self._module_names: set[str] = set()
@@ -112,6 +144,9 @@ class Simulator:
             raise SimulationError(
                 f"observer {observer!r} is already registered"
             )
+        # The engine may refuse: the batched engine cannot honour
+        # observers once its fast path has started (docs/engines.md).
+        self._engine.on_observer_added(self)
         self._observers.append(observer)
         self._observer_snapshot = tuple(self._observers)
         return observer
@@ -141,6 +176,11 @@ class Simulator:
         return tuple(self._observers)
 
     # -- time and scheduling ------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The engine driving this simulator."""
+        return self._engine
 
     @property
     def now(self) -> int:
@@ -217,11 +257,26 @@ class Simulator:
         loop keeps going until the event queue drains, so it
         terminates for any workload that stops scheduling new events.
 
-        With no observers attached the loop runs a fused fast path:
-        one :meth:`~repro.sim.events.EventQueue.pop_next` call per
-        event (the wheel cursor stays parked on the current cycle's
-        bucket, so a same-cycle batch drains without re-scanning), and
-        the delivered-event total is committed to
+        The engine owns the drive loop.  The event engines (wheel,
+        heap) use :meth:`_event_loop`; the batched engine substitutes
+        its cycle-synchronous fast path when no observers are attached
+        and falls back to :meth:`_event_loop` otherwise.  Every engine
+        preserves the stop/:attr:`events_processed`/time-jump
+        semantics documented here.
+        """
+        return self._engine.run(self, until, max_events)
+
+    def _event_loop(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """The classic per-event loop (see :meth:`run` for the
+        contract).  With no observers attached it runs a fused fast
+        path: one :meth:`~repro.sim.events.EventQueue.pop_next` call
+        per event (the wheel cursor stays parked on the current
+        cycle's bucket, so a same-cycle batch drains without
+        re-scanning), and the delivered-event total is committed to
         :attr:`events_processed` when the batch ends rather than once
         per event.  With observers the loop takes the bookkeeping path
         that advances time *before* popping, so observer callbacks see

@@ -1,52 +1,109 @@
-"""Heap-vs-wheel kernel equivalence on real campaign points.
+"""Engine equivalence on real campaign points.
 
-The timing-wheel future-event set is a pure performance change: for
-one representative figure point per topology (ring, spidergon, 2D
-mesh), running the identical network/seed on the reference heap queue
-must produce a byte-identical ``RunResult`` — every metric, down to
-the event count — and deliver the identical event trace.
+The engines are pure performance changes: for one representative
+figure point per registered topology family, running the identical
+network/seed on the reference heap queue or on the batched
+cycle-synchronous engine must produce a byte-identical ``RunResult``
+— every metric, down to the event count — and deliver the identical
+event trace.  Fault-plan and watchdog-truncated runs are part of the
+contract too: resilience behaviour may not depend on the engine.
 """
 
 import pytest
 
+from repro.experiments.specs import available_topologies, parse_topology
 from repro.noc.config import NocConfig
 from repro.noc.network import Network
+from repro.resilience.injector import FaultInjector
+from repro.resilience.plan import FaultPlan
+from repro.resilience.watchdog import StallWatchdog
 from repro.sim.events import Event, HeapEventQueue
 from repro.sim.kernel import Simulator
 from repro.sim.observers import Observer
-from repro.topology import (
-    MeshTopology,
-    RingTopology,
-    SpidergonTopology,
-)
+from repro.topology import RingTopology
 from repro.traffic import TrafficSpec, UniformTraffic
 
-TOPOLOGIES = {
-    "ring16": lambda: RingTopology(16),
-    "spidergon16": lambda: SpidergonTopology(16),
-    "mesh4x4": lambda: MeshTopology(4, 4),
-}
+FAMILY_EXAMPLES = sorted(
+    family.example for family in available_topologies()
+)
+
+OTHER_ENGINES = ["heap", "batched"]
 
 
-def _run_point(topology_factory, event_queue):
-    topology = topology_factory()
+def _run_point(
+    spec,
+    engine,
+    cycles=600,
+    warmup=100,
+    rate=0.15,
+    fault_plan=None,
+    observer_factory=None,
+):
+    topology = parse_topology(spec)
     network = Network(
         topology,
         config=NocConfig(source_queue_packets=8),
-        traffic=TrafficSpec(UniformTraffic(topology), 0.15),
+        traffic=TrafficSpec(UniformTraffic(topology), rate),
         seed=11,
-        event_queue=event_queue,
+        engine=engine,
     )
-    return network.run(cycles=1_500, warmup=300)
+    if fault_plan is not None:
+        FaultInjector(network, fault_plan)
+    observer = (
+        observer_factory(network)
+        if observer_factory is not None
+        else None
+    )
+    result = network.run(cycles=cycles, warmup=warmup)
+    return result, observer
 
 
 class TestRunResultEquivalence:
-    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
-    def test_byte_identical_metrics(self, name):
-        factory = TOPOLOGIES[name]
-        wheel = _run_point(factory, None)  # default: timing wheel
-        heap = _run_point(factory, HeapEventQueue())
-        assert wheel.to_dict() == heap.to_dict()
+    @pytest.mark.parametrize("engine", OTHER_ENGINES)
+    @pytest.mark.parametrize("spec", FAMILY_EXAMPLES)
+    def test_byte_identical_metrics(self, spec, engine):
+        """Every registered family example: the wheel kernel and
+        *engine* agree on every RunResult field."""
+        wheel, _ = _run_point(spec, "wheel")
+        other, _ = _run_point(spec, engine)
+        assert wheel.to_dict() == other.to_dict()
+
+    @pytest.mark.parametrize("engine", OTHER_ENGINES)
+    def test_fault_plan_equivalence(self, engine):
+        """A mid-run link failure (kill + purge + detour) and repair
+        produce identical results on every engine."""
+        plan = FaultPlan.single(5, 6, at=120, repair_at=400)
+        wheel, _ = _run_point("mesh4x4", "wheel", fault_plan=plan)
+        other, _ = _run_point("mesh4x4", engine, fault_plan=plan)
+        assert wheel.degraded == other.degraded
+        assert wheel.to_dict() == other.to_dict()
+
+    @pytest.mark.parametrize("engine", OTHER_ENGINES)
+    def test_stall_truncated_equivalence(self, engine):
+        """A watchdog-aborted run (the watchdog is an observer, so
+        the batched engine runs its slow path) truncates at the
+        identical cycle with the identical result."""
+        plan = FaultPlan.single(0, 1, at=50)
+
+        def attach(network):
+            return StallWatchdog(network, stall_cycles=150)
+
+        wheel, wd_wheel = _run_point(
+            "ring16",
+            "wheel",
+            rate=0.05,
+            fault_plan=plan,
+            observer_factory=attach,
+        )
+        other, wd_other = _run_point(
+            "ring16",
+            engine,
+            rate=0.05,
+            fault_plan=plan,
+            observer_factory=attach,
+        )
+        assert wd_wheel.tripped == wd_other.tripped
+        assert wheel.to_dict() == other.to_dict()
 
 
 class _DeliveryTrace(Observer):
@@ -73,35 +130,47 @@ class _DeliveryTrace(Observer):
 class TestDeliveryTraceEquivalence:
     def test_observer_sees_identical_event_stream(self):
         """Stronger than metric equality: the full (time, priority,
-        sequence, message, target) delivery stream matches, so the
-        two queues are interchangeable under observation too."""
+        sequence, message, target) delivery stream matches across all
+        three engines.  With an observer attached the batched engine
+        takes its slow path, which must be a perfect event kernel."""
         traces = []
-        for queue in (None, HeapEventQueue()):
+        for engine in ("wheel", "heap", "batched"):
             topology = RingTopology(8)
             network = Network(
                 topology,
                 config=NocConfig(source_queue_packets=8),
                 traffic=TrafficSpec(UniformTraffic(topology), 0.2),
                 seed=5,
-                event_queue=queue,
+                engine=engine,
             )
             trace = _DeliveryTrace()
             network.simulator.add_observer(trace)
             network.run(cycles=400)
             traces.append(trace.records)
-        assert traces[0] == traces[1]
+        assert traces[0] == traces[1] == traces[2]
         assert len(traces[0]) > 1_000  # a real workload, not a stub
 
 
 class TestEnvironmentSelector:
-    def test_env_var_selects_reference_heap(self, monkeypatch):
-        monkeypatch.setenv("REPRO_EVENT_QUEUE", "heap")
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVENT_QUEUE", raising=False)
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
         sim = Simulator()
+        assert isinstance(sim._queue, HeapEventQueue)
+        assert sim.engine.name == "heap"
+
+    def test_legacy_env_var_warns_and_maps(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.setenv("REPRO_EVENT_QUEUE", "heap")
+        with pytest.warns(DeprecationWarning, match="REPRO_ENGINE"):
+            sim = Simulator()
         assert isinstance(sim._queue, HeapEventQueue)
 
     def test_default_is_timing_wheel(self, monkeypatch):
         from repro.sim.events import EventQueue
 
         monkeypatch.delenv("REPRO_EVENT_QUEUE", raising=False)
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         sim = Simulator()
         assert isinstance(sim._queue, EventQueue)
+        assert sim.engine.name == "wheel"

@@ -1,0 +1,245 @@
+"""The batched engine's CycleCalendar and fast/slow mode machinery.
+
+Cross-engine result equivalence lives in
+``tests/integration/test_kernel_equivalence.py``; this file covers
+the pieces in isolation: the calendar as a drop-in queue, overflow
+migration, the one-shot fast/slow decision, and the numpy flush path.
+"""
+
+import random
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.sim.batched import BatchedEngine, CycleCalendar
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event, HeapEventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.module import SimModule
+from repro.topology import MeshTopology, RingTopology
+from repro.traffic import TrafficSpec, UniformTraffic
+
+
+def _event(time, priority=0):
+    return Event(time=time, priority=priority, sequence=0)
+
+
+class TestCycleCalendarProtocol:
+    def test_matches_heap_on_random_monotone_schedule(self):
+        """Pushed with kernel-legal (monotone, in-window) times, the
+        calendar pops the exact (time, priority, sequence) order the
+        reference heap does."""
+        rng = random.Random(7)
+        calendar = CycleCalendar()
+        heap = HeapEventQueue()
+        now = 0
+        for _ in range(500):
+            delay = rng.randrange(0, 64)
+            priority = rng.choice([0, 0, 0, 1, 2])
+            calendar.push(_event(now + delay, priority))
+            heap.push(_event(now + delay, priority))
+            if rng.random() < 0.3:
+                a = calendar.pop_next()
+                b = heap.pop_next()
+                assert (a.time, a.priority, a.sequence) == (
+                    b.time,
+                    b.priority,
+                    b.sequence,
+                )
+                now = a.time
+        while len(heap):
+            a = calendar.pop_next()
+            b = heap.pop_next()
+            assert (a.time, a.priority, a.sequence) == (
+                b.time,
+                b.priority,
+                b.sequence,
+            )
+        assert calendar.pop_next() is None
+
+    def test_overflow_migration_preserves_order(self):
+        """Events far beyond the window land in the overflow heap and
+        migrate back in FIFO order within (time, priority)."""
+        calendar = CycleCalendar()
+        far = CycleCalendar.WINDOW + 50
+        pushed = [calendar.push(_event(far)) for _ in range(20)]
+        pushed.append(calendar.push(_event(far, priority=2)))
+        pushed.insert(0, calendar.push(_event(3)))
+        assert calendar.overflow_occupancy == 21
+        popped = []
+        while True:
+            event = calendar.pop_next()
+            if event is None:
+                break
+            popped.append(event)
+        assert popped == sorted(
+            pushed, key=lambda e: (e.time, e.priority, e.sequence)
+        )
+
+    def test_non_monotone_push_rejected(self):
+        calendar = CycleCalendar()
+        calendar.push(_event(100))
+        assert calendar.pop_next().time == 100
+        with pytest.raises(SimulationError, match="monotone"):
+            calendar.push(_event(50))
+
+    def test_pop_limit_parks_without_losing_events(self):
+        calendar = CycleCalendar()
+        calendar.push(_event(200))
+        assert calendar.pop_next(limit=100) is None
+        assert len(calendar) == 1
+        assert calendar.peek_time() == 200
+        assert calendar.pop_next(limit=200).time == 200
+
+    def test_clear_cancels_and_empties_every_tier(self):
+        calendar = CycleCalendar()
+        near = calendar.push(_event(1))
+        rest = calendar.push(_event(1, priority=2))
+        far = calendar.push(_event(CycleCalendar.WINDOW + 9))
+        calendar.clear()
+        assert near.cancelled and rest.cancelled and far.cancelled
+        assert len(calendar) == 0
+        assert calendar.occupancy() == {
+            "pending": 0,
+            "wheel": 0,
+            "overflow": 0,
+        }
+        assert calendar.pop_next() is None
+
+    def test_discard_cancelled_keeps_len_accurate(self):
+        calendar = CycleCalendar()
+        stale = calendar.push(_event(5))
+        calendar.push(_event(5))
+        stale.cancelled = True
+        calendar.discard_cancelled(stale)
+        assert len(calendar) == 1
+        event = calendar.pop_next()
+        assert event is not stale and not event.cancelled
+        assert calendar.pop_next() is None
+
+    def test_occupancy_reports_tiers(self):
+        calendar = CycleCalendar()
+        calendar.push(_event(1))
+        calendar.push(_event(CycleCalendar.WINDOW + 1))
+        assert calendar.occupancy() == {
+            "pending": 2,
+            "wheel": 1,
+            "overflow": 1,
+        }
+
+
+class Recorder(SimModule):
+    def __init__(self, simulator, name="r"):
+        super().__init__(simulator, name)
+        self.delivered = []
+
+    def handle_message(self, message):
+        self.delivered.append((self.now, message.name))
+
+
+class TestSlowPathKernel:
+    """Without a network the batched engine is a plain event kernel
+    over the calendar; the generic Simulator contract must hold."""
+
+    def test_max_events_cap_resumes_mid_cycle(self):
+        sim = Simulator(engine="batched")
+        module = Recorder(sim)
+        for i in range(4):
+            sim.schedule(2, module, Message(f"m{i}"))
+        sim.run(until=50, max_events=2)
+        assert sim.now == 2
+        assert [name for _, name in module.delivered] == ["m0", "m1"]
+        sim.run(until=50)
+        assert [name for _, name in module.delivered] == [
+            "m0",
+            "m1",
+            "m2",
+            "m3",
+        ]
+        assert sim.now == 50
+
+    def test_mode_is_slow_without_network(self):
+        sim = Simulator(engine="batched")
+        module = Recorder(sim)
+        sim.add_observer(__import__("repro.sim.observers", fromlist=["Observer"]).Observer())
+        sim.schedule(1, module, Message("m"))
+        sim.run()
+        assert sim.engine.mode == "slow"
+
+
+def _network(engine, size=8, rate=0.2, seed=3):
+    topology = RingTopology(size)
+    return Network(
+        topology,
+        config=NocConfig(source_queue_packets=8),
+        traffic=TrafficSpec(UniformTraffic(topology), rate),
+        seed=seed,
+        engine=engine,
+    )
+
+
+class TestModeSelection:
+    def test_fast_mode_without_observers(self):
+        network = _network("batched")
+        network.run(cycles=100)
+        assert network.simulator.engine.mode == "fast"
+
+    def test_observer_before_run_forces_slow_mode(self):
+        from repro.sim.observers import Observer
+
+        network = _network("batched")
+        network.simulator.add_observer(Observer())
+        network.run(cycles=100)
+        assert network.simulator.engine.mode == "slow"
+
+    def test_observer_after_fast_start_raises(self):
+        from repro.sim.observers import Observer
+
+        network = _network("batched")
+        network.run(cycles=50)
+        with pytest.raises(SimulationError, match="fast path"):
+            network.simulator.add_observer(Observer())
+
+    def test_engine_instance_is_single_use(self):
+        engine = BatchedEngine()
+        _network(engine)
+        with pytest.raises(SimulationError, match="fresh engine"):
+            _network(engine)
+
+    def test_fast_path_max_events_resume(self):
+        """Draining the identical horizon in small ``max_events``
+        chunks — stopping mid-cycle, mid-slot — then collecting
+        normally yields the same result as one continuous run."""
+        whole = _network("batched").run(cycles=300)
+        network = _network("batched")
+        sim = network.simulator
+        while sim.run(until=300, max_events=97) == 97:
+            pass
+        assert sim.engine.mode == "fast"
+        segmented = network.run(cycles=300)
+        assert whole.to_dict() == segmented.to_dict()
+
+
+class TestNumpyFlush:
+    def test_vector_path_matches_scalar_path(self):
+        pytest.importorskip("numpy")
+        topology = MeshTopology(4, 4)
+
+        def run(engine):
+            network = Network(
+                topology,
+                config=NocConfig(source_queue_packets=16),
+                traffic=TrafficSpec(UniformTraffic(topology), 0.3),
+                seed=11,
+                engine=engine,
+            )
+            result = network.run(cycles=500)
+            return result, network.simulator.engine
+
+        vector, eng_v = run(BatchedEngine(vector_threshold=1))
+        scalar, eng_s = run(BatchedEngine(vector_threshold=10**9))
+        assert eng_v.vector_batches > 0
+        assert eng_s.vector_batches == 0
+        assert vector.to_dict() == scalar.to_dict()

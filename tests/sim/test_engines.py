@@ -1,0 +1,183 @@
+"""The unified engine registry and its deprecation shims."""
+
+import pytest
+
+from repro.sim.engines import (
+    Engine,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
+from repro.sim.events import EventQueue, HeapEventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.module import SimModule
+
+
+class Recorder(SimModule):
+    def __init__(self, simulator, name="r"):
+        super().__init__(simulator, name)
+        self.delivered = []
+
+    def handle_message(self, message):
+        self.delivered.append((self.now, message.name))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = [family.name for family in available_engines()]
+        assert names == sorted(names)
+        for expected in ("batched", "heap", "wheel"):
+            assert expected in names
+
+    def test_descriptions_nonempty(self):
+        for family in available_engines():
+            assert family.description
+
+    def test_resolve_by_name_returns_fresh_instances(self):
+        a = resolve_engine("wheel")
+        b = resolve_engine("wheel")
+        assert a is not b
+        assert a.name == "wheel"
+
+    def test_resolve_instance_passthrough(self):
+        engine = resolve_engine("heap")
+        assert resolve_engine(engine) is engine
+
+    def test_resolve_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="wheel"):
+            resolve_engine("warp-drive")
+
+    def test_resolve_wrong_type(self):
+        with pytest.raises(TypeError):
+            resolve_engine(42)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="wheel"):
+
+            @register_engine("wheel", description="imposter")
+            class Imposter(Engine):
+                pass
+
+
+class TestSimulatorSelection:
+    @pytest.mark.parametrize(
+        "engine,queue_class",
+        [("wheel", EventQueue), ("heap", HeapEventQueue)],
+    )
+    def test_engine_selects_queue(self, engine, queue_class):
+        sim = Simulator(engine=engine)
+        assert isinstance(sim._queue, queue_class)
+        assert sim.engine.name == engine
+
+    def test_engine_instance_accepted(self):
+        sim = Simulator(engine=resolve_engine("heap"))
+        assert isinstance(sim._queue, HeapEventQueue)
+
+    def test_engine_and_event_queue_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            Simulator(engine="wheel", event_queue=HeapEventQueue())
+
+    def test_event_queue_shim_warns_and_wraps(self):
+        queue = HeapEventQueue()
+        with pytest.warns(DeprecationWarning, match="engine"):
+            sim = Simulator(event_queue=queue)
+        assert sim._queue is queue
+        # The wrapped queue still runs a working kernel.
+        recorder = Recorder(sim)
+        sim.schedule(3, recorder, Message("m"))
+        sim.run()
+        assert recorder.delivered == [(3, "m")]
+
+    def test_network_threads_engine(self):
+        from repro.noc.config import NocConfig
+        from repro.noc.network import Network
+        from repro.topology import RingTopology
+        from repro.traffic import TrafficSpec, UniformTraffic
+
+        topology = RingTopology(4)
+        network = Network(
+            topology,
+            config=NocConfig(),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.1),
+            seed=1,
+            engine="heap",
+        )
+        assert network.simulator.engine.name == "heap"
+
+
+class TestSettingsThreading:
+    def test_settings_engine_reaches_network(self):
+        from repro.experiments.runner import (
+            SimulationSettings,
+            run_simulation,
+        )
+        from repro.experiments.specs import (
+            parse_pattern,
+            parse_topology,
+        )
+
+        topology = parse_topology("ring16")
+        pattern = parse_pattern("uniform", topology)
+        settings = SimulationSettings(
+            cycles=200, warmup=0, engine="batched"
+        )
+        wheel = run_simulation(
+            topology,
+            pattern,
+            0.1,
+            SimulationSettings(cycles=200, warmup=0),
+        )
+        batched = run_simulation(topology, pattern, 0.1, settings)
+        assert wheel.to_dict() == batched.to_dict()
+
+    def test_engine_changes_cache_key(self):
+        from repro.experiments.parallel import point_key
+        from repro.experiments.runner import (
+            SimulationSettings,
+            SweepPoint,
+        )
+
+        def point(engine):
+            return SweepPoint(
+                topology="ring16",
+                pattern="uniform",
+                rate=0.1,
+                settings=SimulationSettings(engine=engine),
+            )
+
+        assert point_key(point("wheel")) != point_key(point("batched"))
+
+    def test_campaign_spec_engine_key(self):
+        from repro.experiments.campaign import Campaign
+
+        campaign = Campaign(
+            {
+                "name": "t",
+                "topologies": ["ring16"],
+                "patterns": ["uniform"],
+                "rates": [0.1],
+                "engine": "batched",
+            }
+        )
+        assert campaign.settings.engine == "batched"
+        points = campaign.sweep_points()
+        assert all(p.settings.engine == "batched" for p in points)
+
+    def test_campaign_bad_engine_fails_fast(self):
+        """An unknown engine aborts in validate() — before any
+        simulation runs or CSV row is written — like a bad topology
+        or pattern spec."""
+        from repro.experiments.campaign import Campaign
+
+        campaign = Campaign(
+            {
+                "name": "t",
+                "topologies": ["ring16"],
+                "patterns": ["uniform"],
+                "rates": [0.1],
+                "engine": "warp",
+            }
+        )
+        with pytest.raises(ValueError, match="unknown engine"):
+            campaign.validate()

@@ -84,12 +84,10 @@ class TestMaxEventsStopKeepsTime:
         assert sim.now == 2
 
 
-@pytest.mark.parametrize(
-    "queue_class", [EventQueue, HeapEventQueue]
-)
+@pytest.mark.parametrize("engine", ["wheel", "heap", "batched"])
 class TestClearCancelMarksDroppedEvents:
-    def test_stale_cancel_after_clear_is_harmless(self, queue_class):
-        sim = Simulator(event_queue=queue_class())
+    def test_stale_cancel_after_clear_is_harmless(self, engine):
+        sim = Simulator(engine=engine)
         module = Recorder(sim, "r")
         stale = sim.schedule(10, module, Message("timer"))
         sim._queue.clear()
@@ -103,6 +101,11 @@ class TestClearCancelMarksDroppedEvents:
         sim.run()
         assert [name for _, name in module.delivered] == ["fresh"]
 
+
+@pytest.mark.parametrize(
+    "queue_class", [EventQueue, HeapEventQueue]
+)
+class TestClearMarksEveryTier:
     def test_clear_marks_every_tier(self, queue_class):
         queue = queue_class()
         near = queue.push(Event(time=1, priority=0, sequence=0))

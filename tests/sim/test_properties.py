@@ -1,4 +1,8 @@
-"""Property-based tests of the event kernel (hypothesis)."""
+"""Property-based tests of the event kernel (hypothesis), run
+against every registered engine — the batched engine must behave as
+a perfect event kernel for generic (non-NoC) workloads too."""
+
+import pytest
 
 from hypothesis import given, settings, strategies as st
 
@@ -28,11 +32,15 @@ schedule_entries = st.lists(
 )
 
 
+ENGINES = ["wheel", "heap", "batched"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
 class TestOrderingProperties:
     @given(schedule_entries)
     @settings(max_examples=60, deadline=None)
-    def test_deliveries_sorted_by_time_then_priority(self, entries):
-        sim = Simulator()
+    def test_deliveries_sorted_by_time_then_priority(self, engine, entries):
+        sim = Simulator(engine=engine)
         recorder = Recorder(sim)
         keys = []
         for order, (time, priority) in enumerate(entries):
@@ -47,8 +55,8 @@ class TestOrderingProperties:
 
     @given(schedule_entries)
     @settings(max_examples=40, deadline=None)
-    def test_fifo_among_equal_keys(self, entries):
-        sim = Simulator()
+    def test_fifo_among_equal_keys(self, engine, entries):
+        sim = Simulator(engine=engine)
         recorder = Recorder(sim)
         ids_by_key = {}
         for time, priority in entries:
@@ -68,9 +76,9 @@ class TestOrderingProperties:
         st.integers(min_value=0, max_value=200),
     )
     @settings(max_examples=40, deadline=None)
-    def test_split_runs_equal_single_run(self, entries, split):
+    def test_split_runs_equal_single_run(self, engine, entries, split):
         def run(split_at):
-            sim = Simulator()
+            sim = Simulator(engine=engine)
             recorder = Recorder(sim)
             for time, priority in entries:
                 sim.schedule(
@@ -88,8 +96,8 @@ class TestOrderingProperties:
 
     @given(schedule_entries)
     @settings(max_examples=40, deadline=None)
-    def test_cancellation_removes_exactly_those(self, entries):
-        sim = Simulator()
+    def test_cancellation_removes_exactly_those(self, engine, entries):
+        sim = Simulator(engine=engine)
         recorder = Recorder(sim)
         events = []
         for time, priority in entries:

@@ -43,10 +43,12 @@ re-exported here (:class:`TimelineObserver`, :class:`FlitTracer`,
 
 Resilience — runtime link-fault injection (:class:`FaultPlan`,
 :class:`FaultInjector`), stall detection (:class:`StallWatchdog`),
-periodic invariant audits (:class:`InvariantAuditor`) and the
-crash-tolerant campaign executor (:class:`FailedResult`,
-:class:`CampaignManifest`) — lives in :mod:`repro.resilience` and
-:mod:`repro.experiments.parallel`; see ``docs/resilience.md``.
+DRAIN-style deadlock recovery for the adaptive routing algorithms
+(:class:`DrainController`, :func:`drain_ring`), periodic invariant
+audits (:class:`InvariantAuditor`) and the crash-tolerant campaign
+executor (:class:`FailedResult`, :class:`CampaignManifest`) — lives
+in :mod:`repro.resilience` and :mod:`repro.experiments.parallel`;
+see ``docs/resilience.md``.
 """
 
 from repro.experiments.campaign import Campaign
@@ -66,15 +68,20 @@ from repro.obs import (
     UtilizationTimeline,
 )
 from repro.resilience import (
+    DrainController,
+    DrainError,
     FaultEvent,
     FaultInjector,
     FaultPlan,
     InvariantAuditor,
     StallWatchdog,
+    drain_ring,
 )
 from repro.routing import (
     CirculantTableRouting,
     MeshXYRouting,
+    MinimalAdaptiveRouting,
+    MisrouteAdaptiveRouting,
     MultiplicativeCirculantRouting,
     RingShortestRouting,
     SpidergonAcrossFirstRouting,
@@ -106,6 +113,8 @@ __all__ = [
     "CampaignManifest",
     "CirculantTableRouting",
     "CirculantTopology",
+    "DrainController",
+    "DrainError",
     "EventTracer",
     "FailedResult",
     "FaultEvent",
@@ -117,6 +126,8 @@ __all__ = [
     "KernelProfiler",
     "MeshTopology",
     "MeshXYRouting",
+    "MinimalAdaptiveRouting",
+    "MisrouteAdaptiveRouting",
     "MultiplicativeCirculantRouting",
     "Network",
     "NocConfig",
@@ -141,6 +152,7 @@ __all__ = [
     "detect_saturation_point",
     "diameter",
     "double_hotspot_targets",
+    "drain_ring",
     "parse_pattern",
     "parse_topology",
     "routing_for",

@@ -10,6 +10,8 @@
     python -m repro mesh3d               # 2D vs 3D TSV stacking study
     python -m repro topologies           # registered topology specs
     python -m repro engines              # registered simulation engines
+    python -m repro routings             # registered routing suffixes
+    python -m repro drain                # avoidance-vs-recovery study
     python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
     python -m repro chaos mesh4x4 uniform 0.1 --fail 5:6@2000
 """
@@ -37,8 +39,8 @@ def _info() -> int:
     print(
         "usage: python -m repro "
         "{info|figures|ablations|campaign SPEC.json OUT.csv"
-        "|circulant [N]|mesh3d [SIDE]|topologies|engines"
-        "|trace TOPOLOGY PATTERN RATE"
+        "|circulant [N]|mesh3d [SIDE]|topologies|engines|routings"
+        "|drain|trace TOPOLOGY PATTERN RATE"
         "|chaos TOPOLOGY PATTERN RATE} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
         "also --no-cache, --cache-dir DIR,\n"
@@ -73,6 +75,21 @@ def _engines() -> int:
     width = max(len(f.name) for f in families)
     for family in families:
         print(f"{family.name:<{width}}  {family.description}")
+    return 0
+
+
+def _routings() -> int:
+    from repro.experiments.specs import available_routings
+
+    families = available_routings()
+    width = max(len(f.name) for f in families)
+    for family in families:
+        print(f"{family.name:<{width}}  {family.description}")
+    print()
+    print(
+        "append as a topology-spec suffix, e.g. mesh4x4:adaptive "
+        "or faulty:ring16:1@7:adaptive-misroute"
+    )
     return 0
 
 
@@ -188,7 +205,10 @@ def _chaos(rest: list[str]) -> int:
         SimulationSettings,
         run_simulation,
     )
-    from repro.experiments.specs import parse_pattern, parse_topology
+    from repro.experiments.specs import (
+        parse_pattern,
+        parse_topology_routing,
+    )
     from repro.noc.config import NocConfig
     from repro.resilience import FaultEvent, FaultPlan
 
@@ -287,7 +307,7 @@ def _chaos(rest: list[str]) -> int:
         return int(exc.code or 0)
 
     try:
-        topology = parse_topology(args.topology)
+        topology, routing = parse_topology_routing(args.topology)
         pattern = parse_pattern(args.pattern, topology)
         if args.random_faults:
             match = re.fullmatch(r"(\d+)@(\d+)", args.random_faults)
@@ -341,7 +361,9 @@ def _chaos(rest: list[str]) -> int:
         stall_cycles=args.stall or None,
         invariant_check_interval=args.audit,
     )
-    result = run_simulation(topology, pattern, args.rate, settings)
+    result = run_simulation(
+        topology, pattern, args.rate, settings, routing=routing
+    )
 
     for event in plan.events:
         print(
@@ -393,7 +415,10 @@ def _trace(rest: list[str]) -> int:
     import contextlib
     import sys as _sys
 
-    from repro.experiments.specs import parse_pattern, parse_topology
+    from repro.experiments.specs import (
+        parse_pattern,
+        parse_topology_routing,
+    )
     from repro.noc.config import NocConfig
     from repro.noc.network import Network
     from repro.obs import (
@@ -475,7 +500,7 @@ def _trace(rest: list[str]) -> int:
         return int(exc.code or 0)
 
     try:
-        topology = parse_topology(args.topology)
+        topology, routing = parse_topology_routing(args.topology)
         pattern = parse_pattern(args.pattern, topology)
     except ValueError as exc:
         print(f"error: {exc}", file=_sys.stderr)
@@ -483,6 +508,7 @@ def _trace(rest: list[str]) -> int:
 
     network = Network(
         topology,
+        routing,
         config=NocConfig(source_queue_packets=args.source_queue),
         traffic=TrafficSpec(pattern, args.rate),
         seed=args.seed,
@@ -602,6 +628,12 @@ def main(argv: list[str] | None = None) -> int:
         return _topologies()
     if command == "engines":
         return _engines()
+    if command == "routings":
+        return _routings()
+    if command == "drain":
+        from repro.experiments.drain import main as drain_main
+
+        return drain_main(rest)
     if command == "trace":
         return _trace(rest)
     if command == "chaos":

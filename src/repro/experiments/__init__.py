@@ -26,7 +26,13 @@ from repro.experiments.runner import (
     run_simulation,
     sweep_injection_rates,
 )
-from repro.experiments.specs import parse_pattern, parse_topology
+from repro.experiments.specs import (
+    available_routings,
+    parse_pattern,
+    parse_topology,
+    parse_topology_routing,
+    register_routing,
+)
 
 __all__ = [
     "ExecutionStats",
@@ -38,8 +44,11 @@ __all__ = [
     "execute_points",
     "format_execution_summary",
     "format_table",
+    "available_routings",
     "parse_pattern",
     "parse_topology",
+    "parse_topology_routing",
+    "register_routing",
     "run_simulation",
     "run_sweep_point",
     "sweep_injection_rates",

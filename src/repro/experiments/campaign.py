@@ -73,7 +73,11 @@ from repro.experiments.parallel import (
     point_key,
 )
 from repro.experiments.runner import SimulationSettings, SweepPoint
-from repro.experiments.specs import parse_pattern, parse_topology
+from repro.experiments.specs import (
+    parse_pattern,
+    parse_topology,
+    parse_topology_routing,
+)
 from repro.noc.config import NocConfig
 from repro.resilience.plan import FaultPlan
 from repro.stats.summary import RunResult
@@ -169,7 +173,7 @@ class Campaign:
 
         resolve_engine(self.settings.engine)
         for topo_spec in self.spec["topologies"]:
-            topology = parse_topology(topo_spec)
+            topology, _ = parse_topology_routing(topo_spec)
             for pattern_spec in self.spec["patterns"]:
                 try:
                     parse_pattern(pattern_spec, topology)
@@ -200,7 +204,7 @@ class Campaign:
             return self.settings.fault_plan
         config = self._random_faults
         return FaultPlan.random_faults(
-            parse_topology(topo_spec),
+            parse_topology_routing(topo_spec)[0],
             count=int(config["count"]),
             at=int(config["at"]),
             repair_after=(

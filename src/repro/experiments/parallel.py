@@ -49,7 +49,11 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, Union
 
 from repro.experiments.runner import SweepPoint, run_simulation
-from repro.experiments.specs import parse_pattern, parse_topology
+from repro.experiments.specs import (
+    parse_pattern,
+    parse_topology,
+    parse_topology_routing,
+)
 from repro.resilience.chaos import apply_chaos
 from repro.stats.summary import RunResult
 
@@ -292,9 +296,11 @@ def run_sweep_point(point: SweepPoint) -> RunResult:
     Module-level (not a closure) so :class:`ProcessPoolExecutor`
     workers can import it by qualified name.
     """
-    topology = parse_topology(point.topology)
+    topology, routing = parse_topology_routing(point.topology)
     pattern = parse_pattern(point.pattern, topology)
-    return run_simulation(topology, pattern, point.rate, point.settings)
+    return run_simulation(
+        topology, pattern, point.rate, point.settings, routing=routing
+    )
 
 
 def point_descriptor(point: SweepPoint) -> str:

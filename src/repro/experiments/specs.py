@@ -20,6 +20,14 @@ take ``L`` cycles, default 1), and ``faulty:<base>:<count>@<seed>``.
 Pattern strings: ``uniform``, ``hotspot:<n>[,<n>...]``, ``tornado``,
 ``bit-complement``, ``nearest-neighbor``, ``transpose`` (2D mesh or
 cubic 3D grid), ``shuffle``, ``bit-reverse``.
+
+A topology spec may carry a **routing suffix** — a final
+``:<routing>`` segment naming a registered routing scheme, e.g.
+``mesh4x4:adaptive`` or ``faulty:ring16:1@7:adaptive-misroute`` —
+resolved by :func:`parse_topology_routing`.  Registered schemes:
+``paper`` (the default :func:`~repro.routing.routing_for` choice),
+``table``, ``o1turn``, ``adaptive``, ``adaptive-misroute`` (see
+:func:`available_routings`).
 """
 
 from __future__ import annotations
@@ -252,6 +260,139 @@ def _parse_faulty(match: re.Match[str]) -> Topology:
         int(match.group(2)),
         seed=int(match.group(3)),
     )
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingFamily:
+    """One registered routing spec scheme.
+
+    Attributes:
+        name: Suffix key, e.g. ``"adaptive"``.
+        factory: ``Topology -> RoutingAlgorithm`` builder.
+        description: One-line summary for the CLI.
+    """
+
+    name: str
+    factory: Callable[[Topology], "object"]
+    description: str
+
+
+_ROUTING_FAMILIES: dict[str, RoutingFamily] = {}
+
+
+def register_routing(
+    name: str, *, description: str
+) -> Callable[[Callable[[Topology], "object"]], Callable]:
+    """Register a routing scheme usable as a ``:<name>`` spec suffix.
+
+    Raises:
+        ValueError: if *name* is already registered.
+    """
+
+    def decorator(
+        factory: Callable[[Topology], "object"],
+    ) -> Callable[[Topology], "object"]:
+        if name in _ROUTING_FAMILIES:
+            raise ValueError(
+                f"routing scheme {name!r} is already registered"
+            )
+        _ROUTING_FAMILIES[name] = RoutingFamily(
+            name, factory, description
+        )
+        return factory
+
+    return decorator
+
+
+def available_routings() -> list[RoutingFamily]:
+    """All registered routing schemes, sorted by name."""
+    return sorted(_ROUTING_FAMILIES.values(), key=lambda f: f.name)
+
+
+def split_routing_suffix(spec: str) -> tuple[str, str | None]:
+    """Split ``"mesh4x4:adaptive"`` into ``("mesh4x4", "adaptive")``.
+
+    Only a *final* colon-separated segment that names a registered
+    scheme is treated as a routing suffix, so specs whose own grammar
+    uses colons (``faulty:mesh4x4:2@7``) stay unambiguous — their
+    routed form is ``faulty:mesh4x4:2@7:adaptive``.
+    """
+    base, sep, suffix = spec.rpartition(":")
+    if sep and suffix in _ROUTING_FAMILIES:
+        return base, suffix
+    return spec, None
+
+
+def parse_topology_routing(spec: str):
+    """Build ``(topology, routing)`` from a topology spec string.
+
+    ``routing`` is ``None`` when the spec carries no routing suffix —
+    the network then applies the paper's default scheme for the
+    topology (:func:`repro.routing.routing_for`).
+
+    Raises:
+        ValueError: for an unknown spec, or a routing scheme that
+            does not fit the topology (e.g. ``ring16:o1turn``).
+    """
+    base, suffix = split_routing_suffix(spec)
+    topology = parse_topology(base)
+    if suffix is None:
+        return topology, None
+    family = _ROUTING_FAMILIES[suffix]
+    try:
+        return topology, family.factory(topology)
+    except (RuntimeError, TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"routing {suffix!r} does not fit topology {base!r}: {exc}"
+        ) from exc
+
+
+@register_routing(
+    "paper", description="the paper's default scheme per topology"
+)
+def _routing_paper(topology: Topology):
+    from repro.routing import routing_for
+
+    return routing_for(topology)
+
+
+@register_routing(
+    "table", description="BFS shortest-path tables (ablation baseline)"
+)
+def _routing_table(topology: Topology):
+    from repro.routing import TableRouting
+
+    return TableRouting(topology)
+
+
+@register_routing(
+    "o1turn",
+    description="per-packet XY/YX dimension order (regular meshes)",
+)
+def _routing_o1turn(topology: Topology):
+    from repro.routing import MeshO1TurnRouting
+
+    return MeshO1TurnRouting(topology)
+
+
+@register_routing(
+    "adaptive",
+    description="minimal-adaptive, free-VC selection (not deadlock-free)",
+)
+def _routing_adaptive(topology: Topology):
+    from repro.routing import MinimalAdaptiveRouting
+
+    return MinimalAdaptiveRouting(topology)
+
+
+@register_routing(
+    "adaptive-misroute",
+    description="minimal-adaptive with bounded misrouting",
+)
+def _routing_adaptive_misroute(topology: Topology):
+    from repro.routing import MisrouteAdaptiveRouting
+
+    return MisrouteAdaptiveRouting(topology)
 
 
 def parse_pattern(spec: str, topology: Topology) -> TrafficPattern:

@@ -76,6 +76,14 @@ class Network:
         self.interfaces: list[NetworkInterface] = []
         self._source_nodes: list[int] = []
         self._build()
+        # Late-bind the routing algorithm to the built network:
+        # adaptive schemes read live congestion through the routers
+        # (a routing instance therefore serves one live network at a
+        # time, like the dateline schemes' per-packet route state).
+        self.routing.bind_network(self)
+        #: The attached DrainController, if any (set by its ctor).
+        self.drain_controller = None
+        self._drain_listeners: list = []
         self._ran = False
         self.cycles_run = 0
         # Runtime-fault state (all empty on a healthy run).
@@ -315,8 +323,20 @@ class Network:
         self._dead_links.add(pair)
         self.routers[a].dead_ports.add(port_ab)
         self.routers[b].dead_ports.add(port_ba)
-        fallback = FallbackTable(self.topology, self._dead_links)
-        self._install_fallback(fallback)
+        self.routing.on_fault_update(self.dead_links)
+        if self.routing.adaptive:
+            # Adaptive routing re-decides around faults natively;
+            # the BFS fallback table would be dead weight (see
+            # install_legacy_fallback for the deprecated escape
+            # hatch).  Installing None still wakes parked heads.
+            self._install_fallback(None)
+            residual_connected = bool(
+                getattr(self.routing, "fully_connected", False)
+            )
+        else:
+            fallback = FallbackTable(self.topology, self._dead_links)
+            self._install_fallback(fallback)
+            residual_connected = fallback.fully_connected
         victims: dict[int, "object"] = {}
         for packet in self.routers[a].invalidate_routes_via(port_ab):
             victims[packet.packet_id] = packet
@@ -334,7 +354,7 @@ class Network:
             "link": key,
             "packets_killed": killed,
             "flits_dropped": dropped,
-            "residual_connected": fallback.fully_connected,
+            "residual_connected": residual_connected,
         }
         self._fault_events.append(record)
         return record
@@ -356,7 +376,8 @@ class Network:
         self._dead_links.discard(pair)
         self.routers[a].dead_ports.discard(self.topology.port_to(a, b))
         self.routers[b].dead_ports.discard(self.topology.port_to(b, a))
-        if self._dead_links:
+        self.routing.on_fault_update(self.dead_links)
+        if not self.routing.adaptive and self._dead_links:
             self._install_fallback(
                 FallbackTable(self.topology, self._dead_links)
             )
@@ -369,6 +390,41 @@ class Network:
         }
         self._fault_events.append(record)
         return record
+
+    def install_legacy_fallback(self):
+        """Build and install the BFS detour table for the current
+        dead-link set — the pre-adaptive fault path.
+
+        .. deprecated:: under adaptive routing.
+            Adaptive algorithms (``routing.adaptive``) re-decide
+            around dead ports natively and their reroute path never
+            consults the table, so installing one is dead weight;
+            calling this with adaptive routing active warns with
+            :class:`DeprecationWarning` and installs it anyway (it
+            then only documents residual connectivity).
+
+        Returns:
+            The installed
+            :class:`~repro.resilience.fallback.FallbackTable`, or
+            None when no link is failed.
+        """
+        from repro.resilience.fallback import FallbackTable
+
+        if self.routing.adaptive:
+            warnings.warn(
+                "install_legacy_fallback() under adaptive routing is"
+                " deprecated: adaptive algorithms detour natively"
+                " and their reroute path ignores the BFS table",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        fallback = (
+            FallbackTable(self.topology, self._dead_links)
+            if self._dead_links
+            else None
+        )
+        self._install_fallback(fallback)
+        return fallback
 
     def _install_fallback(self, fallback) -> None:
         for router in self.routers:
@@ -426,6 +482,25 @@ class Network:
         if packet.packet_id not in self._rerouted_packet_seen:
             self._rerouted_packet_seen.add(packet.packet_id)
             self._packets_rerouted += 1
+
+    # -- drain recovery ----------------------------------------------------
+
+    def add_drain_listener(self, listener) -> None:
+        """Register ``listener(kind, flit, src, dst, vc)`` for forced
+        drain moves: ``kind`` is ``"pull"`` (lane to queue, src ==
+        dst) or ``"send"`` (across the loop link src -> dst).  Used
+        by the observability layer (flit traces, timelines) to keep
+        recovery activity visible."""
+        self._drain_listeners.append(listener)
+
+    def notify_drain_move(
+        self, kind: str, flit, src: int, dst: int, vc: int
+    ) -> None:
+        """Fan a forced drain move out to the registered listeners
+        (called by the :class:`~repro.resilience.drain.DrainController`
+        mid-epoch)."""
+        for listener in self._drain_listeners:
+            listener(kind, flit, src, dst, vc)
 
     @property
     def packets_rerouted(self) -> int:
@@ -497,6 +572,8 @@ class Network:
         )
         if self._fault_events or self.stats.flits_dropped:
             result.extra["resilience"] = self.resilience_summary()
+        if self.drain_controller is not None:
+            result.extra["drain"] = self.drain_controller.summary()
         if stopped_early:
             result.degraded = True
             details = self.simulator.stop_details or {}

@@ -159,6 +159,9 @@ class Router(SimModule):
         self.drop_sink = None
         self.kill_sink = None
         self.reroute_sink = None
+        # Drain-epoch bookkeeping: forced moves executed on this
+        # router by the DrainController (see repro.resilience.drain).
+        self.drain_moves = 0
         self._inputs: dict[str, _InputPort] = {}
         self._outputs: dict[str, _OutputPort] = {}
         self._input_order: list[_InputPort] = []
@@ -407,7 +410,20 @@ class Router(SimModule):
         over an arbitrary residual graph, so no dateline argument
         applies — acceptable for degraded operation, which the run
         flags via the resilience report.
+
+        Adaptive algorithms handle faults natively: their re-decision
+        (fault-aware since the network's ``on_fault_update``) replaces
+        the legacy BFS table, which they never consult.
         """
+        if self.routing.adaptive:
+            decision = self.routing.decide(self.node, packet)
+            if decision.port in self.dead_ports:
+                # The algorithm itself funnels unreachable packets
+                # into a dead port: no residual path exists.
+                return None
+            if self.reroute_sink is not None:
+                self.reroute_sink(self.node, packet)
+            return decision.port, min(decision.vc, self.num_vcs - 1)
         if self.fallback is None:
             return None
         out_port = self.fallback.next_port(self.node, packet.dst)
@@ -475,6 +491,178 @@ class Router(SimModule):
                 if queue.owner is packet:
                     queue.owner = None
         return dropped
+
+    # -- drain recovery (forced-move phase) ------------------------------
+    #
+    # The primitives below implement one router's share of a drain
+    # epoch (see repro.resilience.drain): the DrainController plans a
+    # rotation along a preconfigured ring of (output queue, input
+    # lane) resources and executes it through these methods, which
+    # keep every flow-control counter exact.  ``drain_moves`` is the
+    # router's epoch bookkeeping: forced moves executed here.
+
+    def drain_queue_info(
+        self, port_name: str, vc: int, now: int
+    ) -> tuple[bool, bool, int]:
+        """Drain-plan view of output queue ``(port, vc)``.
+
+        Returns:
+            ``(has_head, can_claim, free_slots)`` — whether the queue
+            holds a flit to force-send, whether a redirected head
+            flit may legally be enqueued this cycle (no worm in
+            progress, no enqueue this cycle), and how many slots are
+            free right now (the controller adds one when it also
+            pops the head).
+        """
+        queue = self._outputs[port_name].queues[vc]
+        can_claim = (
+            queue.owner is None and queue.last_enqueue_cycle != now
+        )
+        return (
+            not queue.is_empty,
+            can_claim,
+            queue.capacity - len(queue),
+        )
+
+    def drain_lane_room(self, input_name: str, vc: int) -> int:
+        """Free slots in input lane ``(input_name, vc)`` right now."""
+        lane = self._inputs[input_name].lanes[vc]
+        return lane.capacity - len(lane)
+
+    def drain_find_pull(
+        self,
+        loop_out: str,
+        vc: int,
+        loop_in: str,
+        assume_pop: bool,
+        now: int,
+    ) -> tuple[str, int, str, int] | None:
+        """Plan one lane-to-queue move for a drain rotation.
+
+        Scans the input lanes — loop input first, then the rest in
+        port order — for a lane-head flit that can advance this
+        cycle:
+
+        * a **body** flit follows its established switching route
+          (wormhole order is inviolable);
+        * a **head** flit follows its parked routing decision when
+          that queue has room, and is otherwise *misrouted* onto the
+          loop output queue ``(loop_out, vc)`` — the DRAIN move that
+          breaks dependency cycles (routing re-decides downstream).
+
+        *assume_pop* credits the loop queue with one extra slot (the
+        controller plans to force-send its head in the same epoch).
+        Returns ``(input name, wire vc, out port, out vc)`` or None;
+        mutates nothing.
+        """
+        ordered = sorted(
+            self._inputs.values(),
+            key=lambda p: (p.name != loop_in, p.name),
+        )
+        for port in ordered:
+            for wire_vc, lane in enumerate(port.lanes):
+                flit = lane.head()
+                if flit is None or flit.packet.killed:
+                    continue
+                if flit.is_head:
+                    targets = []
+                    pending = port.pending.get(wire_vc)
+                    if pending is not None:
+                        targets.append(pending)
+                    if flit.packet.dst != self.node:
+                        targets.append((loop_out, vc))
+                else:
+                    if not port.switching.has_route(wire_vc):
+                        continue  # pragma: no cover - defensive
+                    targets = [
+                        port.switching.route_of(
+                            wire_vc, flit.packet
+                        )
+                    ]
+                for out_port, out_vc in targets:
+                    if out_port in self.dead_ports:
+                        continue
+                    queue = self._outputs[out_port].queues[out_vc]
+                    if queue.last_enqueue_cycle == now:
+                        continue
+                    if flit.is_head:
+                        if queue.owner is not None:
+                            continue
+                    elif queue.owner is not flit.packet:
+                        continue  # pragma: no cover - defensive
+                    free = queue.capacity - len(queue)
+                    if (
+                        assume_pop
+                        and (out_port, out_vc) == (loop_out, vc)
+                        and not queue.is_empty
+                    ):
+                        free += 1
+                    if free < 1:
+                        continue
+                    return port.name, wire_vc, out_port, out_vc
+        return None
+
+    def drain_execute_pull(
+        self,
+        input_name: str,
+        wire_vc: int,
+        out_port: str,
+        out_vc: int,
+        now: int,
+    ):
+        """Execute a planned pull: move the lane head into the queue.
+
+        For a head flit this commits (or overrides) its routing
+        decision — switching state, queue ownership and the upstream
+        credit behave exactly as for a won allocation; body flits
+        just continue their worm.  Returns the flit.
+        """
+        port = self._inputs[input_name]
+        flit = port.lanes[wire_vc].head()
+        queue = self._outputs[out_port].queues[out_vc]
+        if flit.is_head:
+            port.pending.pop(wire_vc, None)
+            port.switching.set_route(
+                wire_vc, flit.packet, out_port, out_vc
+            )
+        self._execute_move(port, wire_vc, flit, queue, now)
+        self.drain_moves += 1
+        return flit
+
+    def drain_pop_for_send(self, port_name: str, vc: int):
+        """Forced send, upstream half: pop the loop queue head and
+        account for it exactly like :meth:`send_phase` (credit
+        consumed, hop counted) — the controller delivers the flit
+        into the downstream lane with zero wire delay.
+        """
+        port = self._outputs[port_name]
+        queue = port.queues[vc]
+        flit = queue.pop()
+        port.credits[vc] -= 1
+        port.flits_sent += 1
+        port.flits_sent_by_vc[vc] += 1
+        if flit.is_head and port.name != LOCAL_PORT:
+            flit.packet.hops += 1
+        flit.wire_vc = vc
+        self.drain_moves += 1
+        return flit
+
+    def drain_deliver(self, input_name: str, wire_vc: int, flit) -> None:
+        """Forced send, downstream half: accept *flit* into the loop
+        input lane (killed packets drop on arrival with their credit
+        returned, as on a normal wire delivery)."""
+        port = self._inputs[input_name]
+        if flit.packet.killed:
+            records = port.credit_records
+            if records is None:
+                self.send(CreditMessage(wire_vc), port.credit_gate)
+            else:  # pragma: no cover - drain forces the event loop
+                self._fast_append(records[wire_vc])
+            if self.drop_sink is not None:
+                self.drop_sink(flit)
+            return
+        port.lanes[wire_vc].push(flit)
+        self.scheduler.activate(self)
 
     def has_pending_work(self) -> bool:
         """True while any lane or queue holds a flit."""

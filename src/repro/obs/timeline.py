@@ -72,8 +72,19 @@ class TimelineObserver(Observer):
         self._occupancy: dict[int, list[tuple[int, int]]] = {
             router.node: [] for router in network.routers
         }
+        # Forced drain-recovery moves (deadlock recovery) are not
+        # ordinary link deliveries, so they get their own counter
+        # instead of polluting the per-link windows.
+        self.drain_events = 0
         self._attached = True
         network.simulator.add_observer(self)
+        network.add_drain_listener(self._on_drain_move)
+
+    def _on_drain_move(
+        self, kind: str, flit, src: int, dst: int, vc: int
+    ) -> None:
+        if self._attached:
+            self.drain_events += 1
 
     # -- observer hooks -----------------------------------------------
 

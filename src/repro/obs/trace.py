@@ -15,15 +15,19 @@ field     meaning
 ========  ==========================================================
 type      ``"flit"`` for lifecycle records (the CLI adds ``"meta"``,
           ``"link"``, ``"timeline"`` and ``"summary"`` records)
-ev        ``generate`` | ``inject`` | ``hop`` | ``consume``
+ev        ``generate`` | ``inject`` | ``hop`` | ``consume`` |
+          ``drain``
 t         simulation cycle of the step
 pkt       packet id
 flit      flit index within the packet (0 = head)
 src, dst  packet endpoints
 node      node where the step happened (absent on ``generate``)
 vc        wire virtual channel (absent on ``generate``)
-from      upstream node (``hop`` only)
+from      upstream node (``hop`` and ``drain`` only)
 port      upstream output-port name (``hop`` only)
+kind      ``pull`` | ``send`` (``drain`` only): lane-to-queue move
+          inside ``node`` (``from == node``) or a forced traversal
+          of the drain-loop link ``from -> node``
 ========  ==========================================================
 
 ``generate`` is emitted when the head flit is injected, stamped with
@@ -173,6 +177,30 @@ class FlitTracer(Observer):
             self._consume_of_gate[ni.data_in] = ni.node
         self._attached = True
         network.simulator.add_observer(self)
+        network.add_drain_listener(self._on_drain_move)
+
+    def _on_drain_move(
+        self, kind: str, flit, src: int, dst: int, vc: int
+    ) -> None:
+        """Record a forced drain-recovery move (see module schema)."""
+        if not self._attached or not self.sink.enabled:
+            return
+        packet = flit.packet
+        self.sink.write(
+            {
+                "type": "flit",
+                "ev": "drain",
+                "t": self.network.simulator.now,
+                "pkt": packet.packet_id,
+                "flit": flit.index,
+                "src": packet.src,
+                "dst": packet.dst,
+                "vc": vc,
+                "node": dst,
+                "from": src,
+                "kind": kind,
+            }
+        )
 
     def detach(self) -> None:
         """Stop tracing (idempotent); the sink stays open."""

@@ -10,6 +10,10 @@ Everything the robustness story needs on the *model* side:
   consulted only when a primary route hits a dead port;
 * :class:`StallWatchdog` — aborts wedged runs with a diagnostic
   snapshot instead of spinning to the horizon;
+* :class:`DrainController` / :func:`drain_ring` — DRAIN-style
+  deadlock *recovery*: periodic forced rotation of in-flight flits
+  along a Hamiltonian loop, with adaptive spin frequency (pairs with
+  the non-deadlock-free adaptive routing algorithms);
 * :class:`InvariantAuditor` — periodic in-run execution of the full
   invariant suite;
 * :func:`apply_chaos` — env-driven worker failure injection for the
@@ -21,6 +25,11 @@ manifests) lives in :mod:`repro.experiments.parallel`.
 
 from repro.resilience.auditor import InvariantAuditor
 from repro.resilience.chaos import ChaosError, apply_chaos
+from repro.resilience.drain import (
+    DrainController,
+    DrainError,
+    drain_ring,
+)
 from repro.resilience.fallback import FallbackTable, normalise_link
 from repro.resilience.injector import FaultInjector
 from repro.resilience.plan import FaultEvent, FaultPlan
@@ -28,6 +37,8 @@ from repro.resilience.watchdog import StallWatchdog
 
 __all__ = [
     "ChaosError",
+    "DrainController",
+    "DrainError",
     "FallbackTable",
     "FaultEvent",
     "FaultInjector",
@@ -35,5 +46,6 @@ __all__ = [
     "InvariantAuditor",
     "StallWatchdog",
     "apply_chaos",
+    "drain_ring",
     "normalise_link",
 ]

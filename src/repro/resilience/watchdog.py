@@ -89,6 +89,16 @@ class StallWatchdog(Observer):
         dropping = (
             self.network.stats.flits_dropped != self._drops_at_progress
         )
+        controller = getattr(self.network, "drain_controller", None)
+        if controller is not None and controller.shields_watchdog(
+            new_time
+        ):
+            # An armed drain episode with recent forced progress:
+            # recovery gets its grace window before the run is
+            # truncated.  Deliberately *not* a window reset — the
+            # moment the shield lapses (drain stopped moving flits)
+            # the already-elapsed quiet window trips immediately.
+            return
         if not dropping and not self._work_outstanding():
             # Quiet because idle (e.g. zero injection rate), not
             # because stuck.  A network that dropped flits during the

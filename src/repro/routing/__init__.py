@@ -34,7 +34,11 @@ from repro.routing.base import (
     RoutingAlgorithm,
     RoutingError,
 )
-from repro.routing.adaptive import MeshO1TurnRouting
+from repro.routing.adaptive import (
+    MeshO1TurnRouting,
+    MinimalAdaptiveRouting,
+    MisrouteAdaptiveRouting,
+)
 from repro.routing.circulant import (
     CirculantTableRouting,
     MultiplicativeCirculantRouting,
@@ -98,6 +102,8 @@ __all__ = [
     "RoutingAlgorithm",
     "RoutingError",
     "MeshO1TurnRouting",
+    "MinimalAdaptiveRouting",
+    "MisrouteAdaptiveRouting",
     "SourceRouting",
     "SpidergonAcrossFirstRouting",
     "TableRouting",

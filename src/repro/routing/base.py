@@ -48,9 +48,45 @@ class RoutingAlgorithm(ABC):
     #: dateline disciplines override to 2).
     required_vcs = 1
 
+    #: Whether the algorithm guarantees deadlock freedom by
+    #: construction (dateline VC discipline, dimension order, ...).
+    #: Fully adaptive schemes set this False: their safety must come
+    #: from the runtime instead — pair them with a
+    #: :class:`~repro.resilience.drain.DrainController` (recovery) or
+    #: accept that a :class:`~repro.resilience.StallWatchdog` merely
+    #: truncates a wedged run.
+    deadlock_free = True
+
+    #: Whether the algorithm chooses among several legal next hops at
+    #: run time (congestion-aware).  Adaptive algorithms natively
+    #: detour around failed links via :meth:`on_fault_update`, which
+    #: is why the network skips the BFS fallback-table installation
+    #: for them (see docs/resilience.md).
+    adaptive = False
+
     def __init__(self, topology: Topology, name: str) -> None:
         self.topology = topology
         self.name = name
+
+    def bind_network(self, network) -> None:
+        """Give the algorithm access to live router state.
+
+        Called once by :class:`~repro.noc.network.Network` after the
+        model is wired.  The default is a no-op; adaptive algorithms
+        keep the reference so :meth:`decide` can score candidate
+        output ports by their current queue occupancy and credits.
+        """
+
+    def on_fault_update(self, dead_links) -> None:
+        """React to the set of failed physical connections changing.
+
+        Called by :meth:`~repro.noc.network.Network.fail_link` /
+        ``repair_link`` with the complete current set of dead
+        ``(low, high)`` node pairs.  The default is a no-op (static
+        algorithms rely on the network's fallback table); adaptive
+        algorithms recompute their distance tables over the residual
+        graph so detours come out of the normal decision process.
+        """
 
     @abstractmethod
     def decide(self, node: int, packet: Packet) -> RouteDecision:

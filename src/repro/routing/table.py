@@ -60,6 +60,9 @@ class TableRouting(RoutingAlgorithm):
     """Precomputed minimal routing for arbitrary connected topologies."""
 
     required_vcs = 1
+    # No turn restriction or dateline: cyclic channel dependencies
+    # can close under load (see docs/deadlock.md).
+    deadlock_free = False
 
     def __init__(self, topology: Topology) -> None:
         super().__init__(topology, f"table/{topology.name}")

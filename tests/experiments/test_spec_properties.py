@@ -290,3 +290,57 @@ class TestTopologyRegistry:
             assert topology.num_nodes == 10
         finally:
             del specs._TOPOLOGY_FAMILIES["testonly-star"]
+
+
+class TestRoutingSuffix:
+    """Topology specs with a trailing :<routing> segment."""
+
+    def test_available_routings_names(self):
+        from repro.experiments.specs import available_routings
+
+        names = [family.name for family in available_routings()]
+        assert names == sorted(names)
+        for expected in (
+            "adaptive",
+            "adaptive-misroute",
+            "o1turn",
+            "paper",
+            "table",
+        ):
+            assert expected in names
+
+    def test_plain_spec_has_no_routing(self):
+        from repro.experiments.specs import parse_topology_routing
+
+        topology, routing = parse_topology_routing("ring8")
+        assert topology.num_nodes == 8
+        assert routing is None
+
+    def test_adaptive_suffix(self):
+        from repro.experiments.specs import parse_topology_routing
+        from repro.routing import MinimalAdaptiveRouting
+
+        topology, routing = parse_topology_routing("mesh4x4:adaptive")
+        assert isinstance(routing, MinimalAdaptiveRouting)
+        assert routing.topology is topology
+
+    def test_suffix_composes_with_faulty_specs(self):
+        from repro.experiments.specs import parse_topology_routing
+
+        topology, routing = parse_topology_routing(
+            "faulty:ring16:1@7:adaptive"
+        )
+        assert topology.num_nodes == 16
+        assert routing is not None and routing.adaptive
+
+    def test_mismatched_scheme_raises_value_error(self):
+        from repro.experiments.specs import parse_topology_routing
+
+        with pytest.raises(ValueError, match="does not fit"):
+            parse_topology_routing("ring16:o1turn")
+
+    def test_unknown_suffix_is_part_of_the_spec(self):
+        from repro.experiments.specs import parse_topology_routing
+
+        with pytest.raises(ValueError):
+            parse_topology_routing("ring8:bogus-routing")

@@ -99,3 +99,167 @@ class TestInNetwork:
         o1turn = self._throughput(MeshO1TurnRouting)
         xy = self._throughput(MeshXYRouting)
         assert o1turn >= xy
+
+
+# -- fully adaptive (minimal / bounded-misroute) schemes ----------------
+
+from repro.resilience.fallback import FallbackTable  # noqa: E402
+from repro.routing import (  # noqa: E402
+    MinimalAdaptiveRouting,
+    MisrouteAdaptiveRouting,
+)
+from repro.topology import (  # noqa: E402
+    RingTopology,
+    SpidergonTopology,
+    TorusTopology,
+)
+
+ADAPTIVE_TOPOLOGIES = [
+    RingTopology(8),
+    SpidergonTopology(8),
+    MeshTopology(4, 4),
+    TorusTopology(4, 4),
+]
+
+
+class TestMinimalAdaptive:
+    @pytest.mark.parametrize(
+        "topology", ADAPTIVE_TOPOLOGIES, ids=lambda t: t.name
+    )
+    def test_paths_match_bfs_oracle(self, topology):
+        routing = MinimalAdaptiveRouting(topology)
+        dist = all_pairs_distances(topology)
+        for src in range(topology.num_nodes):
+            for dst in range(topology.num_nodes):
+                if src != dst:
+                    assert (
+                        routing.path_length(src, dst) == dist[src][dst]
+                    )
+
+    def test_not_deadlock_free_but_adaptive(self):
+        routing = MinimalAdaptiveRouting(RingTopology(8))
+        assert routing.adaptive
+        assert not routing.deadlock_free
+
+    def test_fault_update_recomputes_distances(self):
+        topology = RingTopology(8)
+        routing = MinimalAdaptiveRouting(topology)
+        assert routing.path_length(0, 2) == 2
+        routing.on_fault_update([(1, 2)])
+        # 0->2 must now go the long way round.
+        assert routing.path_length(0, 2) == 6
+        assert routing.fully_connected
+        routing.on_fault_update([])
+        assert routing.path_length(0, 2) == 2
+
+    def test_partition_clears_fully_connected(self):
+        topology = RingTopology(8)
+        routing = MinimalAdaptiveRouting(topology)
+        routing.on_fault_update([(0, 1), (4, 5)])
+        assert not routing.fully_connected
+
+    def test_misroute_degenerates_to_minimal_offline(self):
+        topology = MeshTopology(4, 4)
+        minimal = MinimalAdaptiveRouting(topology)
+        misroute = MisrouteAdaptiveRouting(topology, max_misroutes=2)
+        for src in range(topology.num_nodes):
+            for dst in range(topology.num_nodes):
+                if src != dst:
+                    assert misroute.path_length(
+                        src, dst
+                    ) == minimal.path_length(src, dst)
+
+    def test_misroute_budget_validated(self):
+        with pytest.raises(ValueError, match="max_misroutes"):
+            MisrouteAdaptiveRouting(MeshTopology(4, 4), max_misroutes=-1)
+
+
+def _table_distance(table, node, dst, limit):
+    """Hops of the FallbackTable's detour path node -> dst."""
+    hops = 0
+    topology = table.topology
+    while node != dst:
+        port = table.next_port(node, dst)
+        if port is None:
+            return None
+        node = topology.out_ports(node)[port]
+        hops += 1
+        assert hops <= limit, "fallback table loops"
+    return hops
+
+
+class TestAdaptiveFaultAgreement:
+    """The adaptive residual tables subsume the BFS fallback detours."""
+
+    def test_detour_lengths_match_fallback_table(self):
+        topology = MeshTopology(4, 4)
+        dead = [(5, 6), (9, 10)]
+        routing = MinimalAdaptiveRouting(topology)
+        routing.on_fault_update(dead)
+        table = FallbackTable(topology, dead)
+        n = topology.num_nodes
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    assert routing.path_length(
+                        src, dst
+                    ) == _table_distance(table, src, dst, limit=n)
+
+    def test_adaptive_path_avoids_dead_links(self):
+        topology = MeshTopology(4, 4)
+        routing = MinimalAdaptiveRouting(topology)
+        routing.on_fault_update([(5, 6)])
+        for src in range(topology.num_nodes):
+            for dst in range(topology.num_nodes):
+                if src == dst:
+                    continue
+                path = routing.path(src, dst)
+                hops = set(zip(path, path[1:]))
+                assert (5, 6) not in hops and (6, 5) not in hops
+
+
+class TestLegacyFallbackShim:
+    def _adaptive_network(self):
+        topology = MeshTopology(4, 4)
+        return Network(
+            topology,
+            routing=MinimalAdaptiveRouting(topology),
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.05),
+            seed=3,
+        )
+
+    def test_warns_under_adaptive_routing(self):
+        net = self._adaptive_network()
+        net.fail_link(5, 6)
+        with pytest.warns(DeprecationWarning, match="adaptive"):
+            table = net.install_legacy_fallback()
+        assert isinstance(table, FallbackTable)
+        assert table.dead_links == frozenset({(5, 6)})
+
+    def test_silent_under_table_routing(self):
+        import warnings
+
+        topology = MeshTopology(4, 4)
+        net = Network(
+            topology,
+            config=NocConfig(source_queue_packets=16),
+            traffic=TrafficSpec(UniformTraffic(topology), 0.05),
+            seed=3,
+        )
+        net.fail_link(5, 6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            net.install_legacy_fallback()
+
+    def test_adaptive_network_reroutes_around_fault(self):
+        net = self._adaptive_network()
+        from repro.resilience import FaultInjector, FaultPlan
+
+        FaultInjector(net, FaultPlan.single(5, 6, at=300))
+        result = net.run(cycles=3_000, warmup=200)
+        assert not result.degraded
+        assert result.packets_delivered > 0
+        resilience = result.extra["resilience"]
+        record = resilience["fault_events"][0]
+        assert record["residual_connected"] is True

@@ -119,6 +119,55 @@ class TestMain:
     def test_campaign_usage_error(self, capsys):
         assert main(["campaign", "only-one-arg"]) == 2
 
+    def test_routings_dispatch(self, capsys):
+        assert main(["routings"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "mesh4x4:adaptive" in out
+
+    def test_drain_smoke(self, capsys):
+        assert main(["drain", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "without drain: degraded=True delivered=0/24" in out
+        assert "with drain:    degraded=False delivered=24/24" in out
+
+    def test_drain_usage_error(self, capsys):
+        assert main(["drain", "--rates", "abc"]) == 2
+
+    def test_trace_accepts_routing_suffix(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "trace",
+                "ring8:adaptive",
+                "uniform",
+                "0.05",
+                "--cycles",
+                "400",
+                "--out",
+                str(out_path),
+            ]
+        ) == 0
+        assert out_path.exists()
+
+    def test_chaos_accepts_routing_suffix(self, capsys):
+        assert main(
+            [
+                "chaos",
+                "mesh4x4:adaptive",
+                "uniform",
+                "0.05",
+                "--cycles",
+                "1200",
+                "--warmup",
+                "200",
+                "--fail",
+                "5:6@400",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "degraded=False" in out
+
     def test_module_invocation(self):
         completed = subprocess.run(
             [sys.executable, "-m", "repro", "info"],

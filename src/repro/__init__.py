@@ -49,9 +49,15 @@ audits (:class:`InvariantAuditor`) and the crash-tolerant campaign
 executor (:class:`FailedResult`, :class:`CampaignManifest`) — lives
 in :mod:`repro.resilience` and :mod:`repro.experiments.parallel`;
 see ``docs/resilience.md``.
+
+Serving — the asyncio campaign server behind ``python -m repro
+serve`` (content-addressed :class:`ResultStore`, single-flight job
+coalescing, chunked-JSONL progress streams) and its stdlib client
+(:class:`ServeClient`, ``python -m repro submit``) — lives in
+:mod:`repro.serve`; see ``docs/serving.md``.
 """
 
-from repro.experiments.campaign import Campaign
+from repro.experiments.campaign import Campaign, campaign_points
 from repro.experiments.parallel import CampaignManifest, FailedResult
 from repro.experiments.runner import (
     SimulationSettings,
@@ -77,6 +83,8 @@ from repro.resilience import (
     StallWatchdog,
     drain_ring,
 )
+from repro.serve.client import ServeClient
+from repro.serve.store import ResultStore
 from repro.routing import (
     CirculantTableRouting,
     MeshXYRouting,
@@ -133,9 +141,11 @@ __all__ = [
     "NocConfig",
     "Observer",
     "Packet",
+    "ResultStore",
     "RingShortestRouting",
     "RingTopology",
     "RunResult",
+    "ServeClient",
     "SimulationSettings",
     "Simulator",
     "SpidergonAcrossFirstRouting",
@@ -149,6 +159,7 @@ __all__ = [
     "UniformTraffic",
     "UtilizationTimeline",
     "average_distance",
+    "campaign_points",
     "detect_saturation_point",
     "diameter",
     "double_hotspot_targets",

@@ -14,6 +14,8 @@
     python -m repro drain                # avoidance-vs-recovery study
     python -m repro trace ring16 hotspot:0 0.1   # JSONL observability
     python -m repro chaos mesh4x4 uniform 0.1 --fail 5:6@2000
+    python -m repro serve --port 8642    # campaign-as-a-service
+    python -m repro submit SPEC.json     # stream a campaign to it
 """
 
 from __future__ import annotations
@@ -41,7 +43,8 @@ def _info() -> int:
         "{info|figures|ablations|campaign SPEC.json OUT.csv"
         "|circulant [N]|mesh3d [SIDE]|topologies|engines|routings"
         "|drain|trace TOPOLOGY PATTERN RATE"
-        "|chaos TOPOLOGY PATTERN RATE} [args...]\n"
+        "|chaos TOPOLOGY PATTERN RATE"
+        "|serve|submit SPEC.json} [args...]\n"
         "       (figures and campaign accept --workers N; campaign "
         "also --no-cache, --cache-dir DIR,\n"
         "        --timeout S, --retries N, --resume; trace accepts "
@@ -49,9 +52,200 @@ def _info() -> int:
         "        --window, --out, --limit, --no-flits; chaos accepts "
         "--fail SRC:DST@T[:REPAIR_T],\n"
         "        --random-faults N@T, --stall N, --audit N, --json "
-        "FILE)"
+        "FILE; serve accepts --host,\n"
+        "        --port, --workers, --store DIR, --timeout, "
+        "--retries; submit accepts --host,\n"
+        "        --port, --wait S, --out FILE, --quiet)"
     )
     return 0
+
+
+def _serve(rest: list[str]) -> int:
+    import argparse
+    import asyncio
+
+    from repro.serve.jobs import JobManager
+    from repro.serve.server import CampaignServer
+    from repro.serve.store import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve campaign simulations over HTTP: clients "
+        "POST campaign spec JSON to /campaign and get streamed "
+        "per-point progress; results dedupe through a "
+        "content-addressed store plus in-flight coalescing, so "
+        "repeated submissions cost one simulation.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (0 picks a free one; the chosen port is "
+        "printed on startup)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="persistent worker processes (default 2)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=".repro-store",
+        help="content-addressed result store directory (default "
+        ".repro-store; compatible with campaign .repro-cache "
+        "directories)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock deadline in seconds",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per crashed / failed point (default 0)",
+    )
+    try:
+        args = parser.parse_args(rest)
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        if args.timeout is not None and args.timeout <= 0:
+            parser.error(f"--timeout must be > 0, got {args.timeout}")
+        if args.retries < 0:
+            parser.error(f"--retries must be >= 0, got {args.retries}")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    jobs = JobManager(
+        ResultStore(args.store),
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    server = CampaignServer(jobs, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(workers={args.workers}, store={args.store})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _submit(rest: list[str]) -> int:
+    import argparse
+    import json as _json
+    import pathlib
+    import sys as _sys
+
+    from repro.serve.client import ServeClient, ServerError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit a campaign spec to a running campaign "
+        "server and stream per-point progress.",
+    )
+    parser.add_argument("spec", help="campaign spec (JSON file)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="poll /healthz for up to S seconds before submitting "
+        "(for scripts that just started the server)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also append every streamed JSONL line here (the "
+        "per-point lines form a loadable campaign manifest)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the final summary line",
+    )
+    try:
+        args = parser.parse_args(rest)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    try:
+        spec = _json.loads(pathlib.Path(args.spec).read_text())
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"error: cannot read spec: {exc}", file=_sys.stderr)
+        return 2
+    client = ServeClient(args.host, args.port)
+    try:
+        if args.wait > 0:
+            client.wait_until_ready(args.wait)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=_sys.stderr)
+        return 2
+
+    out_handle = None
+    if args.out is not None:
+        out_handle = pathlib.Path(args.out).open("a")
+    summary = None
+    done = 0
+    try:
+        for entry in client.submit(spec):
+            if out_handle is not None:
+                out_handle.write(_json.dumps(entry) + "\n")
+                out_handle.flush()
+            if entry.get("type") == "summary":
+                summary = entry
+                continue
+            done += 1
+            if not args.quiet:
+                label = (
+                    f"{entry['topology']}|{entry['pattern']}"
+                    f"|{entry['rate']:.6g}"
+                )
+                status = entry["status"]
+                if status != "ok":
+                    status = f"{status}({entry.get('error', '?')})"
+                print(
+                    f"[{done}] {label} {entry['source']} {status}"
+                )
+    except (ConnectionError, OSError, ServerError) as exc:
+        print(f"error: {exc}", file=_sys.stderr)
+        return 2
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+    if summary is None:
+        print("error: stream ended without a summary", file=_sys.stderr)
+        return 2
+    print(
+        f"{summary['points']} points: {summary['store_hits']} store "
+        f"hits, {summary['coalesced']} coalesced, "
+        f"{summary['simulated']} simulated, {summary['failed']} failed"
+    )
+    return 1 if summary["failed"] else 0
 
 
 def _topologies() -> int:
@@ -638,6 +832,10 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(rest)
     if command == "chaos":
         return _chaos(rest)
+    if command == "serve":
+        return _serve(rest)
+    if command == "submit":
+        return _submit(rest)
     print(f"unknown command {command!r}; try: python -m repro info")
     return 2
 

@@ -85,9 +85,27 @@ from repro.stats.summary import RunResult
 __all__ = [
     "CSV_COLUMNS",
     "Campaign",
+    "campaign_points",
     "parse_pattern",
     "parse_topology",
 ]
+
+
+def campaign_points(spec: dict) -> list[SweepPoint]:
+    """Validate *spec* and expand it into seeded sweep points.
+
+    The one spec-to-points path shared by batch campaigns and the
+    campaign server (:mod:`repro.serve`): both accept the identical
+    JSON spec format documented above, fail fast on a bad spec
+    (raising :class:`ValueError` before any simulation runs), and
+    derive every point's seed from its own coordinates — which is
+    what makes a submitted point's
+    :func:`~repro.experiments.parallel.point_key` identical no matter
+    which client, server, or batch run computes it.
+    """
+    campaign = Campaign(spec)
+    campaign.validate()
+    return campaign.sweep_points()
 
 CSV_COLUMNS = [
     "topology",

@@ -34,7 +34,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import pathlib
 import time
 import traceback
@@ -55,6 +54,7 @@ from repro.experiments.specs import (
     parse_topology_routing,
 )
 from repro.resilience.chaos import apply_chaos
+from repro.serve.store import ResultStore
 from repro.stats.summary import RunResult
 
 #: What a hardened sweep yields per point.
@@ -63,6 +63,24 @@ PointResult = Union[RunResult, "FailedResult"]
 #: Signature of the incremental-result callback:
 #: ``on_result(index, point, result, cached)``.
 ResultCallback = Callable[[int, SweepPoint, "PointResult", bool], None]
+
+
+def canonical_rate(rate: float) -> str:
+    """The one canonical string form of an injection rate.
+
+    ``repr(float(rate))`` is the shortest string that round-trips to
+    the exact float, so distinct rates always canonicalize to
+    distinct strings.  Both :func:`derive_seed` and :func:`point_key`
+    use it — they historically disagreed (``f"{rate:.6g}"`` vs
+    ``repr``), which made two rates differing only past six
+    significant digits share an RNG seed while still getting distinct
+    cache keys.  For the fractional rates sweeps actually use
+    (``0.05``, ``0.1``, ... — six or fewer significant digits, not
+    integer-valued) the two spellings coincide, so unifying on
+    ``repr`` left every existing seed (and every existing cache key)
+    unchanged.
+    """
+    return repr(float(rate))
 
 
 def derive_seed(
@@ -75,7 +93,9 @@ def derive_seed(
     the single root seed — and, crucially, makes the seed independent
     of the order in which points execute.
     """
-    text = f"{root_seed}|{topology}|{pattern}|{rate:.6g}"
+    text = (
+        f"{root_seed}|{topology}|{pattern}|{canonical_rate(rate)}"
+    )
     digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "big")
 
@@ -85,12 +105,14 @@ def point_key(point: SweepPoint) -> str:
 
     Includes every model parameter (the full settings dataclass, and
     with it the seed), so two points collide only if they would run
-    the exact same simulation.
+    the exact same simulation.  This is also the address of the
+    point's entry in the content-addressed
+    :class:`~repro.serve.store.ResultStore`.
     """
     payload = {
         "topology": point.topology,
         "pattern": point.pattern,
-        "rate": repr(float(point.rate)),
+        "rate": canonical_rate(point.rate),
         "settings": dataclasses.asdict(point.settings),
     }
     blob = json.dumps(payload, sort_keys=True)
@@ -98,13 +120,27 @@ def point_key(point: SweepPoint) -> str:
 
 
 class ResultCache:
-    """Directory of finished results, one JSON file per point key."""
+    """Point-keyed view over a content-addressed result store.
+
+    Historically this class owned the one-JSON-file-per-key directory
+    itself; that mechanism now lives in
+    :class:`~repro.serve.store.ResultStore` (the campaign server's
+    dedupe substrate) and this adapter only computes
+    :func:`point_key` hashes.  The on-disk layout is unchanged, so a
+    ``.repro-cache`` directory written by either side is readable by
+    both — point a server's store at a campaign's cache (or vice
+    versa) and the results dedupe across them.
+    """
 
     def __init__(self, directory: str | pathlib.Path) -> None:
-        self.directory = pathlib.Path(directory)
+        self.store = ResultStore(directory)
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self.store.directory
 
     def _path(self, point: SweepPoint) -> pathlib.Path:
-        return self.directory / f"{point_key(point)}.json"
+        return self.store.path_for(point_key(point))
 
     def get(self, point: SweepPoint) -> RunResult | None:
         """The cached result for *point*, or None on a miss.
@@ -112,20 +148,11 @@ class ResultCache:
         A torn or unreadable entry counts as a miss: the point simply
         re-runs and overwrites it.
         """
-        path = self._path(point)
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        return RunResult.from_dict(data)
+        return self.store.get(point_key(point))
 
     def put(self, point: SweepPoint, result: RunResult) -> None:
         """Store *result*; atomic rename so readers never see a torn file."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(point)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(result.to_dict()))
-        tmp.replace(path)
+        self.store.put(point_key(point), result)
 
 
 @dataclasses.dataclass(slots=True)
@@ -168,6 +195,34 @@ class FailedResult:
         return cls(**data)
 
 
+def manifest_entry(
+    point: SweepPoint, result: "PointResult", cached: bool
+) -> dict:
+    """One :class:`CampaignManifest` line as a dict.
+
+    Shared vocabulary between the on-disk manifest and the campaign
+    server's streamed progress: the server emits exactly these
+    entries (plus a ``source`` annotation) as chunked JSONL, so a
+    captured stream is itself a loadable manifest.
+    """
+    entry = {
+        "key": point_key(point),
+        "topology": point.topology,
+        "pattern": point.pattern,
+        "rate": point.rate,
+        "seed": point.settings.seed,
+        "cached": cached,
+    }
+    if isinstance(result, FailedResult):
+        entry["status"] = "failed"
+        entry["error"] = result.error
+        entry["detail"] = result.detail
+        entry["attempts"] = result.attempts
+    else:
+        entry["status"] = "ok"
+    return entry
+
+
 class CampaignManifest:
     """Append-only JSONL log of per-point outcomes.
 
@@ -182,7 +237,9 @@ class CampaignManifest:
     casualties (and are re-attempted on resume, since no CSV row
     exists for them).  Appends are line-atomic on POSIX, and a torn
     final line — possible if the process died mid-write — is skipped
-    on load.
+    on load.  Where several entries share a key (a failure later
+    retried, a resumed run re-recording a point), the **latest entry
+    wins** in both :meth:`completed_keys` and :meth:`failures`.
     """
 
     def __init__(self, path: str | pathlib.Path) -> None:
@@ -192,21 +249,7 @@ class CampaignManifest:
         self, point: SweepPoint, result: "PointResult", cached: bool
     ) -> None:
         """Append the outcome of *point*."""
-        entry = {
-            "key": point_key(point),
-            "topology": point.topology,
-            "pattern": point.pattern,
-            "rate": point.rate,
-            "seed": point.settings.seed,
-            "cached": cached,
-        }
-        if isinstance(result, FailedResult):
-            entry["status"] = "failed"
-            entry["error"] = result.error
-            entry["detail"] = result.detail
-            entry["attempts"] = result.attempts
-        else:
-            entry["status"] = "ok"
+        entry = manifest_entry(point, result, cached)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
@@ -308,19 +351,25 @@ def point_descriptor(point: SweepPoint) -> str:
     return f"{point.topology}:{point.pattern}:{point.rate:.6g}"
 
 
-def _guarded_run(point: SweepPoint) -> tuple[str, object]:
+def guarded_run(point: SweepPoint) -> tuple[str, object]:
     """Worker entry of hardened mode: never lets an exception cross
     the pickle boundary (some exception types don't survive it).
 
     Returns ``("ok", RunResult)`` or ``("error", traceback_text)``.
     Also the chaos hook site — :func:`repro.resilience.apply_chaos`
-    is a no-op unless the ``REPRO_CHAOS`` variable is set.
+    is a no-op unless the ``REPRO_CHAOS`` variable is set.  The
+    campaign server's persistent pool submits this same entry point,
+    so server-side and batch workers share one failure contract.
     """
     try:
         apply_chaos(point_descriptor(point))
         return "ok", run_sweep_point(point)
     except Exception:
         return "error", traceback.format_exc(limit=8)
+
+
+#: Backwards-compatible spelling; the worker entry is public API now.
+_guarded_run = guarded_run
 
 
 def execute_points(
@@ -521,6 +570,10 @@ def _execute_hardened_pool(
     queue = deque(pending)
     attempts: dict[int, int] = {index: 0 for index, _ in pending}
     inflight: dict = {}  # future -> (index, point, deadline)
+    # Backoff is a per-entry not-before timestamp honored at
+    # submission time — never an inline sleep, which would stall
+    # deadline checks and settlement for every other in-flight point.
+    not_before: dict[int, float] = {}
 
     def charge(index: int, point: SweepPoint, kind: str, detail: str):
         """One failed attempt: requeue or settle as FailedResult."""
@@ -532,7 +585,9 @@ def _execute_hardened_pool(
         if attempts[index] <= retries:
             stats.retried += 1
             if backoff > 0:
-                time.sleep(backoff * attempts[index])
+                not_before[index] = (
+                    time.monotonic() + backoff * attempts[index]
+                )
             queue.append((index, point))
         else:
             finish(
@@ -587,11 +642,17 @@ def _execute_hardened_pool(
     try:
         while queue or inflight:
             submit_broke = False
+            now = time.monotonic()
+            backing_off: list[tuple[int, SweepPoint]] = []
             while queue and len(inflight) < workers:
                 index, point = queue.popleft()
                 attempts.setdefault(index, 0)
+                if not_before.get(index, 0.0) > now:
+                    backing_off.append((index, point))
+                    continue
+                not_before.pop(index, None)
                 try:
-                    future = pool.submit(_guarded_run, point)
+                    future = pool.submit(guarded_run, point)
                 except BrokenProcessPool:
                     # Pool died between the last wait() and now; the
                     # unsubmitted point never ran, so no charge.
@@ -605,16 +666,31 @@ def _execute_hardened_pool(
                     else None
                 )
                 inflight[future] = (index, point, deadline)
-            if submit_broke or not inflight:
+            # Entries still backing off return to the queue's front in
+            # their original order, keeping retry fairness.
+            queue.extendleft(reversed(backing_off))
+            if submit_broke:
                 continue
-            deadlines = [
+            wake_times = [
                 deadline
                 for (_, _, deadline) in inflight.values()
                 if deadline is not None
             ]
+            if backing_off and len(inflight) < workers:
+                # Free capacity is waiting on a backoff window: wake
+                # when the earliest held entry becomes submittable.
+                wake_times.extend(
+                    not_before[index] for index, _ in backing_off
+                )
+            if not inflight:
+                # Everything queued is backing off; sleep just long
+                # enough for the earliest not-before to pass.
+                if wake_times:
+                    time.sleep(max(0.0, min(wake_times) - now))
+                continue
             wait_for = (
-                max(0.05, min(deadlines) - time.monotonic())
-                if deadlines
+                max(0.05, min(wake_times) - time.monotonic())
+                if wake_times
                 else None
             )
             done, _ = wait(

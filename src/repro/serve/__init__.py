@@ -1,0 +1,63 @@
+"""Campaign-as-a-service: asyncio HTTP serving of sweep simulations.
+
+The serving layer promotes the hardened campaign machinery of
+:mod:`repro.experiments.parallel` into a long-lived process
+(``python -m repro serve``) that answers repeated "simulate this
+(topology, pattern, rate)" requests as cheaply as one simulation:
+
+* :mod:`repro.serve.store` — :class:`ResultStore`, the
+  content-addressed result store keyed by
+  :func:`~repro.experiments.parallel.point_key`.  Finished points are
+  disk reads forever after.
+* :mod:`repro.serve.jobs` — :class:`JobManager`, the asyncio job
+  layer: a persistent worker-process pool running the same guarded
+  entry point as :func:`~repro.experiments.parallel.execute_points`,
+  with **single-flight coalescing** (concurrent requests for one key
+  share one in-flight future) in front of the store.
+* :mod:`repro.serve.server` — :class:`CampaignServer`, a stdlib
+  asyncio HTTP server streaming per-point progress as chunked JSONL
+  in the :class:`~repro.experiments.parallel.CampaignManifest` entry
+  format.
+* :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib
+  ``http.client`` companion (``python -m repro submit``).
+
+No dependencies beyond the standard library; see ``docs/serving.md``.
+
+Import note: :mod:`repro.experiments.parallel` imports
+:class:`ResultStore` from here (its :class:`ResultCache` delegates to
+the store), so this package eagerly exposes only the store and lazily
+resolves the heavier modules — which import ``parallel`` back — via
+module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "BackgroundServer",
+    "CampaignServer",
+    "JobManager",
+    "ResultStore",
+    "ServeClient",
+    "ServeStats",
+]
+
+_LAZY = {
+    "JobManager": "repro.serve.jobs",
+    "ServeStats": "repro.serve.jobs",
+    "BackgroundServer": "repro.serve.server",
+    "CampaignServer": "repro.serve.server",
+    "ServeClient": "repro.serve.client",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

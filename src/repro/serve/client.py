@@ -1,0 +1,162 @@
+"""Stdlib HTTP client for the campaign server.
+
+:class:`ServeClient` speaks to a :class:`~repro.serve.server.
+CampaignServer` with nothing but ``http.client``, decoding the
+chunked-JSONL campaign stream incrementally — entries are yielded as
+the server settles each point, not after the whole campaign finishes.
+``python -m repro submit`` is a thin CLI over it.
+
+The client is synchronous on purpose: submitters are scripts and CI
+steps, and ``http.client`` handles chunked transfer decoding
+transparently, so streaming consumption is just ``readline()`` in a
+loop.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Iterator
+
+__all__ = ["ServeClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-success HTTP response from the campaign server.
+
+    Attributes:
+        status: The HTTP status code.
+        detail: The server's ``error`` payload, if it sent one.
+    """
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(f"server returned {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class ServeClient:
+    """Talk to a campaign server at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _get_json(self, path: str) -> dict:
+        connection = self._connection()
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = response.read().decode()
+            if response.status != 200:
+                raise ServerError(
+                    response.status, _error_detail(body)
+                )
+            return json.loads(body)
+        finally:
+            connection.close()
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats`` — cumulative serving counters."""
+        return self._get_json("/stats")
+
+    def result(self, key: str) -> dict | None:
+        """``GET /result/<key>`` — stored result JSON, or None."""
+        try:
+            return self._get_json(f"/result/{key}")
+        except ServerError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def submit(self, spec: dict) -> Iterator[dict]:
+        """``POST /campaign``, yielding entries as they stream in.
+
+        Yields one manifest-format dict per point (with its
+        ``"source"`` dedupe tier) in completion order, then the final
+        ``{"type": "summary", ...}`` dict.
+
+        Raises:
+            ServerError: on a non-200 response (e.g. an invalid
+                spec rejected before any simulation ran).
+        """
+        body = json.dumps(spec).encode()
+        connection = self._connection()
+        try:
+            connection.request(
+                "POST",
+                "/campaign",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServerError(
+                    response.status,
+                    _error_detail(response.read().decode()),
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def submit_campaign(self, spec: dict) -> tuple[list[dict], dict]:
+        """Submit and collect: ``(point_entries, summary)``."""
+        entries = list(self.submit(spec))
+        if not entries or entries[-1].get("type") != "summary":
+            raise ServerError(
+                200, "stream ended without a summary line"
+            )
+        return entries[:-1], entries[-1]
+
+    def wait_until_ready(self, timeout: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the server answers.
+
+        Returns the health payload; raises :class:`TimeoutError` if
+        the server never comes up within *timeout* seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (OSError, socket.timeout, ServerError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"no campaign server at "
+                        f"{self.host}:{self.port} after {timeout:.6g}s"
+                    ) from None
+                time.sleep(0.05)
+
+
+def _error_detail(body: str) -> str:
+    try:
+        payload = json.loads(body)
+        if isinstance(payload, dict) and "error" in payload:
+            return str(payload["error"])
+    except json.JSONDecodeError:
+        pass
+    return body.strip() or "(no detail)"

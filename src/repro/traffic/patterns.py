@@ -228,9 +228,18 @@ class NearestNeighborTraffic(TrafficPattern):
 
     def __init__(self, topology: Topology) -> None:
         super().__init__(topology, "nearest-neighbor")
+        # Adjacency is immutable for a pattern's lifetime, so the
+        # sorted neighbor lists are computed once here instead of
+        # re-sorting the adjacency on every generated packet (which
+        # made this the slowest pattern by far at high rates).  The
+        # sort order — and with it every RNG draw — is identical.
+        self._neighbors: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(topology.neighbors(node)))
+            for node in range(topology.num_nodes)
+        )
 
     def destination_for(self, src: int, rng: RngStream) -> int:
-        neighbors = sorted(self.topology.neighbors(src))
+        neighbors = self._neighbors[src]
         return neighbors[rng.uniform_int(0, len(neighbors) - 1)]
 
 

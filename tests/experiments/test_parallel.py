@@ -6,8 +6,11 @@ import pytest
 
 from repro.experiments.campaign import Campaign
 from repro.experiments.parallel import (
+    CampaignManifest,
     ExecutionStats,
+    FailedResult,
     ResultCache,
+    canonical_rate,
     derive_seed,
     execute_points,
     point_key,
@@ -359,3 +362,130 @@ class TestTimelineExport:
             ),
         )
         assert point_key(base) != point_key(other)
+
+
+class TestCanonicalRate:
+    """derive_seed and point_key must agree on one rate spelling.
+
+    Historically derive_seed formatted rates with ``.6g`` while
+    point_key used ``repr`` — two rates differing only past the sixth
+    significant digit collided to one seed while keying two cache
+    entries.  Both now go through :func:`canonical_rate`.
+    """
+
+    # Distinct floats, identical under the old "%.6g" formatting.
+    COLLIDING = (0.1234567, 0.1234568)
+
+    def test_colliding_rates_get_distinct_seeds(self):
+        low, high = self.COLLIDING
+        assert f"{low:.6g}" == f"{high:.6g}"  # the old collision
+        assert derive_seed(1, "ring8", "uniform", low) != derive_seed(
+            1, "ring8", "uniform", high
+        )
+
+    def test_colliding_rates_get_distinct_keys(self):
+        low, high = self.COLLIDING
+        points = [
+            SweepPoint("ring8", "uniform", rate, quick_settings())
+            for rate in self.COLLIDING
+        ]
+        assert point_key(points[0]) != point_key(points[1])
+
+    def test_sweep_rates_keep_their_historical_spelling(self):
+        # repr and .6g agree on every rate the paper sweeps use, so
+        # canonicalising did not silently reseed existing campaigns.
+        for rate in (0.05, 0.1, 0.2, 0.3, 0.4, 0.6):
+            assert canonical_rate(rate) == f"{rate:.6g}"
+
+    def test_int_rate_matches_equal_float(self):
+        assert canonical_rate(1) == canonical_rate(1.0)
+        assert derive_seed(1, "ring8", "uniform", 1) == derive_seed(
+            1, "ring8", "uniform", 1.0
+        )
+
+
+class TestCampaignManifestResume:
+    """Latest-entry-wins resume semantics of the JSONL manifest."""
+
+    _OK = object()  # manifest_entry only checks for FailedResult
+
+    def point(self, rate=0.1):
+        return SweepPoint("ring8", "uniform", rate, quick_settings())
+
+    def failed(self, point, attempts=2):
+        return FailedResult(
+            topology=point.topology,
+            pattern=point.pattern,
+            rate=point.rate,
+            seed=point.settings.seed,
+            error="timeout",
+            detail="deadline of 0.5s exceeded",
+            attempts=attempts,
+        )
+
+    def test_ok_then_failed_means_not_completed(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        point = self.point()
+        manifest.record(point, self._OK, cached=False)
+        manifest.record(point, self.failed(point), cached=False)
+        assert manifest.completed_keys() == set()
+        (failure,) = manifest.failures()
+        assert failure["key"] == point_key(point)
+        assert failure["error"] == "timeout"
+        assert failure["attempts"] == 2
+
+    def test_failed_then_ok_means_completed(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        point = self.point()
+        manifest.record(point, self.failed(point), cached=False)
+        manifest.record(point, self._OK, cached=False)
+        assert manifest.completed_keys() == {point_key(point)}
+        assert manifest.failures() == []
+
+    def test_mixed_keys_resolve_independently(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        healthy = self.point(0.05)
+        flaky = self.point(0.1)
+        doomed = self.point(0.2)
+        manifest.record(healthy, self._OK, cached=False)
+        manifest.record(flaky, self.failed(flaky), cached=False)
+        manifest.record(doomed, self.failed(doomed), cached=False)
+        manifest.record(flaky, self._OK, cached=False)  # retried fine
+        assert manifest.completed_keys() == {
+            point_key(healthy),
+            point_key(flaky),
+        }
+        (failure,) = manifest.failures()
+        assert failure["key"] == point_key(doomed)
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        point = self.point()
+        manifest.record(point, self._OK, cached=False)
+        with manifest.path.open("a") as handle:
+            handle.write('{"key": "abc", "status": "o')  # died mid-write
+        assert len(manifest.entries()) == 1
+        assert manifest.completed_keys() == {point_key(point)}
+        # A resumed campaign appends after the torn line; the repaired
+        # log still parses (the torn fragment stays skipped).
+        with manifest.path.open("a") as handle:
+            handle.write("\n")
+        other = self.point(0.3)
+        manifest.record(other, self._OK, cached=False)
+        assert manifest.completed_keys() == {
+            point_key(point),
+            point_key(other),
+        }
+
+    def test_blank_lines_and_missing_file_are_harmless(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.jsonl")
+        assert manifest.entries() == []
+        assert manifest.completed_keys() == set()
+        assert manifest.failures() == []
+        point = self.point()
+        manifest.record(point, self._OK, cached=False)
+        with manifest.path.open("a") as handle:
+            handle.write("\n\n")
+        manifest.record(point, self.failed(point), cached=False)
+        assert len(manifest.entries()) == 2
+        assert manifest.completed_keys() == set()

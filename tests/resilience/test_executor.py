@@ -301,3 +301,51 @@ class TestHardenedPool:
         assert read(tmp_path / "legacy.csv") == read(
             tmp_path / "hardened.csv"
         )
+
+
+@pytest.mark.chaos
+class TestBackoffIsolation:
+    """Backoff is a per-entry not-before window, not a global sleep.
+
+    The old ``charge()`` slept ``backoff * attempts`` inline in the
+    dispatcher thread, so one retrying point froze result handling —
+    and timeout accounting — for every other in-flight point.  Now
+    the retry just carries a not-before timestamp and the dispatcher
+    keeps draining completions.
+    """
+
+    def test_retrying_point_does_not_stall_others(
+        self, monkeypatch, tmp_path
+    ):
+        import time
+
+        monkeypatch.setenv(
+            ENV_VAR, json.dumps({"match": ":0.05", "mode": "error"})
+        )
+        flaky = quick_point(rate=0.05)
+        healthy = quick_point(rate=0.1)
+        start = time.monotonic()
+        finished_at = {}
+
+        def stamp(index, point, result, cached):
+            finished_at[point.rate] = time.monotonic() - start
+
+        results, stats = execute_points(
+            [flaky, healthy],
+            workers=2,
+            timeout=60,
+            retries=1,
+            backoff=2.5,
+            on_result=stamp,
+        )
+        elapsed = time.monotonic() - start
+        # The flaky point exhausted its retry after the backoff window.
+        assert isinstance(results[0], FailedResult)
+        assert results[0].error == "error"
+        assert results[0].attempts == 2
+        assert elapsed >= 2.5  # the backoff really was honoured
+        # The healthy point settled while the flaky one was backing
+        # off.  Pre-fix, the inline sleep pushed this past 2.5s.
+        assert results[1].ok
+        assert finished_at[0.1] < 2.0
+        assert stats.failed == 1

@@ -1,0 +1,224 @@
+"""End-to-end tests for the campaign server over real HTTP.
+
+Each harness spins a :class:`BackgroundServer` (own thread, own event
+loop, real worker processes) on an ephemeral port and talks to it
+with the stdlib :class:`ServeClient` — the exact production path of
+``python -m repro serve`` / ``python -m repro submit``.  The dedupe
+acceptance test at the bottom is the PR's contract: identical
+campaign JSON submitted concurrently and sequentially costs exactly
+one simulation per unique point.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.campaign import campaign_points
+from repro.experiments.parallel import (
+    CampaignManifest,
+    point_key,
+)
+from repro.serve.client import ServeClient, ServerError
+from repro.serve.jobs import JobManager
+from repro.serve.server import BackgroundServer, CampaignServer
+from repro.serve.store import ResultStore
+
+
+def small_spec(**overrides):
+    spec = {
+        "name": "serve-smoke",
+        "cycles": 400,
+        "warmup": 100,
+        "seed": 4,
+        "source_queue_packets": 8,
+        "topologies": ["ring8"],
+        "patterns": ["uniform"],
+        "rates": [0.05, 0.1],
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A running server + client; yields (client, jobs)."""
+    jobs = JobManager(ResultStore(tmp_path / "store"), workers=2)
+    server = CampaignServer(jobs, port=0)
+    with BackgroundServer(server) as background:
+        client = ServeClient(port=background.port)
+        client.wait_until_ready(10.0)
+        yield client, jobs
+
+
+@pytest.mark.chaos
+class TestEndpoints:
+    def test_health_and_stats(self, served):
+        client, jobs = served
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        stats = client.stats()
+        assert stats["submissions"] == 0
+        assert stats["stored_results"] == 0
+
+    def test_unknown_route_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServerError) as excinfo:
+            client._get_json("/nope")
+        assert excinfo.value.status == 404
+
+    def test_invalid_spec_rejected_before_simulation(self, served):
+        client, jobs = served
+        with pytest.raises(ServerError) as excinfo:
+            list(client.submit(small_spec(topologies=["butterfly9"])))
+        assert excinfo.value.status == 400
+        assert "butterfly9" in excinfo.value.detail
+        assert jobs.stats.simulated == 0
+
+    def test_invalid_json_body_rejected(self, served):
+        client, _ = served
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            client.host, client.port, timeout=30
+        )
+        try:
+            connection.request("POST", "/campaign", body=b"{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+        finally:
+            connection.close()
+
+    def test_result_endpoint_serves_stored_point(self, served):
+        client, _ = served
+        entries, _ = client.submit_campaign(small_spec())
+        payload = client.result(entries[0]["key"])
+        assert payload is not None
+        assert payload["packets_generated"] > 0
+        assert client.result("0" * 64) is None
+
+
+@pytest.mark.chaos
+class TestCampaignStream:
+    def test_entries_are_manifest_jsonl(self, served, tmp_path):
+        """The streamed per-point lines load as a campaign manifest."""
+        client, _ = served
+        spec = small_spec()
+        entries, summary = client.submit_campaign(spec)
+        stream_path = tmp_path / "stream.jsonl"
+        with stream_path.open("w") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+        manifest = CampaignManifest(stream_path)
+        expected_keys = {
+            point_key(point) for point in campaign_points(spec)
+        }
+        assert manifest.completed_keys() == expected_keys
+        assert manifest.failures() == []
+        for entry in entries:
+            assert entry["status"] == "ok"
+            assert entry["source"] == "simulated"
+            assert entry["cached"] is False
+        assert summary == {
+            "type": "summary",
+            "points": 2,
+            "ok": 2,
+            "failed": 0,
+            "store_hits": 0,
+            "coalesced": 0,
+            "simulated": 2,
+        }
+
+    def test_served_results_match_batch_execution(
+        self, served, tmp_path
+    ):
+        """Server-side simulation is the same simulation: the stored
+        payload equals a local execute_points run of the point."""
+        from repro.experiments.parallel import execute_points
+
+        client, jobs = served
+        spec = small_spec(rates=[0.05])
+        client.submit_campaign(spec)
+        (point,) = campaign_points(spec)
+        (local,), _ = execute_points([point])
+        assert jobs.store.get(point_key(point)) == local
+
+
+@pytest.mark.chaos
+class TestDedupe:
+    """Acceptance criterion: N identical submissions, one simulation
+    per unique point."""
+
+    def test_sequential_resubmission_is_all_store_hits(self, served):
+        client, jobs = served
+        spec = small_spec()
+        _, first = client.submit_campaign(spec)
+        _, second = client.submit_campaign(spec)
+        assert first["simulated"] == 2
+        assert second == {
+            "type": "summary",
+            "points": 2,
+            "ok": 2,
+            "failed": 0,
+            "store_hits": 2,
+            "coalesced": 0,
+            "simulated": 0,
+        }
+        assert jobs.stats.simulated == 2  # not 4
+
+    def test_concurrent_and_sequential_submissions_cost_one_run_each(
+        self, served
+    ):
+        client, jobs = served
+        spec = small_spec()
+        unique_points = len(campaign_points(spec))
+        outcomes: list[tuple[list, dict]] = []
+        failures: list[BaseException] = []
+
+        def submit():
+            try:
+                outcomes.append(client.submit_campaign(spec))
+            except BaseException as exc:  # surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=submit) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not failures
+        assert len(outcomes) == 3
+        # ... then one more, sequentially, after everything settled.
+        entries, summary = client.submit_campaign(spec)
+
+        # Exactly one simulation per unique point, ever.
+        assert jobs.stats.simulated == unique_points
+        # The late submission is served entirely from the store.
+        assert summary["store_hits"] == unique_points
+        assert summary["simulated"] == 0
+        # Every submission saw every point succeed, and the dedupe
+        # tiers account for every resolution.
+        for got_entries, got_summary in outcomes + [
+            (entries, summary)
+        ]:
+            assert got_summary["points"] == unique_points
+            assert got_summary["ok"] == unique_points
+            assert (
+                got_summary["store_hits"]
+                + got_summary["coalesced"]
+                + got_summary["simulated"]
+            ) == unique_points
+            # All submissions streamed parseable manifest entries
+            # naming the same content-addressed keys.
+            assert {e["key"] for e in got_entries} == {
+                point_key(p) for p in campaign_points(spec)
+            }
+        # Across the concurrent trio: 2 simulations happened once
+        # each; everything else coalesced or hit the store.
+        total_simulated = sum(
+            s["simulated"] for _, s in outcomes
+        )
+        assert total_simulated == unique_points

@@ -316,3 +316,73 @@ class TestTranspose3D:
 
         with pytest.raises(TopologyError):
             Transpose3DTraffic(MeshTopology(4, 4))
+
+
+class LegacyNearestNeighbor(NearestNeighborTraffic):
+    """The pre-optimization implementation, kept as the equivalence
+    oracle: re-sorts the full adjacency list on every packet."""
+
+    def destination_for(self, src, rng):
+        neighbors = sorted(self.topology.neighbors(src))
+        return neighbors[rng.uniform_int(0, len(neighbors) - 1)]
+
+
+class TestNearestNeighborPrecompute:
+    """The construction-time neighbor tables must be draw-for-draw
+    identical to sorting per packet (regression for the per-packet
+    re-sort hot spot)."""
+
+    def test_neighbor_tables_match_sorted_adjacency(self):
+        for topology in (
+            MeshTopology(3, 3),
+            SpidergonTopology(8),
+            RingTopology(7),
+        ):
+            pattern = NearestNeighborTraffic(topology)
+            for node in range(topology.num_nodes):
+                assert pattern._neighbors[node] == tuple(
+                    sorted(topology.neighbors(node))
+                )
+
+    def test_destinations_identical_to_legacy(self):
+        topology = MeshTopology(3, 4)
+        fast = NearestNeighborTraffic(topology)
+        legacy = LegacyNearestNeighbor(topology)
+        fast_rng, legacy_rng = rng(), rng()
+        draws = [
+            (fast.destination_for(src, fast_rng),
+             legacy.destination_for(src, legacy_rng))
+            for _ in range(50)
+            for src in range(topology.num_nodes)
+        ]
+        assert all(new == old for new, old in draws)
+
+    def test_run_results_byte_identical_to_legacy(self):
+        from repro.experiments.runner import (
+            SimulationSettings,
+            run_simulation,
+        )
+        from repro.noc.config import NocConfig
+
+        settings = SimulationSettings(
+            cycles=600,
+            warmup=100,
+            config=NocConfig(source_queue_packets=8),
+            seed=5,
+        )
+        fast_topology = MeshTopology(3, 3)
+        fast = run_simulation(
+            fast_topology,
+            NearestNeighborTraffic(fast_topology),
+            0.2,
+            settings,
+        )
+        legacy_topology = MeshTopology(3, 3)
+        legacy = run_simulation(
+            legacy_topology,
+            LegacyNearestNeighbor(legacy_topology),
+            0.2,
+            settings,
+        )
+        assert fast == legacy
+        assert fast.to_dict() == legacy.to_dict()
